@@ -1,0 +1,36 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one table/figure of the paper at a
+representative scale, times it via pytest-benchmark (single round — these
+are experiments, not micro-benchmarks), prints the paper-shaped table and
+archives it under ``results/`` so EXPERIMENTS.md can cite the exact runs.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """record(name, text): print and archive one experiment's output."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Benchmarks: the DESIGN.md §8 ablations."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import ablations
+
+
+def test_ablation_irq_affinity(benchmark, record):
+    result = run_once(benchmark, ablations.run_irq_affinity)
+    record("ablation_irq_affinity", format_series(
+        "nic_irq_delivery", result.xs, result.series,
+        title="Ablation — pending interrupts per CPU vs IRQ delivery policy",
+    ) + "\n\n" + result.notes)
+    cpu0, cpu1 = result.series["cpu0"], result.series["cpu1"]
+    # With affinity, CPU1 dominates; with round-robin it does not.
+    assert cpu1[0] > 3 * max(cpu0[0], 1e-6)
+    assert cpu1[1] < 2.5 * max(cpu0[1], 1e-6) or cpu1[1] < cpu1[0] / 2
+
+
+def test_ablation_scheduler_wakeups(benchmark, record):
+    result = run_once(benchmark, ablations.run_scheduler_wakeups)
+    record("ablation_scheduler", format_series(
+        "kernel_variant", result.xs, result.series,
+        title="Ablation — socket-sync latency (µs) vs kernel semantics",
+    ) + "\n\n" + result.notes)
+    lat = dict(zip(result.xs, result.series["socket_sync_latency_us"]))
+    # A fully preemptible kernel erases much of the socket latency.
+    assert lat["preemptible-kernel"] < lat["2.4-faithful"]
+
+
+def test_ablation_multicast_push(benchmark, record):
+    result = run_once(benchmark, ablations.run_multicast_push)
+    record("ablation_multicast", format_series(
+        "design", result.xs, result.series,
+        title="Ablation — §6 multicast push vs RDMA-Sync poll",
+    ) + "\n\n" + result.notes)
+    push, poll = result.series["normalized_app_delay"]
+    # The push design perturbs the back-end; RDMA-Sync does not.
+    assert push > poll
+    assert poll < 1.01
+
+
+def test_ablation_admission_goodput(benchmark, record):
+    result = run_once(benchmark, ablations.run_admission_goodput)
+    record("ablation_admission", format_series(
+        "policy", result.xs, result.series,
+        title="Ablation — admission control under overload (impatient clients)",
+    ) + "\n\n" + result.notes)
+    no_adm, adm = result.series["goodput_rps"]
+    # Admission sheds real load without sacrificing goodput.
+    assert result.series["rejected"][1] > 0
+    assert adm > 0.9 * no_adm
+
+
+def test_ablation_lb_weights(benchmark, record):
+    result = run_once(benchmark, ablations.run_lb_weights)
+    record("ablation_lb_weights", format_series(
+        "weights", result.xs, result.series,
+        title="Ablation — RUBiS throughput vs LB score weights",
+    ) + "\n\n" + result.notes)
+    rps = dict(zip(result.xs, result.series["throughput_rps"]))
+    assert all(v > 0 for v in rps.values())

@@ -1,0 +1,39 @@
+"""Benchmark: open-loop capacity curves (extension)."""
+
+from conftest import run_once
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import format_series
+from repro.experiments import capacity
+from repro.sim.units import SECOND
+
+
+def test_capacity_curves(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: capacity.run(rates=(800, 1600, 2400, 3200), duration=6 * SECOND),
+    )
+    chart = ascii_chart(
+        result.xs,
+        {
+            "socket-async goodput": result.series["socket-async:goodput_rps"],
+            "rdma-sync goodput": result.series["rdma-sync:goodput_rps"],
+        },
+        title="Goodput vs offered open-loop rate",
+    )
+    record("capacity", format_series(
+        "offered_rps", result.xs, result.series,
+        title="Capacity — within-deadline goodput vs offered rate",
+    ) + "\n\n" + chart + "\n\n" + result.notes)
+
+    for name in ("socket-async", "rdma-sync"):
+        goodput = result.series[f"{name}:goodput_rps"]
+        p95 = result.series[f"{name}:p95_ms"]
+        # Below the knee, goodput tracks the offered load.
+        assert goodput[0] > 0.85 * result.xs[0], (name, goodput[0])
+        # The tail grows monotonically toward saturation.
+        assert p95[-1] > p95[0], (name, p95)
+    # At saturation, the fresher monitoring sustains at least as much
+    # goodput as the socket baseline.
+    assert (result.series["rdma-sync:goodput_rps"][-1]
+            >= 0.98 * result.series["socket-async:goodput_rps"][-1])

@@ -1,0 +1,37 @@
+"""Benchmark: the quantified design-space table (all six schemes)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import design_space
+
+
+def test_design_space(benchmark, record):
+    result = run_once(benchmark, design_space.run)
+    record("design_space", format_series(
+        "scheme", result.xs, result.series,
+        title="Design space — query latency / staleness / threads / perturbation",
+    ) + "\n\n" + result.notes)
+
+    idx = {name: i for i, name in enumerate(result.xs)}
+    loaded = result.series["loaded_latency_us"]
+    stale = result.series["staleness_ms"]
+    threads = result.series["backend_threads"]
+    perturb = result.series["perturbation_at_4ms"]
+
+    # Two-sided transports collapse under load; one-sided do not.
+    for name in ("socket-async", "socket-sync"):
+        assert loaded[idx[name]] > 40 * loaded[idx["rdma-sync"]], name
+    # Asynchronous designs (pull or push) are interval-stale.
+    for name in ("socket-async", "rdma-async", "rdma-write-push"):
+        assert stale[idx[name]] > 20.0, name
+    # Synchronous designs deliver fresh data.
+    for name in ("socket-sync", "rdma-sync", "e-rdma-sync"):
+        assert stale[idx[name]] < 1.0, name
+    # Only the kernel-memory schemes run zero back-end threads and leave
+    # the application completely unperturbed.
+    for name in ("rdma-sync", "e-rdma-sync"):
+        assert threads[idx[name]] == 0.0
+        assert perturb[idx[name]] < 1.005
+    for name in ("socket-async", "socket-sync", "rdma-async", "rdma-write-push"):
+        assert perturb[idx[name]] > perturb[idx["rdma-sync"]], name

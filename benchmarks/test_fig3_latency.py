@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 3 (monitoring latency vs background load)."""
+
+from conftest import run_once
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import format_series
+from repro.experiments import fig3_latency
+from repro.sim.units import SECOND
+
+
+def test_fig3_latency(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig3_latency.run(thread_counts=(0, 8, 16, 32, 48, 64),
+                                 duration=2 * SECOND),
+    )
+    chart = ascii_chart(result.xs, result.series, log_y=True,
+                        title="Monitoring latency (µs, log scale)")
+    record("fig3_latency", format_series(
+        "bg_threads", result.xs, result.series,
+        title="Figure 3 — monitoring latency (µs) vs background threads",
+    ) + "\n\n" + chart + "\n\n" + result.notes)
+
+    # Shape assertions (the paper's claims).
+    for name in ("socket-async", "socket-sync"):
+        assert result.series[name][-1] > 2 * result.series[name][0], name
+    for name in ("rdma-async", "rdma-sync"):
+        lo, hi = min(result.series[name]), max(result.series[name])
+        assert hi - lo < 2.0, (name, result.series[name])
+    assert result.series["rdma-sync"][-1] < result.series["socket-sync"][-1] / 10

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 4 (app perturbation vs granularity)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import fig4_granularity
+from repro.sim.units import MILLISECOND
+
+
+def test_fig4_granularity(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig4_granularity.run(granularities_ms=(1, 4, 16, 64, 256, 1024),
+                                     app_compute=300 * MILLISECOND),
+    )
+    record("fig4_granularity", format_series(
+        "granularity_ms", result.xs, result.series,
+        title="Figure 4 — normalised application delay vs monitoring granularity",
+    ) + "\n\n" + result.notes)
+
+    fine = {name: series[0] for name, series in result.series.items()}
+    coarse = {name: series[-1] for name, series in result.series.items()}
+    # RDMA-Sync never perturbs the application.
+    assert max(result.series["rdma-sync"]) < 1.01
+    # The thread-bearing schemes perturb at 1 ms and recover at 1024 ms.
+    for name in ("socket-async", "socket-sync", "rdma-async"):
+        assert fine[name] > 1.02, (name, fine[name])
+        assert coarse[name] < 1.01, (name, coarse[name])
+    # Socket-Async (two back-end threads) is the worst offender.
+    assert fine["socket-async"] >= fine["rdma-async"]

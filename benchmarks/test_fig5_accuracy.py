@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 5 (accuracy of load information)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import fig5_accuracy
+
+
+def test_fig5_accuracy(benchmark, record):
+    result = run_once(benchmark, lambda: fig5_accuracy.run())
+    fig5a = {k: v for k, v in result.series.items() if k.endswith(":threads")}
+    fig5b = {k: v for k, v in result.series.items() if k.endswith(":load")}
+    text = (
+        format_series("load_level", result.xs, fig5a,
+                      title="Figure 5a — deviation of reported thread count")
+        + "\n\n"
+        + format_series("load_level", result.xs, fig5b,
+                        title="Figure 5b — deviation of reported run-queue load")
+        + "\n\n" + result.notes
+    )
+    record("fig5_accuracy", text)
+
+    # RDMA-Sync reports essentially no deviation at any load.
+    assert max(result.series["rdma-sync:threads"]) < 0.5
+    assert max(result.series["rdma-sync:load"]) < 0.5
+    # The interval-stale schemes deviate under load on both signals.
+    for name in ("socket-async", "rdma-async"):
+        assert result.series[f"{name}:threads"][-1] > 0.5, name
+        assert result.series[f"{name}:load"][-1] > 0.5, name
+    # Deviation grows with load for the stale schemes.
+    assert (result.series["socket-async:threads"][-1]
+            > result.series["socket-async:threads"][0])

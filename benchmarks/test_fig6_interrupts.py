@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 6 (pending interrupts per CPU)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import fig6_interrupts
+
+
+def test_fig6_interrupts(benchmark, record):
+    result = run_once(benchmark, lambda: fig6_interrupts.run())
+    record("fig6_interrupts", format_series(
+        "scheme", result.xs, result.series,
+        title="Figure 6 — pending interrupts observed per scheme per CPU",
+    ) + "\n\n" + result.notes)
+
+    idx = {name: i for i, name in enumerate(result.xs)}
+    cpu0 = result.series["mean_pending_cpu0"]
+    cpu1 = result.series["mean_pending_cpu1"]
+    rs = idx["rdma-sync"]
+    # RDMA-Sync catches substantially more pending interrupts than any
+    # user-space-sampled scheme.
+    for name in ("socket-async", "socket-sync", "rdma-async"):
+        assert cpu1[rs] > 1.5 * cpu1[idx[name]], name
+    # NIC affinity: the second CPU carries the interrupt load.
+    assert cpu1[rs] > cpu0[rs]
+    # RDMA-Sync sustains the full sampling rate; socket-sync cannot.
+    sps = result.series["samples_per_second"]
+    assert sps[rs] > sps[idx["socket-sync"]]

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 7 (RUBiS + Zipf throughput vs α)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import fig7_zipf
+from repro.sim.units import SECOND
+
+
+def test_fig7_zipf(benchmark, record):
+    schemes = ("socket-async", "rdma-async", "rdma-sync", "e-rdma-sync")
+    result = run_once(
+        benchmark,
+        lambda: fig7_zipf.run(alphas=(0.25, 0.5, 0.75, 0.9),
+                              schemes=schemes, duration=8 * SECOND),
+    )
+    improvements = {k: v for k, v in result.series.items() if k.endswith(":improvement_pct")}
+    rps = {k: v for k, v in result.series.items() if k.endswith(":rps")}
+    record("fig7_zipf",
+           format_series("alpha", result.xs, rps,
+                         title="Figure 7 — total throughput (rps)")
+           + "\n\n"
+           + format_series("alpha", result.xs, improvements,
+                           title="Figure 7 — improvement over Socket-Async (%)")
+           + "\n\n" + result.notes)
+
+    er = result.series["e-rdma-sync:improvement_pct"]
+    rs = result.series["rdma-sync:improvement_pct"]
+    # The one-sided synchronous schemes win at low α …
+    assert er[0] > 2.0, er
+    assert rs[0] > 0.0, rs
+    # … and the mean advantage over the sweep is positive.
+    assert sum(er) / len(er) > 0.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 8 (RUBiS + Ganglia/gmetric granularity)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import fig8_ganglia
+from repro.sim.units import SECOND
+
+
+def test_fig8_ganglia(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig8_ganglia.run(granularities_ms=(1, 4, 16, 64),
+                                 duration=10 * SECOND),
+    )
+    record("fig8_ganglia", format_series(
+        "gmetric_granularity_ms", result.xs, result.series,
+        title="Figure 8 — RUBiS response-time tail (ms) vs gmetric collection granularity",
+    ) + "\n\n" + result.notes)
+
+    # RDMA collection leaves the application tail flat across the sweep.
+    for name in ("rdma-async", "rdma-sync"):
+        series = result.series[f"{name}:p95_ms"]
+        assert max(series) < 1.25 * min(series), (name, series)
+    # Socket collection at 1 ms inflates the tail relative to RDMA at
+    # 1 ms and relative to its own coarse operating point.
+    socket_fine = min(result.series["socket-async:p95_ms"][0],
+                      result.series["socket-sync:p95_ms"][0])
+    rdma_fine = max(result.series["rdma-async:p95_ms"][0],
+                    result.series["rdma-sync:p95_ms"][0])
+    assert socket_fine > rdma_fine, (socket_fine, rdma_fine)
+    ss = result.series["socket-sync:p95_ms"]
+    assert ss[0] > ss[-1], ss

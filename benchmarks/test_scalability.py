@@ -1,0 +1,41 @@
+"""Benchmark: the §6 scalability extension (poll fabric vs cluster size)."""
+
+from conftest import run_once
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import format_series
+from repro.experiments import scalability
+from repro.sim.units import SECOND
+
+
+def test_scalability(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: scalability.run(sizes=(2, 4, 8, 16), duration=3 * SECOND),
+    )
+    chart = ascii_chart(
+        result.xs,
+        {
+            "socket poll round (µs)": result.series["socket_round_us"],
+            "rdma poll round (µs)": result.series["rdma_round_us"],
+        },
+        title="Poll-round time vs cluster size (log y)",
+        log_y=True,
+    )
+    record("scalability", format_series(
+        "backends", result.xs, result.series,
+        title="Scalability — monitoring fabric vs cluster size",
+    ) + "\n\n" + chart + "\n\n" + result.notes)
+
+    socket = result.series["socket_round_us"]
+    rdma = result.series["rdma_round_us"]
+    # RDMA rounds stay an order of magnitude below socket rounds.
+    assert all(r < s / 5 for r, s in zip(rdma, socket))
+    # Multicast keeps back-end agent cost flat with size…
+    mc_cpu = result.series["mcast_backend_monitor_cpu_pct"]
+    assert max(mc_cpu) < 1.5 * min(mc_cpu)
+    # …but front-end interrupt load grows with the cluster.
+    fe_irq = result.series["mcast_frontend_irq_cpu_pct"]
+    assert fe_irq[-1] > 1.5 * fe_irq[0]
+    # RDMA polling costs the back-ends nothing, ever.
+    assert all(v == 0.0 for v in result.series["rdma_backend_monitor_cpu_pct"])

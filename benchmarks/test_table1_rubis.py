@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Table 1 (RUBiS per-query response times)."""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import table1_rubis
+from repro.monitoring.registry import SCHEME_NAMES
+from repro.sim.units import SECOND
+from repro.workloads.rubis import RUBIS_QUERIES
+
+
+def test_table1_rubis(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: table1_rubis.run(duration=10 * SECOND),
+    )
+    headers = ["Query"] + [f"{s} avg" for s in SCHEME_NAMES] + [f"{s} max" for s in SCHEME_NAMES]
+    rows = []
+    for q in RUBIS_QUERIES:
+        row = [q.name]
+        row += [f"{result.tables[s][q.name]['avg_ms']:.1f}" for s in SCHEME_NAMES]
+        row += [f"{result.tables[s][q.name]['max_ms']:.0f}" for s in SCHEME_NAMES]
+        rows.append(row)
+    totals = ["TOTAL(rps)"] + [
+        f"{result.tables[s]['__all__']['throughput_rps']:.0f}" for s in SCHEME_NAMES
+    ] + [""] * len(SCHEME_NAMES)
+    rows.append(totals)
+    record("table1_rubis", format_table(
+        headers, rows,
+        title="Table 1 — RUBiS response times (ms) per scheme",
+    ) + "\n\n" + result.notes)
+
+    sa = result.tables["socket-async"]["__all__"]
+    rs = result.tables["rdma-sync"]["__all__"]
+    er = result.tables["e-rdma-sync"]["__all__"]
+    # RDMA-Sync beats Socket-Async on average response and throughput.
+    assert rs["avg_ms"] < sa["avg_ms"]
+    assert rs["throughput_rps"] > sa["throughput_rps"]
+    # e-RDMA-Sync is at least competitive with RDMA-Sync (paper: better).
+    assert er["avg_ms"] < sa["avg_ms"]
+    assert er["throughput_rps"] > sa["throughput_rps"]

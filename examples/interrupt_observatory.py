@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Watching kernel interrupt state from across the wire (Fig 6 live).
+
+Floods one back-end with bursty network traffic, then samples its
+``irq_stat`` kernel structure two ways at the same cadence:
+
+* **e-RDMA-Sync** — the NIC DMA engine reads kernel memory at arbitrary
+  instants, catching the real interrupt backlog;
+* **socket-sync + kernel module** — the user-space daemon must be
+  scheduled first, by which time the queues have drained.
+
+Prints a timeline of what each observer saw, plus the per-CPU asymmetry
+created by NIC interrupt affinity.
+
+Run:  python examples/interrupt_observatory.py
+"""
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.monitoring import create_scheme
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.background import spawn_background_load
+
+
+def main() -> None:
+    cfg = SimConfig(num_backends=2)
+    sim = build_cluster(cfg)
+    target = sim.backends[0]
+    spawn_background_load(sim, target, threads=24, comm_fraction=0.6,
+                          message_interval=3 * MILLISECOND, burst=16)
+
+    rdma = create_scheme("e-rdma-sync", sim, interval=5 * MILLISECOND)
+    sock = create_scheme("socket-sync", sim, interval=5 * MILLISECOND,
+                         with_irq_detail=True)
+    timeline = {"e-rdma-sync": [], "socket-sync": []}
+
+    def poller(name, scheme):
+        def body(k):
+            while True:
+                info = yield from scheme.query(k, 0)
+                timeline[name].append((k.now, tuple(info.irq_pending or (0, 0))))
+                yield k.sleep(5 * MILLISECOND)
+
+        return body
+
+    sim.frontend.spawn("rdma-observer", poller("e-rdma-sync", rdma))
+    sim.frontend.spawn("sock-observer", poller("socket-sync", sock))
+
+    print("Sampling irq_stat for 3 simulated seconds ...\n")
+    sim.run(3 * SECOND)
+
+    print(f"{'time(ms)':>9s} {'e-rdma-sync cpu0/cpu1':>22s} {'socket-sync cpu0/cpu1':>22s}")
+    sock_iter = iter(timeline["socket-sync"])
+    sock_cur = next(sock_iter, None)
+    last_sock = (0, (0, 0))
+    shown = 0
+    for t, pending in timeline["e-rdma-sync"]:
+        if sum(pending) == 0:
+            continue  # show only the interesting instants
+        while sock_cur is not None and sock_cur[0] < t:
+            last_sock = sock_cur
+            sock_cur = next(sock_iter, None)
+        sock_pending = last_sock[1]
+        print(f"{t / 1e6:9.1f} {pending[0]:10d}/{pending[1]:<10d} "
+              f"{sock_pending[0]:10d}/{sock_pending[1]:<10d}")
+        shown += 1
+        if shown >= 15:
+            break
+
+    for name, series in timeline.items():
+        n = len(series)
+        mean0 = sum(p[0] for _, p in series) / n
+        mean1 = sum(p[1] for _, p in series) / n
+        nonzero = sum(1 for _, p in series if sum(p) > 0)
+        print(f"\n{name}: {n} samples, mean pending cpu0={mean0:.2f} "
+              f"cpu1={mean1:.2f}, non-zero samples={nonzero}")
+    print("\nCPU1 carries the backlog (NIC IRQ affinity), and only the "
+          "DMA-based sampler sees it — the paper's Fig 6.")
+
+
+if __name__ == "__main__":
+    main()

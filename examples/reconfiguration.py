@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Dynamic server reconfiguration driven by fine-grained monitoring (§7).
+
+Two services share a four-node cluster: a "web" pool and a "batch"
+pool, two servers each. Mid-run, the web service gets hit by a load
+surge. The reconfiguration manager — fed by RDMA-Sync monitoring —
+notices the pool imbalance and migrates a batch server into the web
+pool. The script prints the pool history and shows how the reaction lag
+depends on the monitoring interval.
+
+Run:  python examples/reconfiguration.py [interval_ms]
+"""
+
+import sys
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.monitoring import create_scheme
+from repro.server.reconfig import ReconfigurationManager
+from repro.sim.units import MILLISECOND, SECOND, fmt_time, us
+
+
+def run_once(interval_ms: int, verbose: bool = True) -> float:
+    sim = build_cluster(SimConfig(num_backends=4))
+    scheme = create_scheme("rdma-sync", sim, interval=interval_ms * MILLISECOND)
+    manager = ReconfigurationManager(
+        scheme, pools={"web": [0, 1], "batch": [2, 3]},
+        high_water=0.6, low_water=0.4,
+    )
+    sim.run(600 * MILLISECOND)
+    surge_at = sim.env.now
+
+    def hog(k):
+        while True:
+            yield k.compute(us(1000))
+
+    for node in (sim.backends[0], sim.backends[1]):
+        for i in range(6):
+            node.spawn(f"surge:{node.name}:{i}", hog)
+    sim.run(surge_at + 5 * SECOND)
+
+    if verbose:
+        print(f"  surge at {fmt_time(surge_at)}")
+        for event in manager.events:
+            print(f"  {fmt_time(event.time)}: backend{event.backend} "
+                  f"{event.from_pool} -> {event.to_pool} "
+                  f"(hot-pool load {event.trigger_load:.2f})")
+        print(f"  final pools: {manager.pools}")
+    if not manager.events:
+        return float("nan")
+    return (manager.events[0].time - surge_at) / 1e6
+
+
+def main() -> None:
+    interval_ms = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    print(f"Reconfiguration with rdma-sync monitoring every {interval_ms} ms:")
+    lag = run_once(interval_ms)
+    print(f"  reaction lag: {lag:.1f} ms\n")
+
+    print("Reaction lag vs monitoring interval:")
+    for g in (10, 50, 250, 1000):
+        lag = run_once(g, verbose=False)
+        bar = "#" * max(1, int(lag / 25))
+        print(f"  {g:5d} ms poll -> {lag:7.1f} ms lag  {bar}")
+    print("\nFiner monitoring, faster reconfiguration — the paper's §7 point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` cannot build a PEP-517 editable wheel. This shim lets
+``python setup.py develop`` (and old-style ``pip install -e . --no-build-isolation``)
+work; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""repro — reproduction of the CLUSTER 2006 RDMA resource-monitoring paper.
+
+The package simulates a cluster-based server environment in enough detail
+(CPU scheduler, interrupts, sockets stack, InfiniBand-style verbs) for the
+paper's five monitoring schemes — Socket-Async, Socket-Sync, RDMA-Async,
+RDMA-Sync and e-RDMA-Sync — to be compared mechanistically.
+
+See ``examples/quickstart.py`` for a complete runnable tour, and
+``DESIGN.md`` for the system inventory and experiment index.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

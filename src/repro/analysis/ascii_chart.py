@@ -1,0 +1,102 @@
+"""Terminal line charts for experiment series.
+
+The repository is terminal-first (no plotting dependencies), so the
+benchmark outputs render figures as ASCII charts alongside the numeric
+tables — close enough to the paper's figures to eyeball the shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+#: glyphs assigned to series in order
+MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    ``xs`` are treated as ordinal positions (evenly spaced), which suits
+    the paper's swept parameters (thread counts, granularities, α).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two x points")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length {len(ys)} != {n} x points")
+    if width < n or height < 3:
+        raise ValueError("chart too small")
+
+    import math
+
+    def transform(v: float) -> float:
+        if log_y:
+            return math.log10(max(v, 1e-12))
+        return v
+
+    all_vals = [transform(v) for ys in series.values() for v in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xpos = [round(i * (width - 1) / (n - 1)) for i in range(n)]
+
+    for si, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[si % len(MARKERS)]
+        pts = []
+        for i, v in enumerate(ys):
+            row = height - 1 - round((transform(v) - lo) / (hi - lo) * (height - 1))
+            pts.append((xpos[i], row))
+        # connect consecutive points with interpolated marks
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(abs(x1 - x0), abs(y1 - y0), 1)
+            for s in range(steps + 1):
+                x = round(x0 + (x1 - x0) * s / steps)
+                y = round(y0 + (y1 - y0) * s / steps)
+                if grid[y][x] == " ":
+                    grid[y][x] = "."
+        for x, y in pts:
+            grid[y][x] = marker
+
+    def fmt_val(v: float) -> str:
+        if log_y:
+            v = 10 ** v
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        return f"{v:.4g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = fmt_val(hi).rjust(10)
+    bottom_label = fmt_val(lo).rjust(10)
+    for r, row in enumerate(grid):
+        label = top_label if r == 0 else (bottom_label if r == height - 1 else " " * 10)
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * 10 + "/" + "-" * width
+    lines.append(axis)
+    x_line = [" "] * (width + 11)
+    for i, x in enumerate(xs):
+        pos = 11 + xpos[i]
+        text = str(x)
+        start = min(max(0, pos - len(text) // 2), width + 11 - len(text))
+        for j, ch in enumerate(text):
+            x_line[start + j] = ch
+    lines.append("".join(x_line).rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label + '  ' if y_label else ''}legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Generic time-series collection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """A named bag of (time, value) series with window reductions."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, List[Tuple[int, float]]] = {}
+
+    def add(self, name: str, time: int, value: float) -> None:
+        self._data.setdefault(name, []).append((time, value))
+
+    def get(self, name: str) -> List[Tuple[int, float]]:
+        return list(self._data.get(name, []))
+
+    def names(self) -> List[str]:
+        return sorted(self._data)
+
+    def values(self, name: str) -> np.ndarray:
+        return np.array([v for _, v in self._data.get(name, [])], dtype=np.float64)
+
+    def times(self, name: str) -> np.ndarray:
+        return np.array([t for t, _ in self._data.get(name, [])], dtype=np.int64)
+
+    def window_mean(self, name: str, start: int, end: int) -> float:
+        """Mean of samples with start <= t < end (0.0 when empty)."""
+        vals = [v for t, v in self._data.get(name, []) if start <= t < end]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def resample(self, name: str, step: int, start: int = 0, end: int | None = None):
+        """Step-hold resampling onto a uniform grid; returns (times, values)."""
+        series = self._data.get(name, [])
+        if not series:
+            return np.array([], dtype=np.int64), np.array([])
+        times = np.array([t for t, _ in series], dtype=np.int64)
+        vals = np.array([v for _, v in series], dtype=np.float64)
+        if end is None:
+            end = int(times[-1])
+        grid = np.arange(start, end + 1, step, dtype=np.int64)
+        idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, len(vals) - 1)
+        return grid, vals[idx]
+
+    def __len__(self) -> int:
+        return len(self._data)

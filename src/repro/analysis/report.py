@@ -1,0 +1,46 @@
+"""ASCII rendering of tables and series, in the paper's shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in cols]
+
+    def fmt_row(cells) -> str:
+        return " | ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render one or more series against a shared x axis."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for name in series:
+            value = series[name][i]
+            row.append(fmt.format(value) if isinstance(value, float) else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

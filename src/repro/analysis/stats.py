@@ -1,0 +1,60 @@
+"""Small statistics helpers used by experiments and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return float(np.mean(values)) if len(values) else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100); 0.0 for an empty sequence."""
+    if not len(values):
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    return float(np.percentile(values, q))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """mean / p50 / p95 / p99 / max / min / count."""
+    if not len(values):
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0, "min": 0.0}
+    arr = np.asarray(values, dtype=np.float64)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+        "min": float(arr.min()),
+    }
+
+
+def deviation_series(
+    reported: Sequence[Tuple[int, float]],
+    truth: Sequence[Tuple[int, float]],
+) -> List[Tuple[int, float]]:
+    """Absolute deviation of each report against the truth at that time.
+
+    ``truth`` must be time-sorted; each report at time t is compared
+    against the latest truth sample at or before t (step interpolation).
+    """
+    if not truth:
+        return []
+    t_times = np.array([t for t, _ in truth], dtype=np.int64)
+    t_vals = np.array([v for _, v in truth], dtype=np.float64)
+    out: List[Tuple[int, float]] = []
+    for rt, rv in reported:
+        idx = int(np.searchsorted(t_times, rt, side="right")) - 1
+        if idx < 0:
+            idx = 0
+        out.append((rt, abs(rv - float(t_vals[idx]))))
+    return out

@@ -1,0 +1,224 @@
+"""Central calibration constants for the simulated cluster.
+
+Every timing constant in the simulator lives here, in one dataclass, so
+that calibration is auditable and experiments can perturb a single knob.
+Values are chosen to be representative of the paper's 2006 testbed
+(dual 2.4 GHz Xeon nodes, Mellanox InfiniHost 4x HCAs, RedHat 9 /
+Linux 2.4, IPoIB for the socket path) — see DESIGN.md §2/§6. Absolute
+numbers are *plausible magnitudes*, not measurements; the experiments
+compare schemes against each other, which is what the paper reports.
+
+All times are integer nanoseconds (see :mod:`repro.sim.units`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.sim.units import MICROSECOND as US
+from repro.sim.units import MILLISECOND as MS
+from repro.sim.units import SECOND as S
+
+
+@dataclass
+class CpuConfig:
+    """Per-node CPU and scheduler parameters (Linux-2.4 flavoured)."""
+
+    #: number of CPUs per node (the paper's nodes are dual Xeon)
+    num_cpus: int = 2
+    #: timer tick period — 100 Hz, as in Linux 2.4
+    tick: int = 10 * MS
+    #: base timeslice granted at each epoch recalculation, in ticks
+    timeslice_ticks: int = 6
+    #: maximum counter a sleeping task can accumulate, in ticks
+    counter_cap_ticks: int = 12
+    #: direct cost of a context switch (register/TLB/cache effects folded in)
+    context_switch: int = 3 * US
+    #: cost of the timer interrupt handler itself
+    timer_irq_cost: int = 1 * US
+    #: scheduler epoch recalculation: fixed + per-task cost (O(n) scan)
+    recalc_base: int = 2 * US
+    recalc_per_task: int = 150  # 150 ns per task
+    #: margin by which a woken task's goodness must beat the running
+    #: task's before wakeup preemption fires (2.4's preemption_goodness)
+    wake_preempt_margin: int = 1
+    #: ordinary wakeups only preemption-check the task's last CPU
+    #: (2.4 ``p->processor`` stickiness); False = scan all CPUs (ablation)
+    sticky_wakeups: bool = True
+    #: network-delivery wakeups use the aggressive (no-margin, all-CPU)
+    #: preemption path; False disables the boost (ablation)
+    net_wake_boost: bool = True
+    #: system-mode bursts are non-preemptible (2.4 kernel semantics);
+    #: False allows preemption anywhere (ablation)
+    kernel_nonpreemptible: bool = True
+
+
+@dataclass
+class IrqConfig:
+    """Interrupt and softirq costs."""
+
+    #: interrupt entry/exit overhead (mode switch, ack)
+    irq_entry: int = 1500  # 1.5 us
+    #: NIC receive interrupt handler body (ring buffer reap, schedule softirq)
+    nic_irq_cost: int = 4 * US
+    #: per-packet network-RX softirq processing (IP + TCP receive path)
+    softirq_per_packet: int = 8 * US
+    #: maximum packets drained per softirq invocation before deferring to
+    #: ksoftirqd (netdev_max_backlog-style budget)
+    softirq_budget: int = 16
+    #: which CPU NIC interrupts are routed to (the paper's Fig 6 shows the
+    #: second CPU taking the interrupt load); -1 = round-robin
+    nic_irq_affinity: int = 1
+    #: CQ completion interrupt handler cost (verbs plane, initiator side)
+    cq_irq_cost: int = 2 * US
+
+
+@dataclass
+class SyscallConfig:
+    """Kernel entry and /proc costs."""
+
+    #: bare syscall trap cost
+    trap: int = 1 * US
+    #: fixed cost of assembling /proc system statistics
+    proc_read_base: int = 10 * US
+    #: per-task cost of scanning the task list for /proc statistics —
+    #: a monitoring daemon walks /proc/<pid>/stat for every process
+    #: (an open + read + parse each, ~tens of µs apiece on 2003-era
+    #: hardware), which dominates on busy nodes and drives both the
+    #: paper's Fig 3 linear latency growth and the back-end perturbation
+    #: of Figs 4/8
+    proc_read_per_task: int = 30 * US
+    #: copy cost per KB between kernel and user space
+    copy_per_kb: int = 300
+
+
+@dataclass
+class NetConfig:
+    """Fabric, IPoIB (sockets) and verbs (RDMA) parameters."""
+
+    #: one-way wire propagation per hop (NIC->switch or switch->NIC)
+    hop_latency: int = 200
+    #: switch forwarding latency (cut-through, non-blocking crossbar)
+    switch_latency: int = 300
+    #: link data bandwidth in bytes/ns — 4x IB ≈ 1 GB/s effective
+    link_bytes_per_ns: float = 1.0
+    #: IPoIB effective bandwidth fraction (protocol overhead)
+    ipoib_bw_factor: float = 0.35
+
+    # -- sockets (IPoIB) path -------------------------------------------
+    #: CPU cost of the TCP/IP transmit path per message (send syscall
+    #: excluded; copies excluded — added per KB)
+    tcp_tx_cost: int = 12 * US
+    #: CPU cost in softirq context per received message is in IrqConfig
+    #: (softirq_per_packet); this is the extra socket-layer delivery cost
+    socket_deliver_cost: int = 3 * US
+    #: TCP/IP header + IPoIB encapsulation overhead per message, bytes
+    tcp_overhead_bytes: int = 94
+
+    # -- verbs (native RDMA) path -----------------------------------------
+    #: CPU cost of ringing the doorbell and building a WQE (initiator)
+    doorbell_cost: int = 700
+    #: NIC processing per work request (initiator side: WQE fetch, DMA)
+    nic_wqe_service: int = 2500
+    #: NIC processing at the *target* of an RDMA read/write: address
+    #: translation + DMA — performed entirely by the HCA, no host CPU
+    nic_dma_service: int = 3 * US
+    #: DMA cost per KB moved on the target side
+    nic_dma_per_kb: int = 250
+    #: completion-queue entry generation cost (initiator NIC)
+    cqe_cost: int = 500
+    #: RDMA message header overhead, bytes
+    rdma_overhead_bytes: int = 30
+    #: verbs send/recv (channel semantics) receive-side CPU cost — used by
+    #: the hardware-multicast ablation; still needs a posted recv + event
+    channel_recv_cost: int = 5 * US
+
+
+@dataclass
+class ServerConfig:
+    """Web-server / RUBiS / workload-side parameters."""
+
+    #: worker processes per web server node (Apache prefork style)
+    workers_per_server: int = 8
+    #: accept-queue depth
+    accept_backlog: int = 128
+    #: per-node document cache entries for the Zipf workload (LRU)
+    doc_cache_entries: int = 400
+    #: number of distinct documents in the Zipf trace
+    zipf_documents: int = 4000
+    #: disk service time for one document-cache miss (misses queue on
+    #: the server's single spindle)
+    disk_fetch: int = 3 * MS
+    #: cached static document service CPU cost
+    static_serve: int = 400 * US
+
+
+@dataclass
+class MonitorConfig:
+    """Monitoring-scheme parameters."""
+
+    #: default polling interval T (the paper uses 50 ms unless stated)
+    interval: int = 50 * MS
+    #: wire size of a load-information record, bytes
+    loadinfo_bytes: int = 64
+    #: wire size of a load request message, bytes
+    request_bytes: int = 16
+    #: extended (e-RDMA-Sync) record with irq_stat, bytes
+    extended_bytes: int = 128
+    #: CPU cost for the back-end to compose a LoadInfo from /proc output
+    compose_cost: int = 2 * US
+
+
+@dataclass
+class SimConfig:
+    """Top-level simulation configuration."""
+
+    num_backends: int = 8
+    #: CPUs on the client-farm node (sized so clients never bottleneck;
+    #: the paper uses 8 dedicated dual-CPU client nodes)
+    client_cpus: int = 8
+    master_seed: int = 0xC1057E12
+    trace: bool = False
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    irq: IrqConfig = field(default_factory=IrqConfig)
+    syscall: SyscallConfig = field(default_factory=SyscallConfig)
+    net: NetConfig = field(default_factory=NetConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+
+    def replace(self, **kwargs) -> "SimConfig":
+        """Shallow functional update of top-level fields."""
+        return dataclasses.replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Sanity-check cross-field constraints; raise ValueError on nonsense."""
+        if self.num_backends < 1:
+            raise ValueError("need at least one back-end node")
+        if self.cpu.num_cpus < 1:
+            raise ValueError("nodes need at least one CPU")
+        if self.cpu.tick <= 0:
+            raise ValueError("tick must be positive")
+        if self.cpu.timeslice_ticks < 1:
+            raise ValueError("timeslice must be at least one tick")
+        if not 0 < self.net.ipoib_bw_factor <= 1:
+            raise ValueError("ipoib_bw_factor must be in (0, 1]")
+        if self.irq.softirq_budget < 1:
+            raise ValueError("softirq budget must be >= 1")
+        if self.monitor.interval <= 0:
+            raise ValueError("monitoring interval must be positive")
+
+
+#: default polling interval alias used across experiments
+DEFAULT_POLL_INTERVAL = 50 * MS
+
+__all__ = [
+    "CpuConfig",
+    "DEFAULT_POLL_INTERVAL",
+    "IrqConfig",
+    "MonitorConfig",
+    "NetConfig",
+    "ServerConfig",
+    "SimConfig",
+    "SyscallConfig",
+]

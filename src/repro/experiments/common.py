@@ -1,0 +1,106 @@
+"""Shared experiment plumbing.
+
+``deploy_rubis_cluster`` assembles the full application stack the
+application-level experiments (Table 1, Figs 7–9) share: a booted
+cluster, back-end web servers, a monitoring scheme with its front-end
+poller, the WebSphere-style balancer (extended scoring iff the scheme is
+e-RDMA-Sync), optional admission control, and the dispatcher. Workloads
+are attached by the individual experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import SimConfig
+from repro.hw.cluster import ClusterSim, build_cluster
+from repro.monitoring import FrontendMonitor, MonitoringScheme, create_scheme
+from repro.server.admission import AdmissionController
+from repro.server.dispatcher import Dispatcher
+from repro.server.loadbalancer import LeastLoadedBalancer
+from repro.server.webserver import BackendServer
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment run."""
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+    #: x-axis values (granularities, thread counts, alphas, ...)
+    xs: List[object] = field(default_factory=list)
+    #: series name -> y values aligned with ``xs``
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    #: free-form per-run tables (Table 1 rows etc.)
+    tables: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def series_of(self, name: str) -> List[float]:
+        return self.series[name]
+
+
+@dataclass
+class RubisCluster:
+    """Handles for a deployed application cluster."""
+
+    sim: ClusterSim
+    servers: List[BackendServer]
+    scheme: MonitoringScheme
+    monitor: FrontendMonitor
+    balancer: LeastLoadedBalancer
+    dispatcher: Dispatcher
+    admission: Optional[AdmissionController] = None
+
+    def run(self, until: int) -> None:
+        self.sim.run(until)
+
+
+def deploy_rubis_cluster(
+    cfg: Optional[SimConfig] = None,
+    scheme_name: str = "rdma-sync",
+    poll_interval: Optional[int] = None,
+    with_admission: bool = False,
+    admission_max_score: float = 0.85,
+    workers: Optional[int] = None,
+) -> RubisCluster:
+    """Build the standard application stack on a fresh cluster."""
+    cfg = cfg if cfg is not None else SimConfig()
+    sim = build_cluster(cfg)
+
+    servers = [
+        BackendServer(be, sim.rng.stream(f"db:{be.name}"), workers=workers)
+        for be in sim.backends
+    ]
+    for server in servers:
+        server.start()
+
+    scheme = create_scheme(scheme_name, sim, interval=poll_interval)
+    monitor = FrontendMonitor(scheme)
+    monitor.start()
+
+    balancer = LeastLoadedBalancer(
+        num_backends=len(servers),
+        use_irq_pressure=(scheme_name == "e-rdma-sync"),
+        rng=sim.rng.stream("loadbalancer"),
+    )
+    admission = None
+    if with_admission:
+        admission = AdmissionController(
+            num_backends=len(servers),
+            max_score=admission_max_score,
+            balancer=balancer,
+        )
+    dispatcher = Dispatcher(
+        sim.frontend, servers, balancer, monitor=monitor, admission=admission
+    )
+    dispatcher.start()
+    return RubisCluster(
+        sim=sim,
+        servers=servers,
+        scheme=scheme,
+        monitor=monitor,
+        balancer=balancer,
+        dispatcher=dispatcher,
+        admission=admission,
+    )

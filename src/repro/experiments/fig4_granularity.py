@@ -1,0 +1,88 @@
+"""Figure 4 — application perturbation vs monitoring granularity.
+
+Paper: the float-op application "degrades significantly when
+Socket-Async, Socket-Sync and RDMA-Async schemes are running in the
+background at smaller granularity such as 1 ms and 4 ms … there is no
+performance degradation with RDMA-Sync."
+
+The x axis is the monitoring granularity (both the front-end polling
+interval and the back-end calc-thread interval); the y axis is the
+application's wall time normalised to its CPU demand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import SimConfig
+from repro.experiments.common import ExperimentResult
+from repro.hw.cluster import build_cluster
+from repro.monitoring.registry import CORE_SCHEME_NAMES, create_scheme
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.floatapp import FloatApp
+
+#: granularities swept (ms → ns), paper: 1 ms .. 1024 ms
+DEFAULT_GRANULARITIES_MS: Sequence[int] = (1, 4, 16, 64, 256, 1024)
+
+
+def measure_delay(
+    scheme_name: Optional[str],
+    granularity: int,
+    app_compute: int = 400 * MILLISECOND,
+    cfg: Optional[SimConfig] = None,
+) -> float:
+    """Normalised delay of the float app with one scheme active.
+
+    ``scheme_name=None`` measures the unperturbed baseline.
+    """
+    cfg = cfg if cfg is not None else SimConfig(num_backends=1)
+    sim = build_cluster(cfg)
+    target = sim.backends[0]
+
+    if scheme_name is not None:
+        scheme = create_scheme(scheme_name, sim, interval=granularity)
+
+        def poller(k):
+            while True:
+                yield from scheme.query(k, 0)
+                yield k.sleep(granularity)
+
+        sim.frontend.spawn("fig4-poller", poller)
+
+    app = FloatApp(target, total_compute=app_compute)
+    app.start()
+    # Generous horizon: the app needs app_compute plus perturbation.
+    horizon = app_compute * 6 + SECOND
+    step = 100 * MILLISECOND
+    t = sim.env.now
+    while not app.finished and t < horizon:
+        t += step
+        sim.run(t)
+    if not app.finished:
+        raise RuntimeError(f"float app did not finish under {scheme_name}")
+    return app.normalized_delay()
+
+
+def run(
+    granularities_ms: Sequence[int] = DEFAULT_GRANULARITIES_MS,
+    schemes: Sequence[str] = tuple(CORE_SCHEME_NAMES),
+    app_compute: int = 400 * MILLISECOND,
+) -> ExperimentResult:
+    """Full Figure 4 sweep."""
+    result = ExperimentResult(
+        name="fig4-granularity",
+        params={"granularities_ms": list(granularities_ms)},
+        xs=list(granularities_ms),
+    )
+    for scheme_name in schemes:
+        series: List[float] = []
+        for g_ms in granularities_ms:
+            series.append(measure_delay(scheme_name, g_ms * MILLISECOND,
+                                        app_compute=app_compute))
+        result.series[scheme_name] = series
+    result.notes = (
+        "Normalised application delay (1.0 = unperturbed). Expected: "
+        "socket-async worst at 1–4 ms, then socket-sync, then rdma-async; "
+        "rdma-sync flat at ~1.0 (paper Fig 4)."
+    )
+    return result

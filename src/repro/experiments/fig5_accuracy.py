@@ -1,0 +1,118 @@
+"""Figure 5 — accuracy of the reported load information.
+
+Paper: all four schemes run *simultaneously* against one back-end while
+its load ramps; each report is compared against the ground truth (their
+kernel module; here the simulator's exact state) **at the moment the
+front end receives it**. Socket-* and RDMA-Async deviate increasingly
+with load (staleness + delays); RDMA-Sync "consistently reports no
+deviation" for thread counts (5a) and very few for the faster-moving CPU
+load signal (5b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import mean
+from repro.analysis.truth import GroundTruthSampler
+from repro.config import SimConfig
+from repro.experiments.common import ExperimentResult
+from repro.hw.cluster import build_cluster
+from repro.monitoring.registry import CORE_SCHEME_NAMES, create_scheme
+from repro.sim.units import MILLISECOND, SECOND
+
+
+def run(
+    load_levels: Sequence[int] = (0, 8, 16, 32, 48),
+    schemes: Sequence[str] = tuple(CORE_SCHEME_NAMES),
+    poll_interval: int = 50 * MILLISECOND,
+    window: int = 2 * SECOND,
+) -> ExperimentResult:
+    """Deviation of reported thread count (5a) and CPU load (5b) vs load.
+
+    The back-end's load ramps through ``load_levels`` (threads of on/off
+    work) in consecutive windows; all schemes poll concurrently. For
+    every report we record |reported − truth(at receive time)|.
+    """
+    cfg = SimConfig(num_backends=1)
+    sim = build_cluster(cfg)
+    target = sim.backends[0]
+    env = sim.env
+
+    deployed = {name: create_scheme(name, sim, interval=poll_interval) for name in schemes}
+
+    # Deviations bucketed by (scheme, window index).
+    dev_threads: Dict[str, List[List[float]]] = {n: [[] for _ in load_levels] for n in schemes}
+    dev_load: Dict[str, List[List[float]]] = {n: [[] for _ in load_levels] for n in schemes}
+    window_of_time = lambda t: min(len(load_levels) - 1, int(t // window))
+
+    def make_poller(name: str):
+        scheme = deployed[name]
+
+        def poller(k):
+            while True:
+                info = yield from scheme.query(k, 0)
+                # Exact truth at the receive instant (the paper compares
+                # against its kernel module's fine-granularity samples).
+                truth_threads = float(target.sched.nr_threads())
+                truth_running = float(target.sched.nr_running())
+                w = window_of_time(k.now)
+                dev_threads[name][w].append(abs(info.nr_threads - truth_threads))
+                dev_load[name][w].append(abs(info.nr_running - truth_running))
+                yield k.sleep(poll_interval)
+
+        return poller
+
+    for name in schemes:
+        sim.frontend.spawn(f"fig5:{name}", make_poller(name))
+
+    # The paper fires client requests at the back-end: serving them
+    # forks transient worker processes (Apache-style), so both the
+    # thread count and the run-queue length genuinely fluctuate.
+    def forker_body(k):
+        rng = sim.rng.stream("fig5-forker")
+        seq = [0]
+        live = [0]
+
+        def transient_body(kk):
+            live[0] += 1
+            try:
+                yield kk.compute(int(rng.integers(300_000, 2_500_000)))
+                yield kk.sleep(int(rng.integers(1_000_000, 20_000_000)))
+                yield kk.compute(int(rng.integers(200_000, 1_200_000)))
+            finally:
+                live[0] -= 1
+
+        while True:
+            level = load_levels[window_of_time(k.now)]
+            if level > 0:
+                # Arrival rate ∝ level, kept below the node's capacity so
+                # the thread count fluctuates instead of diverging.
+                if live[0] < 4 * level:
+                    seq[0] += 1
+                    target.spawn(f"fig5-req:{seq[0]}", transient_body)
+                gap = max(300_000, int(rng.exponential(120 * MILLISECOND / level)))
+            else:
+                gap = 5 * MILLISECOND
+            yield k.sleep(gap)
+
+    target.spawn("fig5-forker", forker_body)
+
+    sim.run(window * len(load_levels))
+
+    result = ExperimentResult(
+        name="fig5-accuracy",
+        params={"load_levels": list(load_levels), "poll_interval": poll_interval},
+        xs=list(load_levels),
+    )
+    for name in schemes:
+        result.series[f"{name}:threads"] = [mean(b) for b in dev_threads[name]]
+        result.series[f"{name}:load"] = [mean(b) for b in dev_load[name]]
+    result.notes = (
+        "Mean |reported − truth at receive time|; ':threads' is Fig 5a "
+        "(thread count), ':load' is Fig 5b (run-queue length, the "
+        "fast-moving CPU-load signal). Expected: rdma-sync ≈ 0 "
+        "everywhere; rdma-async deviates on both (interval-old buffer); "
+        "socket-* deviate increasingly with load."
+    )
+    return result

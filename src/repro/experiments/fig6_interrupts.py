@@ -1,0 +1,88 @@
+"""Figure 6 — detailed system information: pending interrupts per CPU.
+
+Paper: the four schemes report the ``irq_stat`` structure under bursty
+network traffic. The three schemes that sample from user space (via the
+kernel module) "report less and infrequent interrupts" — by the time the
+user process runs, the queues have drained. RDMA-Sync's NIC-DMA sampling
+catches the real backlog, "more interrupts … and the number of
+interrupts reported on the second CPU … is consistently higher" (NIC IRQ
+affinity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimConfig
+from repro.experiments.common import ExperimentResult
+from repro.hw.cluster import build_cluster
+from repro.monitoring.registry import CORE_SCHEME_NAMES, create_scheme
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.background import spawn_background_load
+
+
+def run(
+    schemes: Sequence[str] = tuple(CORE_SCHEME_NAMES),
+    poll_interval: int = 5 * MILLISECOND,
+    duration: int = 5 * SECOND,
+    comm_threads: int = 24,
+) -> ExperimentResult:
+    """Sample pending-interrupt counts with every scheme concurrently."""
+    cfg = SimConfig(num_backends=2)
+    sim = build_cluster(cfg)
+    target = sim.backends[0]
+    # Communication-heavy background with compute hogs mixed in: bursts
+    # of NIC interrupts pile softirq work past the inline budget, and
+    # the starved (nice +19) ksoftirqd leaves a persistent bottom-half
+    # backlog that only an asynchronous DMA sampler reliably observes.
+    spawn_background_load(sim, target, comm_threads, comm_fraction=0.6,
+                          message_interval=3 * MILLISECOND, burst=16)
+
+    deployed = {
+        name: create_scheme(name, sim, interval=poll_interval, with_irq_detail=True)
+        for name in schemes
+    }
+    samples: Dict[str, List[List[float]]] = {name: [] for name in schemes}
+
+    def make_poller(name: str):
+        scheme = deployed[name]
+
+        def poller(k):
+            while True:
+                info = yield from scheme.query(k, 0)
+                if info.irq_pending is not None:
+                    samples[name].append(list(info.irq_pending))
+                yield k.sleep(poll_interval)
+
+        return poller
+
+    for name in schemes:
+        sim.frontend.spawn(f"fig6:{name}", make_poller(name))
+
+    sim.run(duration)
+
+    result = ExperimentResult(
+        name="fig6-interrupts",
+        params={"poll_interval": poll_interval, "comm_threads": comm_threads},
+        xs=list(schemes),
+    )
+    num_cpus = cfg.cpu.num_cpus
+    for cpu in range(num_cpus):
+        result.series[f"mean_pending_cpu{cpu}"] = [
+            (sum(s[cpu] for s in samples[name]) / len(samples[name])) if samples[name] else 0.0
+            for name in schemes
+        ]
+        result.series[f"nonzero_samples_cpu{cpu}"] = [
+            float(sum(1 for s in samples[name] if s[cpu] > 0)) for name in schemes
+        ]
+    # "less and infrequent": achieved sampling rate also differs.
+    result.series["samples_per_second"] = [
+        len(samples[name]) / (duration / 1e9) for name in schemes
+    ]
+    result.tables["raw_samples"] = samples
+    result.notes = (
+        "Pending interrupts sampled per scheme. Expected: rdma-sync "
+        "reports far more pending interrupts, with CPU1 (NIC affinity) "
+        "consistently above CPU0; user-space-sampled schemes report ~0."
+    )
+    return result

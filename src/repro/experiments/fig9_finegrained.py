@@ -1,0 +1,105 @@
+"""Figure 9 — fine-grained vs coarse-grained monitoring.
+
+Paper: RUBiS + Zipf(0.5) run together while the load-balancer's polling
+granularity sweeps 64 → 4096 ms. At 1024 ms and above all schemes are
+comparable; as the granularity shrinks to 64 ms, RDMA-Sync's throughput
+climbs (~25 % over the rest) while Socket-* *degrade* — their polls
+perturb the loaded servers and arrive late anyway. This is the headline
+"up to 25 % more admitted requests" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.config import SimConfig
+from repro.experiments.common import ExperimentResult, deploy_rubis_cluster
+from repro.monitoring.registry import CORE_SCHEME_NAMES
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.rubis import RubisWorkload
+from repro.workloads.zipf import ZipfWorkload
+
+DEFAULT_GRANULARITIES_MS: Sequence[int] = (64, 256, 1024, 4096)
+
+DEFAULTS = dict(
+    num_backends=4,
+    workers=32,
+    rubis_clients=48,
+    zipf_clients=48,
+    think_time=3 * MILLISECOND,
+    demand_cv=0.4,
+    alpha=0.5,
+)
+
+
+def run_one(
+    scheme_name: str,
+    granularity: int,
+    duration: int = 10 * SECOND,
+    warmup: int = 5 * SECOND,
+    with_admission: bool = False,
+    **overrides,
+) -> float:
+    """Steady-state completed throughput for one (scheme, granularity).
+
+    The warm-up phase runs the workload long enough for even the
+    coarsest poller to have refreshed its cache *under load* — otherwise
+    a 4096 ms poller would coast on an idle-time snapshot (uniform
+    weights), which flatters coarse monitoring.
+    """
+    params = {**DEFAULTS, **overrides}
+    cfg = SimConfig(num_backends=params["num_backends"])
+    cfg.cpu.wake_preempt_margin = 8
+    cfg.cpu.timeslice_ticks = 8
+    app = deploy_rubis_cluster(
+        cfg, scheme_name=scheme_name, poll_interval=granularity,
+        workers=params["workers"], with_admission=with_admission,
+    )
+    rubis = RubisWorkload(
+        app.sim, app.dispatcher,
+        num_clients=params["rubis_clients"],
+        think_time=params["think_time"],
+        demand_cv=params["demand_cv"],
+        burst_length=10, idle_factor=8,
+    )
+    zipf = ZipfWorkload(
+        app.sim, app.dispatcher, alpha=params["alpha"],
+        num_clients=params["zipf_clients"],
+        think_time=params["think_time"] * 2,
+    )
+    rubis.start()
+    zipf.start()
+    warmup = max(warmup, granularity + SECOND)
+    app.run(warmup)
+    from repro.server.request import RequestStats
+
+    app.dispatcher.stats = RequestStats()
+    app.run(warmup + duration)
+    return app.dispatcher.stats.throughput(duration)
+
+
+def run(
+    granularities_ms: Sequence[int] = DEFAULT_GRANULARITIES_MS,
+    schemes: Sequence[str] = tuple(CORE_SCHEME_NAMES),
+    duration: int = 10 * SECOND,
+    **overrides,
+) -> ExperimentResult:
+    """Full Figure 9 sweep."""
+    result = ExperimentResult(
+        name="fig9-finegrained",
+        params={"granularities_ms": list(granularities_ms),
+                "duration_ns": duration, **DEFAULTS, **overrides},
+        xs=list(granularities_ms),
+    )
+    for scheme_name in schemes:
+        series = []
+        for g_ms in granularities_ms:
+            series.append(run_one(scheme_name, g_ms * MILLISECOND,
+                                  duration=duration, **overrides))
+        result.series[f"{scheme_name}:rps"] = series
+    result.notes = (
+        "Throughput (rps) vs monitoring granularity. Expected: all "
+        "schemes comparable at 1024+ ms; rdma-sync pulls ahead (~25 %) "
+        "and socket-* degrade at 64 ms (paper Fig 9)."
+    )
+    return result

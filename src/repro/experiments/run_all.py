@@ -1,0 +1,115 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.experiments.run_all            # quick versions
+    python -m repro.experiments.run_all --full     # benchmark-scale
+    python -m repro.experiments.run_all fig3 fig6  # a subset
+
+Prints each result in the paper's shape and writes it under results/.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis.report import format_series, format_table
+from repro.experiments import (
+    fig3_latency,
+    fig4_granularity,
+    fig5_accuracy,
+    fig6_interrupts,
+    fig7_zipf,
+    fig8_ganglia,
+    fig9_finegrained,
+    scalability,
+    table1_rubis,
+)
+from repro.monitoring.registry import SCHEME_NAMES
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.rubis import RUBIS_QUERIES
+
+
+def _render_table1(result) -> str:
+    headers = ["Query"] + [f"{s} avg" for s in SCHEME_NAMES] + [f"{s} max" for s in SCHEME_NAMES]
+    rows = []
+    for q in RUBIS_QUERIES:
+        row = [q.name]
+        row += [f"{result.tables[s][q.name]['avg_ms']:.1f}" for s in SCHEME_NAMES]
+        row += [f"{result.tables[s][q.name]['max_ms']:.0f}" for s in SCHEME_NAMES]
+        rows.append(row)
+    rows.append(["TOTAL(rps)"] + [
+        f"{result.tables[s]['__all__']['throughput_rps']:.0f}" for s in SCHEME_NAMES
+    ] + [""] * len(SCHEME_NAMES))
+    return format_table(headers, rows, title="Table 1 — RUBiS response times (ms)")
+
+
+def _render_series(result, x_label: str, title: str) -> str:
+    return format_series(x_label, result.xs, result.series, title=title)
+
+
+RUNNERS = {
+    "fig3": lambda full: _render_series(
+        fig3_latency.run(duration=(3 if full else 1) * SECOND),
+        "bg_threads", "Figure 3 — monitoring latency (µs)"),
+    "fig4": lambda full: _render_series(
+        fig4_granularity.run(app_compute=(400 if full else 150) * MILLISECOND),
+        "granularity_ms", "Figure 4 — normalised application delay"),
+    "fig5": lambda full: _render_series(
+        fig5_accuracy.run(window=(2 if full else 1) * SECOND),
+        "load_level", "Figure 5 — deviation of reported load"),
+    "fig6": lambda full: _render_series(
+        fig6_interrupts.run(duration=(5 if full else 3) * SECOND),
+        "scheme", "Figure 6 — pending interrupts per CPU"),
+    "table1": lambda full: _render_table1(
+        table1_rubis.run(duration=(10 if full else 5) * SECOND)),
+    "fig7": lambda full: _render_series(
+        fig7_zipf.run(duration=(8 if full else 5) * SECOND,
+                      alphas=(0.25, 0.5, 0.75, 0.9) if full else (0.25, 0.9)),
+        "alpha", "Figure 7 — RUBiS + Zipf throughput"),
+    "fig8": lambda full: _render_series(
+        fig8_ganglia.run(duration=(6 if full else 4) * SECOND,
+                         granularities_ms=(1, 4, 16, 64) if full else (1, 16)),
+        "granularity_ms", "Figure 8 — max RUBiS response with gmetric (ms)"),
+    "fig9": lambda full: _render_series(
+        fig9_finegrained.run(duration=(8 if full else 5) * SECOND,
+                             granularities_ms=(64, 256, 1024, 4096) if full else (64, 1024)),
+        "granularity_ms", "Figure 9 — throughput vs granularity (rps)"),
+    "scalability": lambda full: _render_series(
+        scalability.run(sizes=(2, 4, 8, 16) if full else (2, 8),
+                        duration=(3 if full else 2) * SECOND),
+        "backends", "Scalability — monitoring fabric vs cluster size"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"subset of {sorted(RUNNERS)} (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="benchmark-scale parameters (slower)")
+    parser.add_argument("--results-dir", default="results")
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or list(RUNNERS)
+    unknown = [name for name in chosen if name not in RUNNERS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; choose from {sorted(RUNNERS)}")
+
+    out_dir = pathlib.Path(args.results_dir)
+    out_dir.mkdir(exist_ok=True)
+    for name in chosen:
+        started = time.time()
+        text = RUNNERS[name](args.full)
+        elapsed = time.time() - started
+        print(f"\n=== {name} ({elapsed:.0f}s wall) " + "=" * 40)
+        print(text)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Ganglia distributed monitoring (the paper's §5.2.2).
+
+A faithful-in-shape model of the pieces the evaluation touches:
+
+* :class:`~repro.ganglia.gmond.Gmond` — per-node metric daemon:
+  collects local statistics periodically and multicasts them to the
+  cluster (listen/announce channel).
+* :class:`~repro.ganglia.gmetad.Gmetad` — front-end aggregator polling
+  the gmond federation.
+* :class:`~repro.ganglia.gmetric.Gmetric` — the user-metric injector the
+  paper uses to feed its fine-grained scheme measurements into Ganglia.
+"""
+
+from repro.ganglia.gmond import Gmond
+from repro.ganglia.gmetad import Gmetad
+from repro.ganglia.gmetric import Gmetric
+from repro.ganglia.metrics import MetricRecord, MetricStore
+
+__all__ = ["Gmetad", "Gmetric", "Gmond", "MetricRecord", "MetricStore"]

@@ -1,0 +1,75 @@
+"""gmetad — the Ganglia aggregator.
+
+Polls one gmond (any member knows the whole cluster via the multicast
+protocol) over a socket connection at a configurable interval and keeps
+the federated view. Runs on the front-end, as in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.ganglia.gmond import Gmond
+from repro.ganglia.metrics import MetricStore
+from repro.sim.units import SECOND
+from repro.transport.sockets import socket_pair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+
+
+class Gmetad:
+    """The federation poller."""
+
+    REQUEST_BYTES = 32
+    #: serialized cluster-state response size per host
+    RESPONSE_BYTES_PER_HOST = 192
+
+    def __init__(self, frontend: "Node", gmonds: List[Gmond], interval: int = 5 * SECOND) -> None:
+        if not gmonds:
+            raise ValueError("gmetad needs at least one gmond to poll")
+        if interval <= 0:
+            raise ValueError("gmetad interval must be positive")
+        self.frontend = frontend
+        self.gmonds = gmonds
+        self.interval = interval
+        self.store = MetricStore()
+        self.polls = 0
+        self._stopped = False
+        # One persistent connection to the first gmond's node (the
+        # "data source" in gmetad.conf).
+        source = gmonds[0]
+        self._fe_end, self._be_end = socket_pair(
+            frontend, source.node, label=f"gmetad:{source.node.name}"
+        )
+        source.node.spawn(f"gmond-xml:{source.node.name}", self._xml_server_body(source))
+        frontend.spawn("gmetad", self._poller_body)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _xml_server_body(self, gmond: Gmond):
+        """gmond's XML-dump TCP service (answers gmetad polls)."""
+
+        def body(k):
+            while not self._stopped:
+                yield from self._be_end.recv(k)
+                # Serialising the cluster state costs CPU per host known.
+                hosts = max(1, len(gmond.store.hosts()))
+                yield k.compute(3_000 * hosts, mode="user")
+                snapshot = list(gmond.store.latest.values())
+                yield from self._be_end.send(
+                    k, snapshot, self.RESPONSE_BYTES_PER_HOST * hosts
+                )
+
+        return body
+
+    def _poller_body(self, k):
+        while not self._stopped:
+            yield from self._fe_end.send(k, "dump", self.REQUEST_BYTES)
+            snapshot = yield from self._fe_end.recv(k)
+            for record in snapshot:
+                self.store.update(record)
+            self.polls += 1
+            yield k.sleep(self.interval)

@@ -1,0 +1,152 @@
+"""gmetric — Ganglia's arbitrary-metric injector (the paper's §5.2.2).
+
+"Ganglia uses a metric tool known as gmetric, which allows users to
+specify any arbitrary metric to be monitored … our resource monitoring
+schemes capture detailed system information and report to gmetric which
+in turn informs all ganglia servers."
+
+gmetric is a command-line tool: every publication is a **fork + exec**.
+Where it runs depends on where the scheme's data lives:
+
+* **two-sided schemes** (socket-async/sync, and any scheme with a
+  back-end agent): the information is captured *on the back-end*, so a
+  gmetric process is spawned there for every collection cycle — at 1 to
+  4 ms granularity that is hundreds of process creations per second on
+  the loaded servers, which is exactly what wrecks the RUBiS maximum
+  response time in the paper's Fig 8;
+* **one-sided schemes** (rdma-async, rdma-sync, e-rdma-sync): the front
+  end already holds the data after its RDMA read, so gmetric forks on
+  the (lightly-loaded) front end and the back-ends never notice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.ganglia.metrics import MetricRecord
+from repro.monitoring.base import MonitoringScheme
+from repro.monitoring.loadinfo import LoadCalculator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.multicast import MulticastGroup
+
+
+class Gmetric:
+    """Fine-grained custom-metric publisher."""
+
+    ANNOUNCE_BYTES = 128
+    #: CPU cost of fork + exec per publication (process creation, page
+    #: table setup, ELF load — kernel side)
+    FORK_EXEC_COST = 3_000_000  # 3 ms
+    #: user-time the gmetric process burns before exiting (libganglia
+    #: init, config parsing, metric marshalling — a real gmetric
+    #: invocation takes ~10 ms of CPU on 2003-era hardware)
+    PROCESS_BODY_COST = 2_000_000  # 2 ms
+
+    def __init__(
+        self,
+        scheme: MonitoringScheme,
+        channel: "MulticastGroup",
+        granularity: int,
+        metric_name: str = "fine_load",
+        mode: str = "frontend",
+    ) -> None:
+        """``mode``:
+
+        * ``"frontend"`` (default, the paper's setup): gmetric runs next
+          to gmetad on the front end and *collects through the scheme*
+          every period — for socket schemes each period costs every
+          back-end a packet, a boosted wakeup and a /proc scan; for RDMA
+          schemes the back-ends never notice.
+        * ``"backend-agent"``: a timer loop on every back-end forks a
+          gmetric process per period that does the collection locally
+          (the shell-loop deployment); used by the deployment ablation.
+        """
+        if granularity <= 0:
+            raise ValueError("gmetric granularity must be positive")
+        if mode not in ("frontend", "backend-agent"):
+            raise ValueError(f"unknown gmetric mode {mode!r}")
+        self.scheme = scheme
+        self.channel = channel
+        self.granularity = granularity
+        self.metric_name = metric_name
+        self.mode = mode
+        self.published = 0
+        #: gmetric processes forked on back-end nodes (perturbation!)
+        self.backend_forks = 0
+        self._stopped = False
+        channel.subscribe(scheme.frontend)
+        if mode == "frontend":
+            scheme.frontend.spawn("gmetric-fe", self._frontend_body)
+        else:
+            for backend in scheme.backends:
+                channel.subscribe(backend)
+                backend.spawn(f"gmetric-agent:{backend.name}",
+                              self._backend_agent_body(backend))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # one-sided: collect remotely, fork gmetric locally on the front end
+    # ------------------------------------------------------------------
+    def _frontend_body(self, k):
+        while not self._stopped:
+            infos = yield from self.scheme.query_all(k)
+            # fork/exec of the gmetric CLI on the front end
+            yield k.compute(self.FORK_EXEC_COST, mode="sys")
+            yield k.compute(self.PROCESS_BODY_COST, mode="user")
+            records: List[MetricRecord] = [
+                MetricRecord(info.backend, self.metric_name, info.runq_load, k.now,
+                             source="gmetric")
+                for info in infos.values()
+            ]
+            self.published += 1
+            yield from self.channel.publish(k, records, self.ANNOUNCE_BYTES)
+            yield k.sleep(self.granularity)
+
+    # ------------------------------------------------------------------
+    # two-sided: the back-end agent captures and forks gmetric *there*
+    # ------------------------------------------------------------------
+    #: process-table guard: at most this many gmetric children in flight
+    #: per back-end (ulimit-style); beyond it the agent drops samples
+    MAX_LIVE_PROCESSES = 192
+
+    def _backend_agent_body(self, backend):
+        """A timer loop forking one gmetric invocation per period.
+
+        The *collection itself* (the /proc scan, metric composition and
+        the multicast announce) happens inside the forked gmetric
+        process, as a shell timer loop would do. Fire-and-forget: at
+        fine granularity on a busy node children are spawned faster
+        than they finish, the process table fills, every /proc scan
+        gets O(live-processes) slower — a positive feedback loop that
+        blows up application response times (the paper's Fig 8 cliff at
+        1–4 ms). A ulimit-style cap bounds the explosion.
+        """
+        calculator = LoadCalculator(backend.name)
+        live = {"count": 0}
+
+        def gmetric_process_body(kk):
+            try:
+                stats = yield from backend.procfs.read_stat(kk)
+                info = calculator.compute(stats)
+                yield kk.compute(self.PROCESS_BODY_COST, mode="user")
+                record = MetricRecord(info.backend, self.metric_name,
+                                      info.runq_load, kk.now, source="gmetric")
+                yield from self.channel.publish(kk, [record], self.ANNOUNCE_BYTES)
+            finally:
+                live["count"] -= 1
+
+        def body(k):
+            while not self._stopped:
+                if live["count"] < self.MAX_LIVE_PROCESSES:
+                    yield k.compute(self.FORK_EXEC_COST, mode="sys")
+                    live["count"] += 1
+                    self.backend_forks += 1
+                    backend.spawn(f"gmetric:{backend.name}:{self.backend_forks}",
+                                  gmetric_process_body, rss_bytes=1 * 1024 * 1024)
+                    self.published += 1
+                yield k.sleep(self.granularity)
+
+        return body

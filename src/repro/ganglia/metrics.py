@@ -1,0 +1,46 @@
+"""Metric records shared by the Ganglia components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    """One metric announcement."""
+
+    host: str
+    name: str
+    value: Any
+    time: int
+    #: who injected it: "gmond" (built-in) or "gmetric" (user metric)
+    source: str = "gmond"
+
+
+class MetricStore:
+    """Per-host latest values plus full history, as gmond keeps them."""
+
+    def __init__(self) -> None:
+        #: (host, name) -> latest record
+        self.latest: Dict[Tuple[str, str], MetricRecord] = {}
+        self.history: List[MetricRecord] = []
+
+    def update(self, record: MetricRecord) -> None:
+        self.latest[(record.host, record.name)] = record
+        self.history.append(record)
+
+    def value(self, host: str, name: str) -> Any:
+        record = self.latest.get((host, name))
+        return record.value if record else None
+
+    def hosts(self) -> List[str]:
+        return sorted({host for host, _ in self.latest})
+
+    def metrics_for(self, host: str) -> Dict[str, Any]:
+        return {
+            name: rec.value for (h, name), rec in self.latest.items() if h == host
+        }
+
+    def __len__(self) -> int:
+        return len(self.history)

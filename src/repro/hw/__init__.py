@@ -1,0 +1,7 @@
+"""Hardware models: CPUs, memory, NICs, switch/fabric, nodes, cluster."""
+
+from repro.hw.memory import Memory, MemRegion
+from repro.hw.node import Node
+from repro.hw.cluster import ClusterSim, build_cluster
+
+__all__ = ["ClusterSim", "MemRegion", "Memory", "Node", "build_cluster"]

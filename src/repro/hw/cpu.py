@@ -1,0 +1,30 @@
+"""CPU descriptor.
+
+The scheduling state machine lives in :mod:`repro.kernel.scheduler`; this
+module only describes the hardware (used for documentation, /proc output
+and speed scaling hooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Static description of one processor."""
+
+    index: int
+    #: model string, surfaced in /proc/cpuinfo-style output
+    model_name: str = "Intel(R) Xeon(TM) CPU 2.40GHz"
+    mhz: float = 2400.0
+    cache_kb: int = 512
+
+    def cpuinfo(self) -> dict:
+        """One /proc/cpuinfo record."""
+        return {
+            "processor": self.index,
+            "model name": self.model_name,
+            "cpu MHz": self.mhz,
+            "cache size": f"{self.cache_kb} KB",
+        }

@@ -1,0 +1,149 @@
+"""Interconnect fabric: links plus a non-blocking crossbar switch.
+
+Models the paper's testbed topology — every node's HCA connects through
+one InfiniScale-style completely non-blocking switch — with:
+
+* per-source-port TX serialisation (a NIC can put one message on the
+  wire at a time, at link bandwidth),
+* cut-through switching with a fixed forwarding latency,
+* per-destination-port serialisation (receiver link contention).
+
+Both planes (IPoIB kernel messages and native verbs packets) share the
+same physical ports, so heavy socket traffic *can* queue an RDMA packet
+— the effect is tiny at monitoring message sizes, which is exactly the
+paper's point about RDMA latency being well-conditioned to load.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro.sim.events import EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import SimConfig
+    from repro.hw.nic import Nic
+    from repro.sim.engine import Environment
+
+
+class SwitchPort:
+    """Serialisation bookkeeping for one direction of one port."""
+
+    __slots__ = ("free_at", "bytes_moved", "messages")
+
+    def __init__(self) -> None:
+        self.free_at = 0
+        self.bytes_moved = 0
+        self.messages = 0
+
+
+class Fabric:
+    """The cluster interconnect."""
+
+    def __init__(self, env: "Environment", cfg: "SimConfig") -> None:
+        self.env = env
+        self.cfg = cfg
+        self._tx: Dict[str, SwitchPort] = {}
+        self._rx: Dict[str, SwitchPort] = {}
+
+    def attach(self, nic: "Nic") -> None:
+        """Register a NIC on the switch."""
+        if nic.name in self._tx:
+            raise ValueError(f"NIC {nic.name!r} already attached")
+        self._tx[nic.name] = SwitchPort()
+        self._rx[nic.name] = SwitchPort()
+        nic.fabric = self
+
+    def transmit(
+        self,
+        src: "Nic",
+        dst: "Nic",
+        nbytes: int,
+        on_arrival: Callable[[], None],
+        bw_factor: float = 1.0,
+    ) -> int:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns arrival time.
+
+        ``on_arrival`` runs at the destination NIC when the last byte
+        lands. ``bw_factor`` discounts effective bandwidth (IPoIB runs at
+        a fraction of the link rate).
+        """
+        if src.name not in self._tx or dst.name not in self._rx:
+            raise ValueError("both NICs must be attached to the fabric")
+        if nbytes <= 0:
+            raise ValueError(f"message size must be positive, got {nbytes}")
+        if dst.node is not None and not dst.node.alive:
+            # Crashed target: the wire carries the packet into the void.
+            return self.env.now
+        net = self.cfg.net
+        bw = net.link_bytes_per_ns * bw_factor
+        ser = max(1, math.ceil(nbytes / bw))
+        now = self.env.now
+
+        tx = self._tx[src.name]
+        start = max(now, tx.free_at)
+        tx.free_at = start + ser
+        tx.bytes_moved += nbytes
+        tx.messages += 1
+
+        at_switch = start + ser + net.hop_latency + net.switch_latency
+        rx = self._rx[dst.name]
+        rx_start = max(at_switch, rx.free_at)
+        rx.free_at = rx_start + ser
+        rx.bytes_moved += nbytes
+        rx.messages += 1
+
+        arrival = rx_start + ser + net.hop_latency
+        delay = arrival - now
+        t = self.env.timeout(delay, priority=EventPriority.HIGH)
+        assert t.callbacks is not None
+        t.callbacks.append(lambda _ev: on_arrival())
+        return arrival
+
+    def multicast(
+        self,
+        src: "Nic",
+        dsts,
+        nbytes: int,
+        on_arrival: Callable[["Nic"], None],
+        bw_factor: float = 1.0,
+    ) -> None:
+        """Hardware multicast: one TX serialisation, switch replication.
+
+        The source pays for a single wire transmission; the switch fans
+        the packet out to every destination port (the §6 discussion's
+        scalability feature).
+        """
+        net = self.cfg.net
+        bw = net.link_bytes_per_ns * bw_factor
+        ser = max(1, math.ceil(nbytes / bw))
+        now = self.env.now
+        tx = self._tx[src.name]
+        start = max(now, tx.free_at)
+        tx.free_at = start + ser
+        tx.bytes_moved += nbytes
+        tx.messages += 1
+        at_switch = start + ser + net.hop_latency + net.switch_latency
+        for dst in dsts:
+            if dst.name == src.name:
+                continue
+            rx = self._rx[dst.name]
+            rx_start = max(at_switch, rx.free_at)
+            rx.free_at = rx_start + ser
+            rx.bytes_moved += nbytes
+            rx.messages += 1
+            arrival = rx_start + ser + net.hop_latency
+            t = self.env.timeout(arrival - now, priority=EventPriority.HIGH)
+            assert t.callbacks is not None
+            t.callbacks.append(lambda _ev, dst=dst: on_arrival(dst))
+
+    def port_stats(self, nic_name: str) -> dict:
+        """Traffic counters for one NIC's ports."""
+        tx, rx = self._tx[nic_name], self._rx[nic_name]
+        return {
+            "tx_bytes": tx.bytes_moved,
+            "tx_messages": tx.messages,
+            "rx_bytes": rx.bytes_moved,
+            "rx_messages": rx.messages,
+        }

@@ -1,0 +1,139 @@
+"""Host memory model.
+
+Memory is *logical*: a region holds a Python value plus a declared wire
+size. Two kinds of regions exist:
+
+* **buffer regions** — hold a value written explicitly (user-space
+  buffers; the RDMA-Async scheme's registered load buffer). Readers see
+  whatever was last stored, so staleness emerges naturally.
+* **live regions** — backed by a ``provider`` callable that snapshots
+  kernel state at read time. These model kernel data structures
+  (``irq_stat``, jiffies counters, ``avenrun``) which in real hardware
+  are *always current in physical memory* and therefore readable by a
+  DMA engine at any instant without CPU help. This is the mechanism the
+  paper's RDMA-Sync scheme exploits.
+
+Regions must be *pinned* before a NIC may DMA them — mirroring verbs
+memory-registration semantics — and carry access flags so that a
+read-only registration rejects remote writes (the paper's §6 security
+note).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Optional
+
+
+class MemoryError_(Exception):
+    """Raised on invalid memory operations (bad region, access violation)."""
+
+
+class MemRegion:
+    """A named region of host memory."""
+
+    def __init__(
+        self,
+        name: str,
+        nbytes: int,
+        value: Any = None,
+        provider: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        if nbytes <= 0:
+            raise ValueError(f"region size must be positive, got {nbytes}")
+        self.name = name
+        self.nbytes = nbytes
+        self._value = value
+        self._provider = provider
+        self.pinned = False
+        #: generation counter bumped on every write (tests/diagnostics)
+        self.writes = 0
+
+    @property
+    def is_live(self) -> bool:
+        """True if backed by a kernel-state provider."""
+        return self._provider is not None
+
+    def read(self) -> Any:
+        """Snapshot the region's current contents.
+
+        Live regions call their provider; buffer regions return a deep
+        copy so that later writes cannot retroactively alter what a
+        reader observed (DMA semantics).
+        """
+        if self._provider is not None:
+            return self._provider()
+        return copy.deepcopy(self._value)
+
+    def write(self, value: Any) -> None:
+        """Store a value. Only buffer regions are writable."""
+        if self._provider is not None:
+            raise MemoryError_(f"region {self.name!r} is provider-backed (read-only)")
+        self._value = value
+        self.writes += 1
+
+    def pin(self) -> None:
+        """Pin the region for DMA (memory registration prerequisite)."""
+        self.pinned = True
+
+    def unpin(self) -> None:
+        self.pinned = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "live" if self.is_live else "buf"
+        return f"<MemRegion {self.name} {self.nbytes}B {kind}{' pinned' if self.pinned else ''}>"
+
+
+class Memory:
+    """Per-node memory: a namespace of regions."""
+
+    def __init__(self, node_name: str, capacity_bytes: int = 1 << 30) -> None:
+        self.node_name = node_name
+        self.capacity_bytes = capacity_bytes
+        self._regions: Dict[str, MemRegion] = {}
+        self._allocated = 0
+
+    def alloc(self, name: str, nbytes: int, value: Any = None) -> MemRegion:
+        """Allocate a writable buffer region."""
+        return self._add(MemRegion(name, nbytes, value=value))
+
+    def alloc_live(self, name: str, nbytes: int, provider: Callable[[], Any]) -> MemRegion:
+        """Map a provider-backed (kernel) region."""
+        return self._add(MemRegion(name, nbytes, provider=provider))
+
+    def _add(self, region: MemRegion) -> MemRegion:
+        if region.name in self._regions:
+            raise MemoryError_(f"region {region.name!r} already exists on {self.node_name}")
+        if self._allocated + region.nbytes > self.capacity_bytes:
+            raise MemoryError_(
+                f"out of memory on {self.node_name}: "
+                f"{self._allocated + region.nbytes} > {self.capacity_bytes}"
+            )
+        self._regions[region.name] = region
+        self._allocated += region.nbytes
+        return region
+
+    def free(self, name: str) -> None:
+        region = self._regions.get(name)
+        if region is None:
+            raise MemoryError_(f"no region named {name!r} on {self.node_name}")
+        if region.pinned:
+            raise MemoryError_(f"cannot free pinned region {name!r}")
+        del self._regions[name]
+        self._allocated -= region.nbytes
+
+    def get(self, name: str) -> MemRegion:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MemoryError_(f"no region named {name!r} on {self.node_name}") from None
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Memory {self.node_name} regions={len(self._regions)}>"

@@ -1,0 +1,127 @@
+"""Host channel adapter (NIC) model.
+
+Two planes share the physical port:
+
+* **kernel plane** (IPoIB): messages sent by the in-kernel network stack.
+  Arrival raises a hardware interrupt on the node's NIC-affinity CPU and
+  the packet is processed in softirq context — both *consume target CPU*.
+* **verbs plane** (native RDMA): work requests are serviced by the NIC's
+  DMA engine. An incoming RDMA read/write is handled *entirely on the
+  adapter*: address translation plus DMA against pinned host memory,
+  with zero host-CPU involvement and no interrupt on the target. This is
+  the one-sidedness the paper's schemes exploit.
+
+The DMA engine is a FIFO resource: concurrent verbs operations queue
+behind each other (`dma_service`), so a NIC saturated with RDMA traffic
+does slow down — but target CPU load never matters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.kernel.interrupts import IrqVector
+from repro.sim.events import EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.fabric import Fabric
+    from repro.hw.node import Node
+
+
+class Nic:
+    """One host channel adapter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.node: Optional["Node"] = None
+        self.fabric: Optional["Fabric"] = None
+        #: DMA engine occupancy (absolute time the engine frees up)
+        self._dma_free = 0
+        #: counters
+        self.kernel_rx_packets = 0
+        self.kernel_tx_packets = 0
+        self.kernel_rx_bytes = 0
+        self.kernel_tx_bytes = 0
+        self.rdma_ops_serviced = 0
+        #: callback invoked for kernel-plane arrivals (set by the netstack)
+        self.kernel_rx_handler: Optional[Callable[[Any, int], None]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def env(self):
+        assert self.node is not None
+        return self.node.env
+
+    @property
+    def cfg(self):
+        assert self.node is not None
+        return self.node.cfg
+
+    # ------------------------------------------------------------------
+    # kernel (IPoIB) plane
+    # ------------------------------------------------------------------
+    def kernel_send(self, dst: "Nic", payload: Any, nbytes: int) -> None:
+        """Transmit one kernel-plane message (called from the netstack)."""
+        assert self.fabric is not None
+        total = nbytes + self.cfg.net.tcp_overhead_bytes
+        self.kernel_tx_packets += 1
+        self.kernel_tx_bytes += total
+        self.fabric.transmit(
+            self,
+            dst,
+            total,
+            lambda: dst._kernel_rx(payload, nbytes),
+            bw_factor=self.cfg.net.ipoib_bw_factor,
+        )
+
+    def _kernel_rx(self, payload: Any, nbytes: int) -> None:
+        """Packet landed: raise the NIC IRQ; softirq does protocol work."""
+        assert self.node is not None
+        self.kernel_rx_packets += 1
+        self.kernel_rx_bytes += nbytes + self.cfg.net.tcp_overhead_bytes
+        node = self.node
+        cpu = node.irq.nic_target_cpu()
+        irqcfg = node.cfg.irq
+
+        def handler_done() -> None:
+            # The hard handler reaped the ring; per-packet protocol
+            # processing happens in softirq context.
+            node.irq.raise_softirq(
+                cpu,
+                irqcfg.softirq_per_packet,
+                action=lambda: self._deliver(payload, nbytes),
+            )
+
+        node.irq.raise_irq(cpu, IrqVector.NIC, irqcfg.nic_irq_cost, action=handler_done)
+
+    def _deliver(self, payload: Any, nbytes: int) -> None:
+        if self.kernel_rx_handler is None:
+            raise RuntimeError(f"{self.name}: kernel packet arrived but no netstack bound")
+        self.kernel_rx_handler(payload, nbytes)
+
+    # ------------------------------------------------------------------
+    # verbs plane
+    # ------------------------------------------------------------------
+    def dma_service(self, duration: int, fn: Callable[[], None]) -> None:
+        """Occupy the DMA engine for ``duration`` ns, then run ``fn``.
+
+        FIFO semantics: requests queue behind the engine's current work.
+        No host CPU is involved.
+        """
+        now = self.env.now
+        start = max(now, self._dma_free)
+        self._dma_free = start + duration
+        self.rdma_ops_serviced += 1
+        t = self.env.timeout(self._dma_free - now, priority=EventPriority.HIGH)
+        assert t.callbacks is not None
+        t.callbacks.append(lambda _ev: fn())
+
+    def raise_cq_interrupt(self, fn: Callable[[], None]) -> None:
+        """Completion event: interrupt the host (initiator side only)."""
+        assert self.node is not None
+        node = self.node
+        cpu = node.irq.nic_target_cpu()
+        node.irq.raise_irq(cpu, IrqVector.CQ, node.cfg.irq.cq_irq_cost, action=fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Nic {self.name}>"

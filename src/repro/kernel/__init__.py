@@ -1,0 +1,30 @@
+"""Simulated operating-system kernel (Linux-2.4 flavoured).
+
+The kernel mediates all CPU consumption in the simulator: application
+work, monitoring daemons, socket protocol processing and interrupt
+handling all compete for the same simulated CPUs through
+:class:`~repro.kernel.scheduler.Scheduler`. The paper's socket-vs-RDMA
+asymmetries *emerge* from this contention rather than being coded in.
+"""
+
+from repro.kernel.task import Compute, Sleep, Task, TaskContext, WaitEvent, YieldCpu
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.interrupts import IrqController, IrqVector
+from repro.kernel.loadavg import LoadAccounting
+from repro.kernel.procfs import ProcFs
+from repro.kernel.kmod import KernelModule
+
+__all__ = [
+    "Compute",
+    "IrqController",
+    "IrqVector",
+    "KernelModule",
+    "LoadAccounting",
+    "ProcFs",
+    "Scheduler",
+    "Sleep",
+    "Task",
+    "TaskContext",
+    "WaitEvent",
+    "YieldCpu",
+]

@@ -1,0 +1,260 @@
+"""Interrupt controller and softirq machinery.
+
+Hardware interrupts are delivered to a specific CPU (NIC interrupts
+honour an affinity setting — the paper's testbed routes them to the
+second CPU, visible in its Fig 6). Handling an interrupt *steals* time
+from whatever task is running there: the scheduler pushes the task's
+burst completion back by the service time.
+
+The ``irq_stat`` structure — per-CPU counts of *pending* hard interrupts,
+pending softirqs and cumulative handled counts — lives in kernel memory
+and is exactly what the paper's e-RDMA-Sync scheme reads via RDMA. Its
+key property: a user-space sampler only runs *after* the interrupt queues
+have drained (the kernel prioritises interrupts over user processes), so
+it observes near-zero pending counts; a NIC DMA engine samples it at
+arbitrary instants and sees the real backlog.
+
+Softirqs model the deferred half of packet processing: the NIC hard-IRQ
+handler enqueues a per-packet work item; items are drained at interrupt
+exit up to a budget, with the remainder handed to a per-CPU ``ksoftirqd``
+kernel thread (nice +19), as in Linux.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.events import EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+
+
+class IrqVector(enum.IntEnum):
+    """Interrupt sources."""
+
+    TIMER = 0
+    NIC = 1
+    CQ = 2  # verbs completion-queue events (initiator side)
+    IPI = 3
+
+
+class _CpuIrqState:
+    """Per-CPU interrupt bookkeeping."""
+
+    __slots__ = (
+        "hard_pending",
+        "handled",
+        "softirq_queue",
+        "bh_executed",
+        "in_service",
+        "busy_until",
+        "ksoftirqd",
+        "ksoftirqd_kick",
+    )
+
+    def __init__(self) -> None:
+        #: vector -> number of raised-but-unserviced hard interrupts
+        self.hard_pending: Dict[int, int] = {v: 0 for v in IrqVector}
+        #: vector -> cumulative serviced count
+        self.handled: Dict[int, int] = {v: 0 for v in IrqVector}
+        #: deferred work: (cost_ns, action)
+        self.softirq_queue: Deque[Tuple[int, Optional[Callable[[], None]]]] = deque()
+        #: cumulative softirq (bottom-half) executions
+        self.bh_executed = 0
+        self.in_service = False
+        #: absolute time until which this CPU is occupied by IRQ work
+        self.busy_until = 0
+        self.ksoftirqd = None
+        self.ksoftirqd_kick = None
+
+
+class IrqController:
+    """Per-node interrupt controller."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self.env = node.env
+        self.cfg = node.cfg
+        self.percpu: List[_CpuIrqState] = [
+            _CpuIrqState() for _ in range(node.num_cpus)
+        ]
+        self._hard_fifo: List[Deque[Tuple[int, int, Optional[Callable[[], None]]]]] = [
+            deque() for _ in range(node.num_cpus)
+        ]
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------
+    # raising interrupts
+    # ------------------------------------------------------------------
+    def nic_target_cpu(self) -> int:
+        """CPU receiving NIC interrupts (affinity or round-robin)."""
+        affinity = self.cfg.irq.nic_irq_affinity
+        ncpu = len(self.percpu)
+        if 0 <= affinity < ncpu:
+            return affinity
+        self._rr_next = (self._rr_next + 1) % ncpu
+        return self._rr_next
+
+    def raise_irq(
+        self,
+        cpu_index: int,
+        vector: IrqVector,
+        cost: int,
+        action: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Assert a hardware interrupt on ``cpu_index``.
+
+        ``action`` runs when the handler body completes (e.g. the NIC
+        handler enqueuing RX softirq work).
+        """
+        state = self.percpu[cpu_index]
+        state.hard_pending[vector] += 1
+        self._hard_fifo[cpu_index].append((int(vector), cost, action))
+        self.node.tracer.emit(self.env.now, "irq.raise", (cpu_index, vector.name))
+        if not state.in_service:
+            self._enter_service(cpu_index)
+
+    def raise_softirq(
+        self, cpu_index: int, cost: int, action: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Queue deferred (bottom-half) work on ``cpu_index``."""
+        state = self.percpu[cpu_index]
+        state.softirq_queue.append((cost, action))
+        if not state.in_service:
+            self._enter_service(cpu_index)
+
+    # ------------------------------------------------------------------
+    # kernel-memory view (RDMA-readable)
+    # ------------------------------------------------------------------
+    def irq_stat(self) -> dict:
+        """Snapshot of the per-CPU irq_stat kernel structure, *now*."""
+        return {
+            "cpus": [
+                {
+                    "hard_pending": sum(s.hard_pending.values()),
+                    "pending_by_vector": {
+                        IrqVector(v).name: n for v, n in s.hard_pending.items() if n
+                    },
+                    "soft_pending": len(s.softirq_queue),
+                    "handled": dict(s.handled),
+                    "bh_executed": s.bh_executed,
+                }
+                for s in self.percpu
+            ],
+            "time": self.env.now,
+        }
+
+    def busy_until(self, cpu_index: int) -> int:
+        """Time until which IRQ work occupies ``cpu_index`` (0 if free)."""
+        return self.percpu[cpu_index].busy_until
+
+    def total_handled(self, cpu_index: int) -> int:
+        return sum(self.percpu[cpu_index].handled.values())
+
+    # ------------------------------------------------------------------
+    # service loop (chained timeouts; steals from the running task)
+    # ------------------------------------------------------------------
+    def _enter_service(self, cpu_index: int) -> None:
+        state = self.percpu[cpu_index]
+        state.in_service = True
+        state.busy_until = max(state.busy_until, self.env.now)
+        self._service_next(cpu_index)
+
+    def _service_next(self, cpu_index: int) -> None:
+        state = self.percpu[cpu_index]
+        fifo = self._hard_fifo[cpu_index]
+        if fifo:
+            vector, cost, action = fifo.popleft()
+            duration = self.cfg.irq.irq_entry + cost
+            self._occupy(cpu_index, duration)
+            t = self.env.timeout(duration, priority=EventPriority.HIGH)
+            assert t.callbacks is not None
+
+            def _done(_ev, vector=vector, action=action):
+                state.hard_pending[vector] -= 1
+                state.handled[vector] += 1
+                if action is not None:
+                    action()
+                self._service_next(cpu_index)
+
+            t.callbacks.append(_done)
+            return
+
+        # Hard interrupts drained: run softirqs up to the budget.
+        self._drain_softirqs(cpu_index, self.cfg.irq.softirq_budget)
+
+    def _drain_softirqs(self, cpu_index: int, budget: int) -> None:
+        state = self.percpu[cpu_index]
+        if self._hard_fifo[cpu_index]:
+            # New hard IRQ arrived mid-drain: service it first.
+            self._service_next(cpu_index)
+            return
+        if not state.softirq_queue or budget <= 0:
+            if state.softirq_queue:
+                self._kick_ksoftirqd(cpu_index)
+            self._exit_service(cpu_index)
+            return
+        cost, action = state.softirq_queue.popleft()
+        self._occupy(cpu_index, cost)
+        t = self.env.timeout(cost, priority=EventPriority.HIGH)
+        assert t.callbacks is not None
+
+        def _done(_ev, action=action, budget=budget):
+            state.bh_executed += 1
+            if action is not None:
+                action()
+            self._drain_softirqs(cpu_index, budget - 1)
+
+        t.callbacks.append(_done)
+
+    def _occupy(self, cpu_index: int, duration: int) -> None:
+        state = self.percpu[cpu_index]
+        state.busy_until = max(state.busy_until, self.env.now) + duration
+        self.node.sched.steal(cpu_index, duration, account="irq")
+
+    def _exit_service(self, cpu_index: int) -> None:
+        state = self.percpu[cpu_index]
+        state.in_service = False
+        self.node.sched.irq_exit_check(cpu_index)
+
+    # ------------------------------------------------------------------
+    # ksoftirqd
+    # ------------------------------------------------------------------
+    def start_ksoftirqd(self) -> None:
+        """Spawn one ksoftirqd kernel thread per CPU (call once at boot)."""
+        for i in range(len(self.percpu)):
+            state = self.percpu[i]
+            if state.ksoftirqd is not None:
+                continue
+            kick = self.env.event(name=f"ksoftirqd-kick:{self.node.name}:{i}")
+            state.ksoftirqd_kick = kick
+            state.ksoftirqd = self.node.sched.spawn(
+                f"ksoftirqd/{i}", self._ksoftirqd_body(i), nice=19, kthread=True
+            )
+
+    def _kick_ksoftirqd(self, cpu_index: int) -> None:
+        state = self.percpu[cpu_index]
+        kick = state.ksoftirqd_kick
+        if kick is not None and not kick.triggered:
+            kick.succeed()
+
+    def _ksoftirqd_body(self, cpu_index: int):
+        state = self.percpu[cpu_index]
+
+        def body(k):
+            while True:
+                if not state.softirq_queue:
+                    kick = self.env.event(name=f"ksoftirqd-kick:{self.node.name}:{cpu_index}")
+                    state.ksoftirqd_kick = kick
+                    yield k.wait(kick)
+                    continue
+                cost, action = state.softirq_queue.popleft()
+                yield k.compute(cost, mode="sys")
+                state.bh_executed += 1
+                if action is not None:
+                    action()
+
+        return body

@@ -1,0 +1,75 @@
+"""In-kernel network stack (TCP-over-IPoIB flavoured).
+
+The socket path is *two-sided*: the sender's CPU runs the transmit path
+(syscall, copy, protocol work) and the receiver's CPU runs the interrupt
+handler, the per-packet softirq protocol processing and the reader
+wakeup. Under load the receiver's monitoring daemon also has to win the
+run queue before it can even see the message — the combination produces
+the paper's socket-scheme latency growth.
+
+Messages are message-oriented (one send → one delivery); payload sizes
+are modelled explicitly for wire costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+    from repro.kernel.task import TaskContext
+    from repro.sim.resources import Store
+
+
+class NetStack:
+    """Per-node kernel networking."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        node.nic.kernel_rx_handler = self._on_packet
+        #: messages delivered to local sockets
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # transmit path (runs in the sending task's context)
+    # ------------------------------------------------------------------
+    def send(
+        self, k: "TaskContext", dst_node: "Node", rx_store: "Store", payload: Any, nbytes: int
+    ) -> Generator:
+        """Composite syscall: send one message to ``rx_store`` on ``dst_node``.
+
+        Charges the full TX path to the calling task, then hands the
+        packet to the NIC (wire + remote processing are asynchronous).
+        """
+        cfg = self.node.cfg.net
+        yield k.syscall(0)
+        yield k.compute(k.copy_cost(nbytes), mode="sys")
+        yield k.compute(cfg.tcp_tx_cost, mode="sys")
+        self.node.nic.kernel_send(dst_node.nic, (rx_store, payload), nbytes)
+        return None
+
+    # ------------------------------------------------------------------
+    # receive path (softirq context on this node)
+    # ------------------------------------------------------------------
+    def _on_packet(self, wrapped: Tuple["Store", Any], nbytes: int) -> None:
+        """Socket-layer delivery, invoked by the NIC softirq action."""
+        rx_store, payload = wrapped
+        self.delivered += 1
+        # Depositing into the store wakes any blocked reader (through the
+        # scheduler — the reader still needs CPU time to actually run).
+        rx_store.put((payload, nbytes))
+
+    # ------------------------------------------------------------------
+    # receive syscall (runs in the reading task's context)
+    # ------------------------------------------------------------------
+    def recv(self, k: "TaskContext", rx_store: "Store") -> Generator:
+        """Composite syscall: block until a message arrives, return payload.
+
+        The wakeup is boosted: packet delivery schedules the blocked
+        reader "as early as possible" (paper §3), preempting a running
+        task if necessary.
+        """
+        get_event = rx_store.get()
+        payload, nbytes = yield k.wait(get_event, boost=True)
+        yield k.syscall(k.copy_cost(nbytes))
+        return payload

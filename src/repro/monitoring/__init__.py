@@ -1,0 +1,47 @@
+"""The paper's contribution: five fine-grained resource-monitoring schemes.
+
+============== =========== ================= ===========================
+Scheme         Transport   Back-end threads  Load information source
+============== =========== ================= ===========================
+Socket-Async   sockets     2 (calc+report)   /proc → user buffer
+Socket-Sync    sockets     1 (on demand)     /proc, read per request
+RDMA-Async     RDMA read   1 (calc)          /proc → registered buffer
+RDMA-Sync      RDMA read   0                 live kernel memory
+e-RDMA-Sync    RDMA read   0                 kernel memory + irq_stat
+============== =========== ================= ===========================
+
+All schemes expose the same API (:class:`~repro.monitoring.base.MonitoringScheme`):
+``deploy()`` once, then ``query_all(k)`` / ``query(k, i)`` from a
+front-end task. :class:`~repro.monitoring.frontend.FrontendMonitor` wraps
+a scheme in the periodic polling loop used by the load balancer.
+"""
+
+from repro.monitoring.base import MonitoringScheme, QueryRecord
+from repro.monitoring.loadinfo import LoadCalculator, LoadInfo
+from repro.monitoring.socket_async import SocketAsyncScheme
+from repro.monitoring.socket_sync import SocketSyncScheme
+from repro.monitoring.rdma_async import RdmaAsyncScheme
+from repro.monitoring.rdma_sync import RdmaSyncScheme
+from repro.monitoring.rdma_write_push import RdmaWritePushScheme
+from repro.monitoring.e_rdma_sync import ExtendedRdmaSyncScheme
+from repro.monitoring.frontend import FrontendMonitor
+from repro.monitoring.heartbeat import HeartbeatMonitor, NodeHealth
+from repro.monitoring.registry import SCHEME_NAMES, create_scheme
+
+__all__ = [
+    "ExtendedRdmaSyncScheme",
+    "FrontendMonitor",
+    "HeartbeatMonitor",
+    "LoadCalculator",
+    "LoadInfo",
+    "MonitoringScheme",
+    "NodeHealth",
+    "QueryRecord",
+    "RdmaAsyncScheme",
+    "RdmaSyncScheme",
+    "RdmaWritePushScheme",
+    "SCHEME_NAMES",
+    "SocketAsyncScheme",
+    "SocketSyncScheme",
+    "create_scheme",
+]

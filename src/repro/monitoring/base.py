@@ -1,0 +1,105 @@
+"""Common interface for monitoring schemes.
+
+A scheme is deployed once onto a built cluster; thereafter any front-end
+task can ``yield from scheme.query(k, i)`` to obtain the freshest
+:class:`~repro.monitoring.loadinfo.LoadInfo` the scheme can provide for
+back-end ``i``, or ``yield from scheme.query_all(k)`` for the batched
+poll the load balancer uses. Every query is recorded (latency, report)
+for the micro-benchmark analyses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.monitoring.loadinfo import LoadInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+    from repro.hw.node import Node
+    from repro.kernel.task import TaskContext
+
+
+@dataclass
+class QueryRecord:
+    """One completed monitoring query (front-end view)."""
+
+    backend: int
+    issued_at: int
+    completed_at: int
+    info: LoadInfo
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.issued_at
+
+
+class MonitoringScheme(abc.ABC):
+    """Base class for the five schemes."""
+
+    #: registry name, e.g. "rdma-sync"
+    name: str = "abstract"
+    #: True if queries never involve the back-end CPU
+    one_sided: bool = False
+    #: monitoring threads the scheme runs on each back-end
+    backend_threads: int = 0
+
+    def __init__(self, sim: "ClusterSim", interval: Optional[int] = None) -> None:
+        self.sim = sim
+        self.frontend: "Node" = sim.frontend
+        self.backends: List["Node"] = list(sim.backends)
+        self.interval = interval if interval is not None else sim.cfg.monitor.interval
+        if self.interval <= 0:
+            raise ValueError("monitoring interval must be positive")
+        self.records: List[QueryRecord] = []
+        self._stopped = False
+        self._deployed = False
+
+    # ------------------------------------------------------------------
+    def deploy(self) -> None:
+        """Set up connections / registrations / back-end threads."""
+        if self._deployed:
+            raise RuntimeError(f"{self.name} already deployed")
+        self._deployed = True
+        self._deploy()
+
+    @abc.abstractmethod
+    def _deploy(self) -> None:
+        ...
+
+    @abc.abstractmethod
+    def query(self, k: "TaskContext", backend_index: int) -> Generator:
+        """Fetch load info for one back-end (front-end task context)."""
+        ...
+
+    def query_all(self, k: "TaskContext") -> Generator:
+        """Batched poll of every back-end; returns {index: LoadInfo}.
+
+        Default: sequential queries. Schemes override to overlap wire
+        time where their transport allows it.
+        """
+        out: Dict[int, LoadInfo] = {}
+        for i in range(len(self.backends)):
+            out[i] = yield from self.query(k, i)
+        return out
+
+    def stop(self) -> None:
+        """Ask back-end threads (if any) to exit at their next wakeup."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _record(self, backend_index: int, issued_at: int, info: LoadInfo) -> LoadInfo:
+        info.received_at = self.sim.env.now
+        self.records.append(
+            QueryRecord(backend_index, issued_at, self.sim.env.now, info)
+        )
+        return info
+
+    def latencies(self) -> List[int]:
+        """All recorded query latencies, ns."""
+        return [r.latency for r in self.records]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} interval={self.interval}>"

@@ -1,0 +1,76 @@
+"""Front-end polling loop.
+
+Wraps a deployed scheme in the periodic poll the paper's front-end
+monitoring process runs: every ``interval`` it performs a batched
+``query_all`` and caches the latest LoadInfo per back-end for the load
+balancer / admission controller to consult synchronously. Also records
+(time, info) history and an optional per-poll observer hook used by the
+accuracy experiments to compare reports against instantaneous truth.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.monitoring.base import MonitoringScheme
+from repro.monitoring.loadinfo import LoadInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+
+
+class FrontendMonitor:
+    """Periodic poller + cache of the freshest load information."""
+
+    def __init__(
+        self,
+        scheme: MonitoringScheme,
+        interval: Optional[int] = None,
+        observer: Optional[Callable[[int, LoadInfo], None]] = None,
+        name: str = "frontend-monitor",
+    ) -> None:
+        self.scheme = scheme
+        self.sim = scheme.sim
+        self.interval = interval if interval is not None else scheme.interval
+        if self.interval <= 0:
+            raise ValueError("poll interval must be positive")
+        self.observer = observer
+        self.name = name
+        #: freshest report per back-end index
+        self.latest: Dict[int, LoadInfo] = {}
+        #: full history [(backend, info)] in arrival order
+        self.history: List[Tuple[int, LoadInfo]] = []
+        self.polls = 0
+        self._stopped = False
+        self._task: Optional["Task"] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Task":
+        """Spawn the poll loop on the front-end node."""
+        if self._task is not None:
+            raise RuntimeError("monitor already started")
+        self._task = self.scheme.frontend.spawn(self.name, self._body, nice=0)
+        return self._task
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _body(self, k):
+        while not self._stopped:
+            infos = yield from self.scheme.query_all(k)
+            self.polls += 1
+            for i, info in infos.items():
+                self.latest[i] = info
+                self.history.append((i, info))
+                if self.observer is not None:
+                    self.observer(i, info)
+            yield k.sleep(self.interval)
+
+    # ------------------------------------------------------------------
+    def load_of(self, backend_index: int) -> Optional[LoadInfo]:
+        """Freshest cached report for one back-end (None before first poll)."""
+        return self.latest.get(backend_index)
+
+    def snapshot(self) -> Dict[int, LoadInfo]:
+        """Copy of the current cache."""
+        return dict(self.latest)

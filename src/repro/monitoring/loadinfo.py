@@ -1,0 +1,121 @@
+"""Load-information records and their derivation from kernel snapshots.
+
+A :class:`LoadInfo` is what a monitoring scheme delivers to the front
+end. ``collected_at`` is the *data* timestamp — when the underlying
+kernel counters were observed — which is what staleness analysis (the
+paper's Fig 5) compares against the ground truth at receive time.
+
+:class:`LoadCalculator` turns raw kernel snapshots into LoadInfo,
+deriving CPU utilisation from jiffy deltas between consecutive
+snapshots. The asynchronous schemes run a calculator on the back end;
+RDMA-Sync runs one on the *front end* over raw counters fetched by DMA —
+no back-end CPU involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class LoadInfo:
+    """One load report for one back-end node."""
+
+    backend: str
+    #: when the underlying counters were observed (backend clock)
+    collected_at: int
+    #: when the front end received the report (0 until delivered)
+    received_at: int = 0
+    nr_threads: int = 0
+    nr_running: int = 0
+    #: tick-resolution run-queue EMA — the fine-grained load signal
+    runq_load: float = 0.0
+    #: CPU utilisation in [0, 1] derived from jiffy deltas
+    cpu_util: float = 0.0
+    busy_cpus: int = 0
+    #: 1-minute loadavg (coarse signal, for comparison)
+    loadavg1: float = 0.0
+    #: memory utilisation in [0, 1] (resident sets / physical memory)
+    mem_util: float = 0.0
+    #: network receive+transmit rate since the previous report, MB/s
+    net_rate_mbps: float = 0.0
+    #: application-level gauges (connections, memory) published by servers
+    gauges: Dict[str, float] = field(default_factory=dict)
+    #: pending interrupts per CPU (only e-RDMA-Sync fills this)
+    irq_pending: Optional[list] = None
+    #: cumulative interrupts handled per CPU (extended info)
+    irq_handled: Optional[list] = None
+
+    @property
+    def staleness(self) -> int:
+        """Age of the data at delivery time, ns."""
+        return max(0, self.received_at - self.collected_at)
+
+    @property
+    def irq_pressure(self) -> float:
+        """Total pending interrupts across CPUs (0 when not reported)."""
+        if not self.irq_pending:
+            return 0.0
+        return float(sum(self.irq_pending))
+
+
+class LoadCalculator:
+    """Derives :class:`LoadInfo` from consecutive kernel snapshots."""
+
+    def __init__(self, backend_name: str) -> None:
+        self.backend_name = backend_name
+        self._prev_jiffies: Optional[list] = None
+        self._prev_time: Optional[int] = None
+        self._prev_net_bytes: Optional[int] = None
+        self._prev_net_time: Optional[int] = None
+
+    def compute(self, snapshot: dict, irq_stat: Optional[dict] = None) -> LoadInfo:
+        """Produce a LoadInfo from a kernel snapshot (and optional irq_stat)."""
+        jiffies = snapshot["jiffies"]
+        now = snapshot["time"]
+        util = self._utilisation(jiffies, now)
+        mem_total = snapshot.get("mem_total_bytes", 0)
+        info = LoadInfo(
+            backend=self.backend_name,
+            collected_at=now,
+            nr_threads=snapshot["nr_threads"],
+            nr_running=snapshot["nr_running"],
+            runq_load=snapshot["runq_ema"],
+            cpu_util=util,
+            busy_cpus=snapshot["busy_cpus"],
+            loadavg1=snapshot["loadavg"][0],
+            mem_util=(snapshot.get("mem_used_bytes", 0) / mem_total if mem_total else 0.0),
+            net_rate_mbps=self._net_rate(snapshot, now),
+            gauges=dict(snapshot.get("gauges", {})),
+        )
+        if irq_stat is not None:
+            info.irq_pending = [c["hard_pending"] + c["soft_pending"] for c in irq_stat["cpus"]]
+            info.irq_handled = [sum(c["handled"].values()) for c in irq_stat["cpus"]]
+        return info
+
+    def _net_rate(self, snapshot: dict, now: int) -> float:
+        """RX+TX MB/s since the previous snapshot (0 on the first)."""
+        total = snapshot.get("net_rx_bytes", 0) + snapshot.get("net_tx_bytes", 0)
+        prev_bytes, prev_time = self._prev_net_bytes, self._prev_net_time
+        self._prev_net_bytes, self._prev_net_time = total, now
+        if prev_bytes is None or prev_time is None or now <= prev_time:
+            return 0.0
+        return (total - prev_bytes) / ((now - prev_time) / 1e9) / 1e6
+
+    def _utilisation(self, jiffies: list, now: int) -> float:
+        if self._prev_jiffies is None or self._prev_time is None or now <= self._prev_time:
+            self._prev_jiffies = [dict(j) for j in jiffies]
+            self._prev_time = now
+            # No baseline yet: report instantaneous busy fraction.
+            busy = sum(1 for j in jiffies if j["user"] + j["sys"] > 0)
+            return busy / max(1, len(jiffies))
+        elapsed = now - self._prev_time
+        busy = 0
+        for cur, prev in zip(jiffies, self._prev_jiffies):
+            busy += (cur["user"] + cur["sys"] + cur["irq"]) - (
+                prev["user"] + prev["sys"] + prev["irq"]
+            )
+        self._prev_jiffies = [dict(j) for j in jiffies]
+        self._prev_time = now
+        return min(1.0, max(0.0, busy / (len(jiffies) * elapsed)))

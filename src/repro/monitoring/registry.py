@@ -1,0 +1,57 @@
+"""Name → scheme factory."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Type
+
+from repro.monitoring.base import MonitoringScheme
+from repro.monitoring.e_rdma_sync import ExtendedRdmaSyncScheme
+from repro.monitoring.rdma_async import RdmaAsyncScheme
+from repro.monitoring.rdma_sync import RdmaSyncScheme
+from repro.monitoring.rdma_write_push import RdmaWritePushScheme
+from repro.monitoring.socket_async import SocketAsyncScheme
+from repro.monitoring.socket_sync import SocketSyncScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+
+_SCHEMES: dict[str, Type[MonitoringScheme]] = {
+    cls.name: cls
+    for cls in (
+        SocketAsyncScheme,
+        SocketSyncScheme,
+        RdmaAsyncScheme,
+        RdmaSyncScheme,
+        ExtendedRdmaSyncScheme,
+        RdmaWritePushScheme,  # extension (beyond the paper)
+    )
+}
+
+#: the paper's five schemes, in table order
+SCHEME_NAMES = ["socket-async", "socket-sync", "rdma-async", "rdma-sync", "e-rdma-sync"]
+
+#: the four micro-benchmark schemes (Figs 3–6, 8)
+CORE_SCHEME_NAMES = SCHEME_NAMES[:4]
+
+#: every registered scheme, including extensions
+ALL_SCHEME_NAMES = [*SCHEME_NAMES, "rdma-write-push"]
+
+
+def create_scheme(
+    name: str,
+    sim: "ClusterSim",
+    interval: Optional[int] = None,
+    with_irq_detail: bool = False,
+    deploy: bool = True,
+) -> MonitoringScheme:
+    """Instantiate (and by default deploy) a scheme by its paper name."""
+    try:
+        cls = _SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(_SCHEMES)}"
+        ) from None
+    scheme = cls(sim, interval=interval, with_irq_detail=with_irq_detail)
+    if deploy:
+        scheme.deploy()
+    return scheme

@@ -1,0 +1,103 @@
+"""Socket-Async (the paper's §3.1.1, Fig 1a).
+
+Two threads on every back-end:
+
+* a **load-calculating thread** that wakes every interval ``T``, reads
+  /proc (trap + O(tasks) scan), composes a LoadInfo and stores it in a
+  known user-space buffer, and
+* a **load-reporting thread** that answers front-end requests from that
+  buffer over a socket.
+
+The reported information is therefore up to ``T`` old *plus* whatever
+scheduling delay both threads suffer on a loaded node — and the two
+threads themselves perturb the applications (the paper's Fig 4 shows
+Socket-Async as the worst offender).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.monitoring.base import MonitoringScheme
+from repro.monitoring.loadinfo import LoadCalculator, LoadInfo
+from repro.transport.sockets import SocketEndpoint, socket_pair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import TaskContext
+
+
+class SocketAsyncScheme(MonitoringScheme):
+    """Asynchronous socket-based monitoring."""
+
+    name = "socket-async"
+    one_sided = False
+    backend_threads = 2
+
+    def __init__(self, sim, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
+        super().__init__(sim, interval)
+        self.with_irq_detail = with_irq_detail
+        #: front-end side endpoints, one per back-end
+        self._fe_ends: List[SocketEndpoint] = []
+        #: latest LoadInfo per back-end (the "known memory location")
+        self._buffers: List[Optional[LoadInfo]] = []
+
+    def _deploy(self) -> None:
+        mon = self.sim.cfg.monitor
+        for i, be in enumerate(self.backends):
+            fe_end, be_end = socket_pair(self.frontend, be, label=f"sa:{be.name}")
+            self._fe_ends.append(fe_end)
+            self._buffers.append(None)
+            be.spawn(f"mon-calc:{be.name}", self._calc_body(i, be), nice=0)
+            be.spawn(f"mon-report:{be.name}", self._report_body(i, be_end, mon), nice=0)
+
+    # ------------------------------------------------------------------
+    def _calc_body(self, index: int, be):
+        calculator = LoadCalculator(be.name)
+        mon = self.sim.cfg.monitor
+
+        def body(k):
+            while not self._stopped:
+                stats = yield from be.procfs.read_stat(k)
+                irq = None
+                if self.with_irq_detail:
+                    irq = yield from be.kmod.read_irq_stat(k)
+                yield k.compute(mon.compose_cost)
+                self._buffers[index] = calculator.compute(stats, irq)
+                yield k.sleep(self.interval)
+
+        return body
+
+    def _report_body(self, index: int, be_end: SocketEndpoint, mon):
+        def body(k):
+            while not self._stopped:
+                yield from be_end.recv(k)
+                # Read the known memory location (no /proc access here).
+                yield k.compute(1_000)
+                info = self._buffers[index]
+                if info is None:
+                    info = LoadInfo(backend=be_end.node.name, collected_at=0)
+                nbytes = mon.extended_bytes if self.with_irq_detail else mon.loadinfo_bytes
+                yield from be_end.send(k, info, nbytes)
+
+        return body
+
+    # ------------------------------------------------------------------
+    def query(self, k: "TaskContext", backend_index: int) -> Generator:
+        mon = self.sim.cfg.monitor
+        end = self._fe_ends[backend_index]
+        issued = k.now
+        yield from end.send(k, "load-req", mon.request_bytes)
+        info = yield from end.recv(k)
+        return self._record(backend_index, issued, info)
+
+    def query_all(self, k: "TaskContext") -> Generator:
+        """Send every request first, then collect replies (select-style)."""
+        mon = self.sim.cfg.monitor
+        issued = k.now
+        for end in self._fe_ends:
+            yield from end.send(k, "load-req", mon.request_bytes)
+        out: Dict[int, LoadInfo] = {}
+        for i, end in enumerate(self._fe_ends):
+            info = yield from end.recv(k)
+            out[i] = self._record(i, issued, info)
+        return out

@@ -1,0 +1,77 @@
+"""Socket-Sync (the paper's §3.1.2, Fig 1b).
+
+One thread per back-end: on every front-end request it reads /proc
+*then*, composes a fresh LoadInfo and replies. Fresher than Socket-Async
+(no interval-old buffer), but each query now pays the /proc scan on the
+loaded node, and on a busy server the monitoring thread "can compete for
+CPU with other threads in the system … result[ing] in huge delays"
+(§4) — the max-response-time tails of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.monitoring.base import MonitoringScheme
+from repro.monitoring.loadinfo import LoadCalculator, LoadInfo
+from repro.transport.sockets import SocketEndpoint, socket_pair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import TaskContext
+
+
+class SocketSyncScheme(MonitoringScheme):
+    """Synchronous socket-based monitoring."""
+
+    name = "socket-sync"
+    one_sided = False
+    backend_threads = 1
+
+    def __init__(self, sim, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
+        super().__init__(sim, interval)
+        self.with_irq_detail = with_irq_detail
+        self._fe_ends: List[SocketEndpoint] = []
+
+    def _deploy(self) -> None:
+        for be in self.backends:
+            fe_end, be_end = socket_pair(self.frontend, be, label=f"ss:{be.name}")
+            self._fe_ends.append(fe_end)
+            be.spawn(f"mon-sync:{be.name}", self._server_body(be, be_end), nice=0)
+
+    def _server_body(self, be, be_end: SocketEndpoint):
+        calculator = LoadCalculator(be.name)
+        mon = self.sim.cfg.monitor
+
+        def body(k):
+            while not self._stopped:
+                yield from be_end.recv(k)
+                stats = yield from be.procfs.read_stat(k)
+                irq = None
+                if self.with_irq_detail:
+                    irq = yield from be.kmod.read_irq_stat(k)
+                yield k.compute(mon.compose_cost)
+                info = calculator.compute(stats, irq)
+                nbytes = mon.extended_bytes if self.with_irq_detail else mon.loadinfo_bytes
+                yield from be_end.send(k, info, nbytes)
+
+        return body
+
+    # ------------------------------------------------------------------
+    def query(self, k: "TaskContext", backend_index: int) -> Generator:
+        mon = self.sim.cfg.monitor
+        end = self._fe_ends[backend_index]
+        issued = k.now
+        yield from end.send(k, "load-req", mon.request_bytes)
+        info = yield from end.recv(k)
+        return self._record(backend_index, issued, info)
+
+    def query_all(self, k: "TaskContext") -> Generator:
+        mon = self.sim.cfg.monitor
+        issued = k.now
+        for end in self._fe_ends:
+            yield from end.send(k, "load-req", mon.request_bytes)
+        out: Dict[int, LoadInfo] = {}
+        for i, end in enumerate(self._fe_ends):
+            info = yield from end.recv(k)
+            out[i] = self._record(i, issued, info)
+        return out

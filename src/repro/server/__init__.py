@@ -1,0 +1,19 @@
+"""Cluster-based server substrate: web servers, LB, admission, dispatch."""
+
+from repro.server.request import Request, RequestStats
+from repro.server.database import DatabaseStage
+from repro.server.webserver import BackendServer
+from repro.server.loadbalancer import LeastLoadedBalancer, RoundRobinBalancer
+from repro.server.admission import AdmissionController
+from repro.server.dispatcher import Dispatcher
+
+__all__ = [
+    "AdmissionController",
+    "BackendServer",
+    "DatabaseStage",
+    "Dispatcher",
+    "LeastLoadedBalancer",
+    "Request",
+    "RequestStats",
+    "RoundRobinBalancer",
+]

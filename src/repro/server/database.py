@@ -1,0 +1,47 @@
+"""Database stage cost model.
+
+The paper's back-ends run MySQL next to Apache/PHP; for the evaluation
+what matters is that DB-heavy queries consume more back-end CPU and
+occasionally stall on buffer-pool misses. The stage charges the
+request's ``db_cpu`` demand (system time — MySQL is another process, but
+it contends for the same CPUs, so charging the worker keeps the node's
+total demand exact) plus a probabilistic disk stall.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.sim.units import MILLISECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+    from repro.kernel.task import TaskContext
+    from repro.server.request import Request
+
+
+class DatabaseStage:
+    """Per-back-end database cost stage."""
+
+    #: probability a query misses the buffer pool and stalls on disk
+    MISS_PROBABILITY = 0.03
+    #: disk stall duration on a miss
+    MISS_STALL = 4 * MILLISECOND
+
+    def __init__(self, node: "Node", rng: np.random.Generator) -> None:
+        self.node = node
+        self.rng = rng
+        self.queries = 0
+        self.misses = 0
+
+    def execute(self, k: "TaskContext", request: "Request") -> Generator:
+        """Run the request's DB work in the calling worker's context."""
+        self.queries += 1
+        if request.db_cpu > 0:
+            yield k.compute(request.db_cpu, mode="sys")
+            if self.rng.random() < self.MISS_PROBABILITY:
+                self.misses += 1
+                yield k.sleep(self.MISS_STALL)
+        return None

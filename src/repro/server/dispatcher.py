@@ -1,0 +1,125 @@
+"""Front-end request dispatcher.
+
+Runs on the front-end node. Client requests arrive on the dispatcher's
+socket buffer; for each one the dispatcher consults the admission
+controller and the load balancer (both fed by the monitoring scheme's
+cache) and forwards the request to the chosen back-end over a persistent
+connection. Dispatch consumes real front-end CPU — receive syscalls,
+the balancing computation, the forward TX path — but the front-end is
+deliberately under-loaded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.server.request import Request, RequestStats
+from repro.server.webserver import BackendServer
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+    from repro.kernel.task import Task
+    from repro.monitoring.frontend import FrontendMonitor
+
+
+class Dispatcher:
+    """The front-end request router."""
+
+    #: CPU cost of one balancing decision
+    DECISION_COST = 2_000  # 2 us
+
+    def __init__(
+        self,
+        frontend: "Node",
+        servers: List[BackendServer],
+        balancer,
+        monitor: Optional["FrontendMonitor"] = None,
+        admission=None,
+        health=None,
+        num_tasks: int = 2,
+        request_bytes: int = 512,
+    ) -> None:
+        """``health``: optional
+        :class:`~repro.monitoring.heartbeat.HeartbeatMonitor`; back-ends
+        it marks unhealthy are excluded from routing until they recover.
+        """
+        if not servers:
+            raise ValueError("dispatcher needs at least one back-end server")
+        self.frontend = frontend
+        self.servers = servers
+        self.balancer = balancer
+        self.monitor = monitor
+        self.admission = admission
+        self.health = health
+        self.num_tasks = num_tasks
+        self.request_bytes = request_bytes
+        #: client requests land here (the dispatcher's listening socket)
+        self.inbox: Store = Store(frontend.env, name="dispatcher-inbox")
+        self.stats = RequestStats()
+        self.forwarded = 0
+        self._tasks: List["Task"] = []
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._tasks:
+            raise RuntimeError("dispatcher already started")
+        for i in range(self.num_tasks):
+            self._tasks.append(
+                self.frontend.spawn(f"dispatcher:{i}", self._body)
+            )
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _loads(self) -> Dict[int, "object"]:
+        if self.monitor is None:
+            return {}
+        return self.monitor.latest
+
+    def _body(self, k):
+        while not self._stopped:
+            request: Request
+            request, _nbytes = yield k.wait(self.inbox.get())
+            yield k.syscall(k.copy_cost(self.request_bytes))
+            loads = self._loads()
+            if self.admission is not None and not self.admission.admit(loads):
+                request.rejected = True
+                request.completed_at = k.now
+                self.stats.record(request)
+                # Tell the client immediately (tiny error response).
+                if request.reply_store is not None:
+                    yield from self.frontend.netstack.send(
+                        k, request.reply_node, request.reply_store, request, 128
+                    )
+                continue
+            yield k.compute(self.DECISION_COST)
+            set_request = getattr(self.balancer, "set_request", None)
+            if set_request is not None:
+                set_request(request)
+            choice = self.balancer.choose(loads)
+            if self.health is not None:
+                healthy = self.health.healthy_backends()
+                if healthy and choice not in healthy:
+                    # Re-pick among live servers only.
+                    live_loads = {i: v for i, v in loads.items() if i in healthy}
+                    choice = self.balancer.choose(live_loads)
+                    if choice not in healthy:
+                        choice = healthy[self.forwarded % len(healthy)]
+            request.backend = choice
+            request.dispatched_at = k.now
+            self.balancer.note_assigned(choice)
+            self.forwarded += 1
+            server = self.servers[choice]
+            yield from self.frontend.netstack.send(
+                k, server.node, server.request_queue, request, self.request_bytes
+            )
+
+    # ------------------------------------------------------------------
+    def on_response(self, request: Request) -> None:
+        """Client-side completion hook: records stats and frees the slot."""
+        request.completed_at = self.frontend.env.now
+        self.balancer.note_completed(request.backend)
+        self.stats.record(request)

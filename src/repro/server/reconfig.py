@@ -1,0 +1,184 @@
+"""Dynamic server reconfiguration (the paper's §7 future work).
+
+"We plan to extend the knowledge gained in this study to implement a
+full-fledged reconfiguration module coupled with accurate resource
+monitoring." — this module is that extension, in the style of the
+authors' earlier shared-data-center work ([8, 9] in the paper).
+
+Two services share the cluster; each back-end is assigned to one pool.
+The :class:`ReconfigurationManager` watches the per-pool load through a
+monitoring scheme and migrates a server from the under-loaded pool to
+the overloaded one when the imbalance persists. Reaction time — and
+therefore how much load a burst dumps on an overwhelmed pool — is
+bounded below by the monitoring granularity and staleness, so the
+quality of the monitoring scheme is directly measurable as
+reconfiguration lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.monitoring.loadinfo import LoadInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.base import MonitoringScheme
+
+
+@dataclass
+class ReconfigEvent:
+    """One pool-membership change."""
+
+    time: int
+    backend: int
+    from_pool: str
+    to_pool: str
+    trigger_load: float
+
+
+class ReconfigurationManager:
+    """Threshold-based pool rebalancer driven by monitored load."""
+
+    def __init__(
+        self,
+        scheme: "MonitoringScheme",
+        pools: Dict[str, List[int]],
+        interval: Optional[int] = None,
+        high_water: float = 0.75,
+        low_water: float = 0.35,
+        min_pool_size: int = 1,
+        cooldown: int = 0,
+    ) -> None:
+        """``pools``: initial pool name → list of backend indices.
+
+        A backend migrates from the pool whose mean load is below
+        ``low_water`` to one above ``high_water``; ``cooldown`` ns must
+        elapse between consecutive migrations.
+        """
+        if not pools or any(not members for members in pools.values()):
+            raise ValueError("every pool needs at least one backend")
+        seen: set = set()
+        for members in pools.values():
+            for b in members:
+                if b in seen:
+                    raise ValueError(f"backend {b} assigned to two pools")
+                seen.add(b)
+        if not 0 <= low_water < high_water:
+            raise ValueError("need 0 <= low_water < high_water")
+        self.scheme = scheme
+        self.pools: Dict[str, List[int]] = {k: list(v) for k, v in pools.items()}
+        self.interval = interval if interval is not None else scheme.interval
+        self.high_water = high_water
+        self.low_water = low_water
+        self.min_pool_size = min_pool_size
+        self.cooldown = cooldown
+        self.events: List[ReconfigEvent] = []
+        self._last_move = -(10**18)
+        self._stopped = False
+        scheme.frontend.spawn("reconfig-manager", self._body)
+
+    # ------------------------------------------------------------------
+    def pool_of(self, backend: int) -> Optional[str]:
+        for name, members in self.pools.items():
+            if backend in members:
+                return name
+        return None
+
+    def members(self, pool: str) -> List[int]:
+        return list(self.pools[pool])
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _pool_load(self, infos: Dict[int, LoadInfo], pool: str) -> float:
+        members = self.pools[pool]
+        loads = [
+            min(1.0, infos[i].runq_load / 8.0) * 0.5 + infos[i].cpu_util * 0.5
+            for i in members if i in infos
+        ]
+        return sum(loads) / len(loads) if loads else 0.0
+
+    def _body(self, k):
+        while not self._stopped:
+            infos = yield from self.scheme.query_all(k)
+            self._maybe_migrate(k.now, infos)
+            yield k.sleep(self.interval)
+
+    def _maybe_migrate(self, now: int, infos: Dict[int, LoadInfo]) -> None:
+        if now - self._last_move < self.cooldown:
+            return
+        loads = {name: self._pool_load(infos, name) for name in self.pools}
+        hot = max(loads, key=lambda n: loads[n])
+        cold = min(loads, key=lambda n: loads[n])
+        if hot == cold:
+            return
+        if loads[hot] < self.high_water or loads[cold] > self.low_water:
+            return
+        if len(self.pools[cold]) <= self.min_pool_size:
+            return
+        # Move the least-loaded member of the cold pool to the hot pool.
+        donor = min(
+            self.pools[cold],
+            key=lambda i: infos[i].cpu_util if i in infos else 0.0,
+        )
+        self.pools[cold].remove(donor)
+        self.pools[hot].append(donor)
+        self._last_move = now
+        self.events.append(
+            ReconfigEvent(now, donor, cold, hot, loads[hot])
+        )
+
+
+class PooledBalancer:
+    """Routes each request to its service's pool via an inner balancer.
+
+    Wraps a :class:`~repro.server.loadbalancer.LeastLoadedBalancer`-style
+    scorer but restricts candidates to the live members of the service's
+    pool as maintained by the :class:`ReconfigurationManager`.
+    """
+
+    def __init__(self, inner, manager: ReconfigurationManager, service_of) -> None:
+        """``service_of(request) -> pool name``."""
+        self.inner = inner
+        self.manager = manager
+        self.service_of = service_of
+        self._current_request = None
+
+    # Dispatcher protocol -------------------------------------------------
+    def set_request(self, request) -> None:
+        self._current_request = request
+
+    def choose(self, loads: Dict[int, LoadInfo]) -> int:
+        request = self._current_request
+        pool = self.service_of(request) if request is not None else None
+        members = (
+            self.manager.members(pool)
+            if pool is not None and pool in self.manager.pools
+            else None
+        )
+        if not members:
+            return self.inner.choose(loads)
+        restricted = {i: info for i, info in loads.items() if i in members}
+        if not restricted:
+            # No data for this pool yet: rotate within the pool.
+            idx = self.inner.choose({})
+            return members[idx % len(members)]
+        choice = self.inner.choose(restricted)
+        if choice not in members:
+            # Inner fell back outside the pool: clamp.
+            choice = min(
+                members,
+                key=lambda i: self.inner.score(loads[i]) if i in loads else 0.0,
+            )
+        return choice
+
+    def score(self, info: LoadInfo) -> float:
+        return self.inner.score(info)
+
+    def note_assigned(self, backend: int) -> None:
+        self.inner.note_assigned(backend)
+
+    def note_completed(self, backend: int) -> None:
+        self.inner.note_completed(backend)

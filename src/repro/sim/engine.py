@@ -1,0 +1,169 @@
+"""The discrete-event engine.
+
+:class:`Environment` owns the clock and the event queue and drives the
+simulation. It is deliberately minimal: all domain behaviour (CPUs,
+NICs, kernels) is built as processes and events on top of it.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
+from repro.sim.process import Process
+
+
+class SimulationError(Exception):
+    """Raised for structural misuse of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a process to stop the whole simulation immediately."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(Exception):
+    """Internal: the event queue ran dry."""
+
+
+class Environment:
+    """A simulation environment: clock, event queue, process factory.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the nanosecond clock.
+
+    Notes
+    -----
+    The queue is a binary heap of ``(time, priority, sequence, event)``
+    tuples. ``sequence`` increases monotonically with each scheduling
+    operation, so simultaneous same-priority events fire in the exact
+    order they were scheduled — the keystone of reproducibility.
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now: int = int(initial_time)
+        self._queue: List[Tuple[int, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        #: number of events processed so far (diagnostics / tests)
+        self.processed_events: int = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories -----------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a new untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None, priority: int = EventPriority.NORMAL) -> Timeout:
+        """Create an event that fires ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value=value, priority=priority)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, event: Event, priority: int, delay: int = 0) -> None:
+        """Schedule a triggered event for processing ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, int(priority), self._seq, event))
+
+    def peek(self) -> int:
+        """Time of the next scheduled event, or a sentinel max if none."""
+        if not self._queue:
+            return 2**63 - 1
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next event. Raises :class:`EmptySchedule` if none."""
+        try:
+            when, _prio, _seq, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        assert when >= self._now, "event queue went backwards"
+        self._now = when
+        self.processed_events += 1
+        event._process()
+        # An un-handled failure propagates out of the run loop unless some
+        # waiter defused it (e.g. a process that caught the exception).
+        if not event.ok and not event.defused:
+            exc = event.value
+            raise exc
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * an ``int`` — run until that absolute time (clock lands exactly
+          on it);
+        * an :class:`Event` — run until that event is processed, returning
+          its value.
+        """
+        stop_event: Optional[Event] = None
+        horizon: Optional[int] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            horizon = int(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"until={horizon} is in the past (now={self._now})"
+                )
+
+        try:
+            while True:
+                if stop_event is not None and stop_event.processed:
+                    if not stop_event.ok:
+                        raise stop_event.value
+                    return stop_event.value
+                if horizon is not None and self.peek() > horizon:
+                    self._now = horizon
+                    return None
+                try:
+                    self.step()
+                except EmptySchedule:
+                    if stop_event is not None and not stop_event.processed:
+                        raise SimulationError(
+                            f"run() until-event {stop_event!r} can never fire: "
+                            "event queue is empty"
+                        ) from None
+                    if horizon is not None:
+                        self._now = horizon
+                    return None
+        except StopSimulation as stop:
+            return stop.value
+
+    def run_until_quiet(self, max_time: int) -> None:
+        """Run until nothing is scheduled before ``max_time``; clamp clock."""
+        while self._queue and self.peek() <= max_time:
+            self.step()
+        self._now = max(self._now, max_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment t={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,278 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot synchronisation point. Processes wait on
+events by ``yield``-ing them; the engine resumes every waiter when the
+event is *triggered* and then *processed*. Events carry a value (or an
+exception) to their waiters.
+
+Determinism contract: when several events are scheduled for the same
+timestamp they fire in ``(priority, sequence)`` order, where ``sequence``
+is a monotonically increasing counter assigned at scheduling time. Nothing
+in the kernel ever depends on hash ordering or wall-clock time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Environment
+
+
+class EventPriority(enum.IntEnum):
+    """Scheduling priority for simultaneous events (lower fires first).
+
+    ``URGENT`` is reserved for engine-internal bookkeeping (e.g. process
+    resumption after an interrupt) so that user-visible causality is
+    preserved; ``HIGH`` models hardware events (interrupt assertion)
+    that must beat ordinary software timeouts scheduled for the same
+    instant.
+    """
+
+    URGENT = 0
+    HIGH = 1
+    NORMAL = 2
+    LOW = 3
+
+
+class _Pending:
+    """Sentinel for an event value that has not been set yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Lifecycle::
+
+        created -> triggered (value/exception set, queued) -> processed
+
+    ``succeed``/``fail`` move the event to *triggered*; the engine pops it
+    from the queue and runs its callbacks, at which point it is
+    *processed*. Waiting on an already-processed event resumes the waiter
+    immediately (at the current time, URGENT priority).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused", "name")
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        #: callbacks run when the event is processed; each receives the event
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine won't re-raise it."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = EventPriority.NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = EventPriority.NORMAL) -> "Event":
+        """Trigger the event with an exception delivered to all waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- engine hook --------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks; called exactly once by the engine."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        state = "processed" if self._processed else ("triggered" if self.triggered else "pending")
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: int,
+        value: Any = None,
+        priority: int = EventPriority.NORMAL,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env, name=f"Timeout({delay})")
+        self.delay = int(delay)
+        self._ok = True
+        self._value = value
+        env._enqueue(self, priority, delay=self.delay)
+
+
+class ConditionValue:
+    """Mapping-like view of the events that fired in a condition.
+
+    Preserves the order in which the condition's constituent events were
+    given, exposing only those that are processed.
+    """
+
+    def __init__(self, events: List[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event over a fixed list of sub-events.
+
+    ``evaluate`` decides when the condition is met; :class:`AllOf` and
+    :class:`AnyOf` are the standard instantiations. A failed sub-event
+    fails the whole condition immediately.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: List[Event],
+    ) -> None:
+        super().__init__(env, name=evaluate.__name__)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        return ConditionValue([e for e in self._events if e.processed])
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires when the first sub-event fires."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)

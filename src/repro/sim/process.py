@@ -1,0 +1,149 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator. The generator ``yield``s
+:class:`~repro.sim.events.Event` objects; the process suspends until the
+yielded event fires and resumes with the event's value (or the event's
+exception thrown into it). A Process is itself an Event that fires when
+the generator returns, so processes can wait on each other directly.
+
+Interrupts: ``process.interrupt(cause)`` throws :class:`Interrupt` into
+the generator at the current simulation time. The interrupted process
+stops waiting on whatever event it was waiting for (the event stays
+valid; its other waiters are unaffected).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class _InterruptMarker(Event):
+    """Internal carrier event delivering an interrupt to a process."""
+
+    __slots__ = ()
+
+
+class Process(Event):
+    """A running simulation process (also an event: fires on completion)."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        #: event this process is currently waiting on (None while running)
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current time, after any
+        # events already queued for this instant at URGENT priority.
+        init = Event(env, name=f"init:{self.name}")
+        assert init.callbacks is not None
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        env._enqueue(init, EventPriority.URGENT)
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """Event the process is waiting for (``None`` if running/finished)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into this process as soon as possible."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        marker = _InterruptMarker(self.env, name=f"interrupt:{self.name}")
+        assert marker.callbacks is not None
+        marker.callbacks.append(self._resume)
+        marker.fail(Interrupt(cause), priority=EventPriority.URGENT)
+        marker.defuse()
+
+    # -- engine plumbing ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        # If we were waiting on a regular event, detach from it (relevant
+        # for interrupts: the original target may fire later and must not
+        # resume us again).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                # Mark the failure as handled; if the process doesn't catch
+                # it, we will fail the process event below instead.
+                event.defuse()
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value, priority=EventPriority.URGENT)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            from repro.sim.engine import StopSimulation
+
+            if isinstance(exc, StopSimulation):
+                raise
+            self.fail(exc, priority=EventPriority.URGENT)
+            return
+        env._active_process = None
+
+        if not isinstance(result, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {result!r}; processes must "
+                "yield Event instances"
+            )
+        if result.env is not env:
+            raise ValueError("yielded an event from a different environment")
+
+        if result.processed:
+            # Already done: resume at the current instant, urgently.
+            relay = Event(env, name=f"relay:{self.name}")
+            assert relay.callbacks is not None
+            relay.callbacks.append(self._resume)
+            relay._ok = result._ok
+            relay._value = result._value
+            if not result._ok:
+                result.defuse()
+            env._enqueue(relay, EventPriority.URGENT)
+            self._target = None
+        else:
+            assert result.callbacks is not None
+            result.callbacks.append(self._resume)
+            self._target = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else ("waiting" if self._target else "active")
+        return f"<Process {self.name} {state}>"

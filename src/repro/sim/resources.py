@@ -1,0 +1,300 @@
+"""Shared-resource primitives built on the event kernel.
+
+These mirror the classic SimPy resource trio:
+
+* :class:`Resource` — N identical slots, FIFO queueing.
+* :class:`PriorityResource` — slots granted lowest-priority-value-first
+  (FIFO within a priority level).
+* :class:`Store` — a FIFO buffer of Python objects with blocking get/put.
+* :class:`Container` — a divisible quantity (bytes, tokens).
+
+All waiting is strictly deterministic: queues are explicit lists ordered
+by (priority, arrival sequence).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ...
+
+    which guarantees release even if the process is interrupted.
+    """
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env, name=f"req:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+        resource._seq += 1
+        self._order = resource._seq
+        resource._request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` identical slots with FIFO (or priority) queueing."""
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._seq = 0
+        self.users: List[Request] = []
+        self.queue: List[Tuple[int, int, Request]] = []  # (priority, order, req)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a slot. Safe to call for a never-granted request."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            self._cancel(request)
+            return
+        self._grant_next()
+
+    # -- internals ----------------------------------------------------------
+    def _request(self, request: Request) -> None:
+        if len(self.users) < self.capacity and not self.queue:
+            self.users.append(request)
+            request.succeed()
+        else:
+            heapq.heappush(self.queue, (request.priority, request._order, request))
+
+    def _cancel(self, request: Request) -> None:
+        for i, (_p, _o, queued) in enumerate(self.queue):
+            if queued is request:
+                del self.queue[i]
+                heapq.heapify(self.queue)
+                return
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            _p, _o, request = heapq.heappop(self.queue)
+            if request.triggered:
+                continue
+            self.users.append(request)
+            request.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Resource {self.name} {self.count}/{self.capacity} q={len(self.queue)}>"
+
+
+class PriorityResource(Resource):
+    """Alias with priority-aware requests made explicit in the name."""
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    __slots__ = ("store", "filter")
+
+    def __init__(self, store: "Store", item_filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env, name=f"get:{store.name}")
+        self.store = store
+        self.filter = item_filter
+        store._getters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        try:
+            self.store._getters.remove(self)
+        except ValueError:
+            pass
+
+
+class StorePut(Event):
+    """Pending insertion into a bounded :class:`Store`."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env, name=f"put:{store.name}")
+        self.store = store
+        self.item = item
+        store._putters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO object buffer with blocking get/put.
+
+    ``capacity`` bounds the number of buffered items; ``put`` blocks when
+    full. ``get`` optionally takes a filter predicate (first matching item
+    is returned, preserving FIFO order among matches).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 2**62, name: str = "store") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: List[StoreGet] = []
+        self._putters: List[StorePut] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; fires when the item is buffered."""
+        return StorePut(self, item)
+
+    def get(self, item_filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return the first (matching) item; blocks if none."""
+        return StoreGet(self, item_filter)
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking pop: ``(True, item)`` or ``(False, None)``."""
+        if self.items and not self._getters:
+            return True, self.items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internals ----------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit pending puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy pending gets.
+            i = 0
+            while i < len(self._getters) and self.items:
+                getter = self._getters[i]
+                matched_idx = None
+                if getter.filter is None:
+                    matched_idx = 0
+                else:
+                    for j, item in enumerate(self.items):
+                        if getter.filter(item):
+                            matched_idx = j
+                            break
+                if matched_idx is None:
+                    i += 1
+                    continue
+                item = self.items[matched_idx]
+                del self.items[matched_idx]
+                self._getters.pop(i)
+                getter.succeed(item)
+                progress = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Store {self.name} n={len(self.items)}>"
+
+
+class ContainerGet(Event):
+    __slots__ = ("container", "amount")
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env, name=f"cget:{container.name}")
+        self.container = container
+        self.amount = amount
+        container._getters.append(self)
+        container._dispatch()
+
+
+class ContainerPut(Event):
+    __slots__ = ("container", "amount")
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container.env, name=f"cput:{container.name}")
+        self.container = container
+        self.amount = amount
+        container._putters.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A divisible quantity with blocking get/put (e.g. buffer bytes)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: str = "container",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self.level = init
+        self._getters: List[ContainerGet] = []
+        self._putters: List[ContainerPut] = []
+
+    def get(self, amount: float) -> ContainerGet:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        return ContainerGet(self, amount)
+
+    def put(self, amount: float) -> ContainerPut:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.capacity:
+            raise ValueError("amount exceeds container capacity")
+        return ContainerPut(self, amount)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                put = self._putters[0]
+                if self.level + put.amount <= self.capacity:
+                    self._putters.pop(0)
+                    self.level += put.amount
+                    put.succeed()
+                    progress = True
+            if self._getters:
+                get = self._getters[0]
+                if self.level >= get.amount:
+                    self._getters.pop(0)
+                    self.level -= get.amount
+                    get.succeed()
+                    progress = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Container {self.name} {self.level}/{self.capacity}>"

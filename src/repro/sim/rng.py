@@ -1,0 +1,46 @@
+"""Named, seeded random-number streams.
+
+Every stochastic component of the simulator draws from its own named
+stream derived from a single master seed via ``numpy``'s SeedSequence
+spawning. Adding a new consumer therefore never perturbs the draws seen
+by existing ones, which keeps experiments comparable across code changes
+and makes A/B scheme comparisons paired (same arrival sequences).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class RngRegistry:
+    """Factory of independent :class:`numpy.random.Generator` streams."""
+
+    def __init__(self, master_seed: int = 0xC1057E12) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the stream for ``name``, creating it deterministically.
+
+        The stream depends only on ``(master_seed, name)``, not on the
+        order in which streams are first requested.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            # Derive per-name entropy from the name bytes so that creation
+            # order is irrelevant.
+            digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+            entropy = [self.master_seed, int(digest.sum()), len(name)]
+            entropy.extend(int(b) for b in digest[:16])
+            gen = np.random.Generator(np.random.PCG64(np.random.SeedSequence(entropy)))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, salt: int) -> "RngRegistry":
+        """A registry whose streams are independent of this one's."""
+        return RngRegistry(self.master_seed ^ (salt * 0x9E3779B9) & 0xFFFFFFFF)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RngRegistry seed={self.master_seed:#x} streams={len(self._streams)}>"

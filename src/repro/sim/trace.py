@@ -1,0 +1,60 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` records ``(time, category, payload)`` tuples. Components
+emit trace points behind a cheap enabled-check so that tracing costs
+nothing when off. Tests and the interrupt-observatory example use traces
+to assert on causality (e.g. "the softirq ran before the reader woke").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace point."""
+
+    time: int
+    category: str
+    payload: Any
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.time, self.category, self.payload))
+
+
+class Tracer:
+    """Append-only trace buffer with per-category filtering."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._hooks: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+
+    def emit(self, time: int, category: str, payload: Any = None) -> None:
+        """Record a trace point (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time, category, payload)
+        self.records.append(record)
+        for hook in self._hooks.get(category, ()):
+            hook(record)
+
+    def hook(self, category: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``fn`` for every record in ``category`` (while enabled)."""
+        self._hooks.setdefault(category, []).append(fn)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records with the given category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def between(self, start: int, end: int) -> List[TraceRecord]:
+        """Records with ``start <= time < end``."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

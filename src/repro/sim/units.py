@@ -1,0 +1,66 @@
+"""Time units for the simulation clock.
+
+The simulation clock is an integer number of nanoseconds. Integer time
+makes event ordering exact: two events scheduled for "the same time" really
+do compare equal, and determinism then rests only on the explicit
+(priority, sequence) tie-breakers in the event queue rather than on
+floating-point rounding.
+"""
+
+from __future__ import annotations
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+
+US = MICROSECOND
+MS = MILLISECOND
+S = SECOND
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * MICROSECOND)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * MILLISECOND)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return round(value * SECOND)
+
+
+def to_us(t: int) -> float:
+    """Convert integer nanoseconds to microseconds."""
+    return t / MICROSECOND
+
+
+def to_ms(t: int) -> float:
+    """Convert integer nanoseconds to milliseconds."""
+    return t / MILLISECOND
+
+
+def to_seconds(t: int) -> float:
+    """Convert integer nanoseconds to seconds."""
+    return t / SECOND
+
+
+def fmt_time(t: int) -> str:
+    """Render a nanosecond timestamp with a readable unit.
+
+    >>> fmt_time(1_500)
+    '1.500us'
+    >>> fmt_time(2_000_000_000)
+    '2.000s'
+    """
+    if t < MICROSECOND:
+        return f"{t}ns"
+    if t < MILLISECOND:
+        return f"{t / MICROSECOND:.3f}us"
+    if t < SECOND:
+        return f"{t / MILLISECOND:.3f}ms"
+    return f"{t / SECOND:.3f}s"

@@ -1,0 +1,29 @@
+"""Communication planes: native verbs (RDMA), kernel sockets, multicast."""
+
+from repro.transport.verbs import (
+    AccessFlags,
+    CompletionQueue,
+    MemoryRegionHandle,
+    ProtectionDomain,
+    QueuePair,
+    VerbsError,
+    WorkCompletion,
+    connect_qp,
+)
+from repro.transport.sockets import SocketEndpoint, socket_pair, Listener
+from repro.transport.multicast import MulticastGroup
+
+__all__ = [
+    "AccessFlags",
+    "CompletionQueue",
+    "Listener",
+    "MemoryRegionHandle",
+    "MulticastGroup",
+    "ProtectionDomain",
+    "QueuePair",
+    "SocketEndpoint",
+    "VerbsError",
+    "WorkCompletion",
+    "connect_qp",
+    "socket_pair",
+]

@@ -1,0 +1,77 @@
+"""Hardware multicast channel (the paper's §6 discussion).
+
+InfiniBand hardware multicast lets a back-end publish its status to a
+group of front-end dispatchers with a single transmission — scalable,
+but it uses *channel semantics*: every subscriber's kernel takes an
+interrupt and runs softirq protocol processing per message, so the
+one-sided benefits are lost on the receive side. The ablation benchmark
+compares this against RDMA-read polling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Tuple
+
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+    from repro.kernel.task import TaskContext
+
+
+class MulticastGroup:
+    """A multicast address with subscribing nodes."""
+
+    def __init__(self, name: str = "mcast") -> None:
+        self.name = name
+        self._subs: List[Tuple["Node", Store]] = []
+        self._stores: Dict[str, Store] = {}
+        self.messages = 0
+
+    def subscribe(self, node: "Node") -> Store:
+        """Join the group; returns the node's receive store."""
+        if node.name in self._stores:
+            return self._stores[node.name]
+        store = Store(node.env, name=f"mcrx:{self.name}:{node.name}")
+        self._subs.append((node, store))
+        self._stores[node.name] = store
+        return store
+
+    def publish(self, k: "TaskContext", payload: Any, nbytes: int) -> Generator:
+        """Send one datagram to every subscriber (one TX serialisation)."""
+        src = k.node
+        self.messages += 1
+        # Sender-side kernel TX path (UDP-ish, cheaper than TCP).
+        yield k.syscall(0)
+        yield k.compute(k.copy_cost(nbytes), mode="sys")
+        yield k.compute(src.cfg.net.tcp_tx_cost // 2, mode="sys")
+
+        fabric = src.nic.fabric
+        assert fabric is not None
+        dst_nics = [node.nic for node, _ in self._subs if node is not src]
+        by_nic = {node.nic.name: (node, store) for node, store in self._subs}
+
+        def on_arrival(dst_nic) -> None:
+            node, store = by_nic[dst_nic.name]
+            # Arrival consumes receiver CPU: NIC IRQ + softirq delivery.
+            dst_nic._kernel_rx((store, payload), nbytes)
+
+        if dst_nics:
+            fabric.multicast(src.nic, dst_nics, nbytes + src.cfg.net.tcp_overhead_bytes,
+                             on_arrival, bw_factor=src.cfg.net.ipoib_bw_factor)
+        # Local delivery (loopback) is free of wire costs.
+        if src.name in self._stores:
+            self._stores[src.name].put((payload, nbytes))
+        return None
+
+    def recv(self, k: "TaskContext") -> Generator:
+        """Block until the next datagram for the calling node."""
+        store = self._stores.get(k.node.name)
+        if store is None:
+            raise RuntimeError(f"{k.node.name} is not subscribed to {self.name}")
+        payload = yield from k.node.netstack.recv(k, store)
+        return payload
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)

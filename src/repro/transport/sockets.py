@@ -1,0 +1,94 @@
+"""Blocking, message-oriented sockets over the simulated kernel stack.
+
+The traditional (two-sided) transport the paper's Socket-Async and
+Socket-Sync schemes use. Every operation is a composite syscall driven
+with ``yield from`` inside a task body; all CPU costs land on the
+calling task (sender) or in interrupt/softirq context plus the woken
+reader (receiver).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Tuple
+
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+    from repro.kernel.task import TaskContext
+
+
+class SocketEndpoint:
+    """One end of an established connection."""
+
+    def __init__(self, node: "Node", label: str) -> None:
+        self.node = node
+        self.label = label
+        self.rx: Store = Store(node.env, name=f"sockrx:{label}")
+        self.peer: "SocketEndpoint | None" = None
+        self.tx_messages = 0
+        self.rx_messages = 0
+
+    def send(self, k: "TaskContext", payload: Any, nbytes: int) -> Generator:
+        """Send one message to the peer (full TX path on this task)."""
+        if self.peer is None:
+            raise RuntimeError(f"socket {self.label} is not connected")
+        if k.node is not self.node:
+            raise RuntimeError(
+                f"socket {self.label} belongs to {self.node.name}, "
+                f"but the calling task runs on {k.node.name}"
+            )
+        self.tx_messages += 1
+        yield from self.node.netstack.send(k, self.peer.node, self.peer.rx, payload, nbytes)
+        return None
+
+    def recv(self, k: "TaskContext") -> Generator:
+        """Block until a message arrives; returns the payload."""
+        if k.node is not self.node:
+            raise RuntimeError(
+                f"socket {self.label} belongs to {self.node.name}, "
+                f"but the calling task runs on {k.node.name}"
+            )
+        payload = yield from self.node.netstack.recv(k, self.rx)
+        self.rx_messages += 1
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SocketEndpoint {self.label} on {self.node.name}>"
+
+
+def socket_pair(a: "Node", b: "Node", label: str = "") -> Tuple[SocketEndpoint, SocketEndpoint]:
+    """An established connection between two nodes (no handshake cost)."""
+    tag = label or f"{a.name}<->{b.name}"
+    ea = SocketEndpoint(a, f"{tag}:a")
+    eb = SocketEndpoint(b, f"{tag}:b")
+    ea.peer, eb.peer = eb, ea
+    return ea, eb
+
+
+class Listener:
+    """Passive endpoint: accepts connections initiated by other nodes."""
+
+    def __init__(self, node: "Node", name: str = "listener") -> None:
+        self.node = node
+        self.name = name
+        self._accept_queue: Store = Store(node.env, capacity=node.cfg.server.accept_backlog,
+                                          name=f"accq:{name}")
+
+    def connect_from(self, client_node: "Node") -> SocketEndpoint:
+        """Create a connection from ``client_node``; server side is queued.
+
+        Returns the client-side endpoint immediately (connection setup
+        cost is out of scope for the experiments, which use persistent
+        connections).
+        """
+        client_end, server_end = socket_pair(client_node, self.node,
+                                             label=f"{client_node.name}->{self.name}")
+        self._accept_queue.put(server_end)
+        return client_end
+
+    def accept(self, k: "TaskContext") -> Generator:
+        """Block until a connection arrives; returns the server endpoint."""
+        server_end = yield k.wait(self._accept_queue.get())
+        yield k.syscall(0)
+        return server_end

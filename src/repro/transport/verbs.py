@@ -1,0 +1,418 @@
+"""Verbs-style one-sided communication (the paper's §2).
+
+Implements the memory-semantics subset the paper relies on:
+
+* **memory registration** — pin a host region, obtain an ``rkey``;
+  access flags are enforced at the *target NIC*, so a region registered
+  read-only rejects remote writes (the paper's §6 security argument).
+  Kernel live regions (``kern.load``, ``kern.irq_stat``) can be
+  registered exactly like user buffers.
+* **RDMA read** — initiator rings a doorbell (tiny CPU cost), after
+  which everything happens on the adapters: WQE service on the
+  initiator NIC, a request packet, DMA on the *target* NIC against
+  pinned memory with **zero target-CPU involvement**, a response
+  packet, a CQE and a completion interrupt back home.
+* **RDMA write** — symmetric, with the value snapshotted at the
+  initiator and applied at target DMA time.
+* **send/recv (channel semantics)** — two-sided; consumes a posted
+  receive and raises an interrupt on the target. Used by the hardware-
+  multicast ablation to show why channel semantics lose the one-sided
+  benefits (§6).
+
+All initiator entry points are composite generators to be driven with
+``yield from`` inside a task body.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from repro.hw.memory import MemRegion
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+    from repro.kernel.task import TaskContext
+
+
+class VerbsError(Exception):
+    """Structural misuse of the verbs API (not a remote NAK)."""
+
+
+class AccessFlags(enum.IntFlag):
+    """Memory-registration access rights."""
+
+    LOCAL_READ = 1
+    LOCAL_WRITE = 2
+    REMOTE_READ = 4
+    REMOTE_WRITE = 8
+    REMOTE_ATOMIC = 16
+
+
+class WcStatus(enum.Enum):
+    """Work-completion status codes."""
+
+    SUCCESS = "success"
+    REMOTE_ACCESS_ERROR = "remote-access-error"
+    INVALID_RKEY = "invalid-rkey"
+    LENGTH_ERROR = "length-error"
+
+
+@dataclass
+class WorkCompletion:
+    """Result of one work request."""
+
+    opcode: str
+    status: WcStatus
+    wr_id: int
+    value: Any = None
+    nbytes: int = 0
+    completed_at: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS
+
+
+@dataclass
+class MemoryRegionHandle:
+    """A registered memory region."""
+
+    pd: "ProtectionDomain"
+    region: MemRegion
+    rkey: int
+    access: AccessFlags
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.nbytes
+
+    @property
+    def node(self) -> "Node":
+        return self.pd.node
+
+    def deregister(self) -> None:
+        self.pd.deregister(self)
+
+
+class ProtectionDomain:
+    """Per-node registration namespace and rkey table."""
+
+    _ATTR = "_verbs_pd"
+    _next_rkey = [0x1000]
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self.mrs: Dict[int, MemoryRegionHandle] = {}
+
+    @classmethod
+    def for_node(cls, node: "Node") -> "ProtectionDomain":
+        """The node's protection domain (created on first use)."""
+        pd = getattr(node, cls._ATTR, None)
+        if pd is None:
+            pd = cls(node)
+            setattr(node, cls._ATTR, pd)
+        return pd
+
+    def register(self, region: MemRegion, access: AccessFlags) -> MemoryRegionHandle:
+        """Pin ``region`` and grant the given remote-access rights."""
+        if not access & (AccessFlags.LOCAL_READ | AccessFlags.LOCAL_WRITE |
+                         AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE |
+                         AccessFlags.REMOTE_ATOMIC):
+            raise VerbsError("registration needs at least one access flag")
+        region.pin()
+        rkey = ProtectionDomain._next_rkey[0]
+        ProtectionDomain._next_rkey[0] += 1
+        handle = MemoryRegionHandle(self, region, rkey, access)
+        self.mrs[rkey] = handle
+        return handle
+
+    def deregister(self, handle: MemoryRegionHandle) -> None:
+        self.mrs.pop(handle.rkey, None)
+        handle.region.unpin()
+
+    def lookup(self, rkey: int) -> Optional[MemoryRegionHandle]:
+        return self.mrs.get(rkey)
+
+
+class CompletionQueue:
+    """A queue of work completions, drainable from a task body."""
+
+    def __init__(self, node: "Node", name: str = "cq") -> None:
+        self.node = node
+        self.store: Store = Store(node.env, name=name)
+
+    def push(self, wc: WorkCompletion) -> None:
+        wc.completed_at = self.node.env.now
+        self.store.put(wc)
+
+    def wait(self, k: "TaskContext") -> Generator:
+        """Block until the next completion (CQ event + wakeup)."""
+        wc = yield k.wait(self.store.get())
+        return wc
+
+
+class QueuePair:
+    """A reliable-connection queue pair between two nodes."""
+
+    _next_wr = [1]
+
+    def __init__(self, local: "Node", remote: "Node", cq: Optional[CompletionQueue] = None) -> None:
+        self.local = local
+        self.remote = remote
+        self.cq = cq if cq is not None else CompletionQueue(local, name=f"cq:{local.name}")
+        #: posted receive buffers for channel semantics (payload store)
+        self.recv_queue: Store = Store(local.env, name=f"rq:{local.name}")
+        self.peer: Optional["QueuePair"] = None
+        #: statistics
+        self.reads = 0
+        self.writes = 0
+        self.sends = 0
+
+    # ------------------------------------------------------------------
+    # memory semantics
+    # ------------------------------------------------------------------
+    def rdma_read(self, k: "TaskContext", rkey: int, nbytes: int) -> Generator:
+        """One-sided read of the remote region ``rkey``.
+
+        Returns the :class:`WorkCompletion`; the remote CPU is never
+        involved, so the latency is independent of remote load.
+        """
+        wc_event = self._post_read(rkey, nbytes)
+        yield k.compute(self.local.cfg.net.doorbell_cost, mode="user")
+        wc = yield k.wait(wc_event)
+        return wc
+
+    def rdma_write(self, k: "TaskContext", rkey: int, value: Any, nbytes: int) -> Generator:
+        """One-sided write to the remote region ``rkey``."""
+        wc_event = self._post_write(rkey, value, nbytes)
+        yield k.compute(self.local.cfg.net.doorbell_cost, mode="user")
+        wc = yield k.wait(wc_event)
+        return wc
+
+    def _post_read(self, rkey: int, nbytes: int):
+        """Hardware-side read flow; returns an event firing with the WC."""
+        env = self.local.env
+        cfg = self.local.cfg.net
+        wr_id = QueuePair._next_wr[0]
+        QueuePair._next_wr[0] += 1
+        self.reads += 1
+        done = env.event(name=f"rdma-read:{wr_id}")
+        local_nic, remote_nic = self.local.nic, self.remote.nic
+        fabric = local_nic.fabric
+        assert fabric is not None
+
+        def complete(wc: WorkCompletion) -> None:
+            wc.completed_at = env.now
+            # Completion raises a CQ interrupt on the initiator before the
+            # waiting task can be woken.
+            local_nic.raise_cq_interrupt(lambda: done.succeed(wc))
+
+        def at_target() -> None:
+            pd = ProtectionDomain.for_node(self.remote)
+            handle = pd.lookup(rkey)
+            if handle is None:
+                fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
+                                lambda: complete(WorkCompletion("read", WcStatus.INVALID_RKEY, wr_id)))
+                return
+            if not handle.access & AccessFlags.REMOTE_READ:
+                fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
+                                lambda: complete(WorkCompletion("read", WcStatus.REMOTE_ACCESS_ERROR, wr_id)))
+                return
+            if nbytes > handle.nbytes:
+                fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
+                                lambda: complete(WorkCompletion("read", WcStatus.LENGTH_ERROR, wr_id)))
+                return
+            dma_cost = cfg.nic_dma_service + (nbytes * cfg.nic_dma_per_kb) // 1024
+
+            def dma_done() -> None:
+                # Value is captured at the DMA instant — the essence of
+                # reading "always current" kernel memory.
+                value = handle.region.read()
+                wc = WorkCompletion("read", WcStatus.SUCCESS, wr_id, value=value, nbytes=nbytes)
+                fabric.transmit(remote_nic, local_nic, nbytes + cfg.rdma_overhead_bytes,
+                                lambda: local_nic.dma_service(cfg.cqe_cost, lambda: complete(wc)))
+
+            remote_nic.dma_service(dma_cost, dma_done)
+
+        # Initiator NIC: fetch WQE, emit request packet.
+        local_nic.dma_service(
+            cfg.nic_wqe_service,
+            lambda: fabric.transmit(local_nic, remote_nic, cfg.rdma_overhead_bytes, at_target),
+        )
+        return done
+
+    def _post_write(self, rkey: int, value: Any, nbytes: int):
+        env = self.local.env
+        cfg = self.local.cfg.net
+        wr_id = QueuePair._next_wr[0]
+        QueuePair._next_wr[0] += 1
+        self.writes += 1
+        done = env.event(name=f"rdma-write:{wr_id}")
+        local_nic, remote_nic = self.local.nic, self.remote.nic
+        fabric = local_nic.fabric
+        assert fabric is not None
+
+        def complete(wc: WorkCompletion) -> None:
+            wc.completed_at = env.now
+            local_nic.raise_cq_interrupt(lambda: done.succeed(wc))
+
+        def at_target() -> None:
+            pd = ProtectionDomain.for_node(self.remote)
+            handle = pd.lookup(rkey)
+            status = WcStatus.SUCCESS
+            if handle is None:
+                status = WcStatus.INVALID_RKEY
+            elif not handle.access & AccessFlags.REMOTE_WRITE:
+                # Read-only registration: the NAK that implements §6's
+                # "mark these memory regions read-only".
+                status = WcStatus.REMOTE_ACCESS_ERROR
+            elif nbytes > handle.nbytes:
+                status = WcStatus.LENGTH_ERROR
+            if status is not WcStatus.SUCCESS:
+                fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
+                                lambda: complete(WorkCompletion("write", status, wr_id)))
+                return
+            dma_cost = cfg.nic_dma_service + (nbytes * cfg.nic_dma_per_kb) // 1024
+
+            def dma_done() -> None:
+                assert handle is not None
+                handle.region.write(value)
+                wc = WorkCompletion("write", WcStatus.SUCCESS, wr_id, nbytes=nbytes)
+                fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
+                                lambda: local_nic.dma_service(cfg.cqe_cost, lambda: complete(wc)))
+
+            remote_nic.dma_service(dma_cost, dma_done)
+
+        local_nic.dma_service(
+            cfg.nic_wqe_service,
+            lambda: fabric.transmit(local_nic, remote_nic, nbytes + cfg.rdma_overhead_bytes, at_target),
+        )
+        return done
+
+    # ------------------------------------------------------------------
+    # atomics (IBA fetch-and-add / compare-and-swap)
+    # ------------------------------------------------------------------
+    def fetch_add(self, k: "TaskContext", rkey: int, delta: int) -> Generator:
+        """One-sided atomic fetch-and-add on a 64-bit remote counter.
+
+        Returns the WC whose ``value`` is the *previous* counter value.
+        The target NIC performs a locked read-modify-write against
+        pinned memory — still zero target-CPU involvement. Useful for
+        remote sequence numbers and heartbeat counters.
+        """
+        wc_event = self._post_atomic(rkey, "fetch-add", delta, None)
+        yield k.compute(self.local.cfg.net.doorbell_cost, mode="user")
+        wc = yield k.wait(wc_event)
+        return wc
+
+    def compare_swap(self, k: "TaskContext", rkey: int, expected: int, desired: int) -> Generator:
+        """One-sided atomic compare-and-swap; WC value = previous value."""
+        wc_event = self._post_atomic(rkey, "cmp-swap", desired, expected)
+        yield k.compute(self.local.cfg.net.doorbell_cost, mode="user")
+        wc = yield k.wait(wc_event)
+        return wc
+
+    def _post_atomic(self, rkey: int, op: str, operand: int, expected: Optional[int]):
+        env = self.local.env
+        cfg = self.local.cfg.net
+        wr_id = QueuePair._next_wr[0]
+        QueuePair._next_wr[0] += 1
+        done = env.event(name=f"rdma-atomic:{wr_id}")
+        local_nic, remote_nic = self.local.nic, self.remote.nic
+        fabric = local_nic.fabric
+        assert fabric is not None
+
+        def complete(wc: WorkCompletion) -> None:
+            wc.completed_at = env.now
+            local_nic.raise_cq_interrupt(lambda: done.succeed(wc))
+
+        def respond(wc: WorkCompletion) -> None:
+            fabric.transmit(remote_nic, local_nic, 8 + cfg.rdma_overhead_bytes,
+                            lambda: local_nic.dma_service(cfg.cqe_cost,
+                                                          lambda: complete(wc)))
+
+        def at_target() -> None:
+            pd = ProtectionDomain.for_node(self.remote)
+            handle = pd.lookup(rkey)
+            if handle is None:
+                respond(WorkCompletion(op, WcStatus.INVALID_RKEY, wr_id))
+                return
+            if not handle.access & AccessFlags.REMOTE_ATOMIC:
+                respond(WorkCompletion(op, WcStatus.REMOTE_ACCESS_ERROR, wr_id))
+                return
+
+            def dma_done() -> None:
+                assert handle is not None
+                previous = handle.region.read()
+                if not isinstance(previous, int):
+                    respond(WorkCompletion(op, WcStatus.LENGTH_ERROR, wr_id))
+                    return
+                # Locked read-modify-write at the DMA instant.
+                if op == "fetch-add":
+                    handle.region.write(previous + operand)
+                elif expected is not None and previous == expected:
+                    handle.region.write(operand)
+                respond(WorkCompletion(op, WcStatus.SUCCESS, wr_id,
+                                       value=previous, nbytes=8))
+
+            remote_nic.dma_service(cfg.nic_dma_service, dma_done)
+
+        local_nic.dma_service(
+            cfg.nic_wqe_service,
+            lambda: fabric.transmit(local_nic, remote_nic,
+                                    16 + cfg.rdma_overhead_bytes, at_target),
+        )
+        return done
+
+    # ------------------------------------------------------------------
+    # channel semantics (two-sided)
+    # ------------------------------------------------------------------
+    def send(self, k: "TaskContext", payload: Any, nbytes: int) -> Generator:
+        """Channel-semantics send: needs a posted receive at the peer.
+
+        The *peer's CPU* takes a completion interrupt — this is why the
+        §6 multicast alternative is "not completely one-sided".
+        """
+        if self.peer is None:
+            raise VerbsError("QP is not connected")
+        cfg = self.local.cfg.net
+        peer = self.peer
+        self.sends += 1
+        yield k.compute(cfg.doorbell_cost, mode="user")
+        local_nic, remote_nic = self.local.nic, self.remote.nic
+        fabric = local_nic.fabric
+        assert fabric is not None
+
+        def at_target() -> None:
+            def consumed() -> None:
+                peer.recv_queue.put((payload, nbytes))
+
+            # Receive completion interrupts the target host.
+            remote_nic.dma_service(
+                cfg.nic_dma_service,
+                lambda: remote_nic.raise_cq_interrupt(consumed),
+            )
+
+        local_nic.dma_service(
+            cfg.nic_wqe_service,
+            lambda: fabric.transmit(local_nic, remote_nic, nbytes + cfg.rdma_overhead_bytes, at_target),
+        )
+        return None
+
+    def recv(self, k: "TaskContext") -> Generator:
+        """Block until a channel-semantics message arrives."""
+        cfg = self.local.cfg.net
+        payload, nbytes = yield k.wait(self.recv_queue.get())
+        yield k.compute(cfg.channel_recv_cost, mode="sys")
+        return payload
+
+
+def connect_qp(a: "Node", b: "Node") -> tuple:
+    """Create a connected RC queue-pair between two nodes."""
+    qa = QueuePair(a, b)
+    qb = QueuePair(b, a)
+    qa.peer, qb.peer = qb, qa
+    return qa, qb

@@ -1,0 +1,22 @@
+"""Workload generators: RUBiS, Zipf document traces, background load."""
+
+from repro.workloads.rubis import RUBIS_QUERIES, RubisWorkload, QueryClass
+from repro.workloads.zipf import ZipfWorkload, zipf_weights
+from repro.workloads.background import spawn_background_load
+from repro.workloads.floatapp import FloatApp
+from repro.workloads.openloop import OpenLoopWorkload
+from repro.workloads.traces import TraceEntry, TraceRecorder, TraceReplayer
+
+__all__ = [
+    "FloatApp",
+    "OpenLoopWorkload",
+    "QueryClass",
+    "RUBIS_QUERIES",
+    "RubisWorkload",
+    "TraceEntry",
+    "TraceRecorder",
+    "TraceReplayer",
+    "ZipfWorkload",
+    "spawn_background_load",
+    "zipf_weights",
+]

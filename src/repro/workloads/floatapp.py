@@ -1,0 +1,69 @@
+"""The floating-point micro-application of the paper's §5.1.2 (Fig 4).
+
+"The application performs basic floating-point operations and reports
+the time taken." We run a fixed CPU budget in small chunks and report
+wall time divided by ideal time — the *normalised application delay*
+Fig 4 plots against the monitoring granularity. Any CPU stolen by
+monitoring threads, /proc scans, interrupt processing or context
+switches on the same node shows up as delay > 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.units import MICROSECOND, MILLISECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+    from repro.kernel.task import Task
+
+
+class FloatApp:
+    """A measured compute-bound application."""
+
+    def __init__(
+        self,
+        node: "Node",
+        total_compute: int = 400 * MILLISECOND,
+        chunk: int = 500 * MICROSECOND,
+        instances: Optional[int] = None,
+    ) -> None:
+        """``instances`` defaults to the node's CPU count so the app uses
+        the whole node, as a dedicated benchmark run would."""
+        if total_compute <= 0 or chunk <= 0:
+            raise ValueError("compute budget and chunk must be positive")
+        self.node = node
+        self.total_compute = total_compute
+        self.chunk = chunk
+        self.instances = instances if instances is not None else node.num_cpus
+        #: wall-clock duration of each instance, filled at completion
+        self.durations: list = []
+        self._tasks: list = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for i in range(self.instances):
+            self._tasks.append(
+                self.node.spawn(f"floatapp:{self.node.name}:{i}", self._body)
+            )
+
+    @property
+    def finished(self) -> bool:
+        return len(self.durations) == self.instances
+
+    def normalized_delay(self) -> float:
+        """Mean wall time / ideal compute time (1.0 = no interference)."""
+        if not self.durations:
+            raise RuntimeError("application has not finished")
+        return sum(self.durations) / len(self.durations) / self.total_compute
+
+    # ------------------------------------------------------------------
+    def _body(self, k):
+        start = k.now
+        remaining = self.total_compute
+        while remaining > 0:
+            step = min(self.chunk, remaining)
+            yield k.compute(step)
+            remaining -= step
+        self.durations.append(k.now - start)

@@ -1,0 +1,115 @@
+"""Open-loop request injection.
+
+The closed-loop emulators (RUBiS/Zipf clients) self-limit: response-time
+inflation throttles the offered load, which masks overload effects. An
+open-loop source keeps firing at its configured rate regardless of how
+the cluster is doing — the regime where admission control (§1's
+"requests the cluster-system can admit") actually earns its keep, and
+the right tool for capacity measurements.
+
+The generator fires Poisson arrivals of RUBiS-mix requests with a
+client-side deadline; clients that are turned away or time out do not
+slow the arrival process down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.resources import Store
+from repro.sim.units import MICROSECOND, MILLISECOND
+from repro.workloads.rubis import RubisWorkload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+    from repro.server.dispatcher import Dispatcher
+
+
+class OpenLoopWorkload:
+    """Poisson arrivals of RUBiS-mix requests at a fixed rate."""
+
+    def __init__(
+        self,
+        sim: "ClusterSim",
+        dispatcher: "Dispatcher",
+        rate_rps: float,
+        deadline: int = 150 * MILLISECOND,
+        demand_cv: float = 0.4,
+        injectors: int = 8,
+        rng_name: str = "openloop",
+    ) -> None:
+        """``rate_rps``: aggregate arrival rate; ``injectors``: client
+        tasks the rate is split across (each needs to be free to block
+        on its in-flight request's response)."""
+        if rate_rps <= 0:
+            raise ValueError("arrival rate must be positive")
+        if injectors < 1:
+            raise ValueError("need at least one injector")
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.rate_rps = rate_rps
+        self.deadline = deadline
+        self.injectors = injectors
+        # Reuse the RUBiS mix/demand sampling machinery.
+        self._mix = RubisWorkload(sim, dispatcher, num_clients=1,
+                                  demand_cv=demand_cv, deadline=deadline,
+                                  rng_name=f"{rng_name}-mix")
+        self.issued = 0
+        self.dropped_inflight = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        assert self.sim.clients is not None
+        for i in range(self.injectors):
+            self.sim.clients.spawn(f"openloop:{i}", self._injector_body(i))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _injector_body(self, index: int):
+        clients = self.sim.clients
+        assert clients is not None
+        frontend = self.dispatcher.frontend
+        inbox = self.dispatcher.inbox
+        reply_store = Store(clients.env, name=f"ol-replies:{index}")
+        rng = self.sim.rng.stream(f"openloop:{index}")
+        per_injector_gap = self.injectors / self.rate_rps * 1e9  # ns
+
+        def body(k):
+            yield k.sleep(int(rng.integers(0, max(1, int(per_injector_gap)))))
+            while not self._stopped:
+                request = self._mix.make_request(clients, reply_store)
+                request.created_at = k.now
+                self.issued += 1
+                yield from clients.netstack.send(
+                    k, frontend, inbox, request, self.dispatcher.request_bytes
+                )
+                # Open loop: wait for the response (to record it), but
+                # never longer than the next arrival is due. Filter by
+                # request id so an abandoned late response can never be
+                # mistaken for the current one.
+                gap = max(MICROSECOND, int(rng.exponential(per_injector_gap)))
+                deadline_ev = k.env.timeout(gap)
+                rid = request.rid
+                get_ev = reply_store.get(lambda m, rid=rid: m[0].rid == rid)
+                from repro.sim.events import AnyOf
+
+                fired = yield k.wait(AnyOf(k.env, [get_ev, deadline_ev]))
+                if get_ev in fired:
+                    response, _n = get_ev.value
+                    self.dispatcher.on_response(response)
+                    # Sleep out the remainder of the inter-arrival gap.
+                    remaining = gap - (k.now - request.created_at)
+                    if remaining > 0:
+                        yield k.sleep(remaining)
+                else:
+                    # The response is late; drain it in the background of
+                    # this injector's next cycle.
+                    get_ev.cancel()
+                    self.dropped_inflight += 1
+                    request.completed_at = k.now
+                    request.timed_out = True
+                    self.dispatcher.stats.timeout_count += 1
+
+        return body

@@ -1,0 +1,192 @@
+"""RUBiS auction-site workload (the paper's §5.2.1, Table 1).
+
+Implements the eight query classes Table 1 reports, with per-class
+service demands (PHP CPU + DB CPU) calibrated so that average response
+times land in the paper's few-millisecond range on a moderately loaded
+cluster, while heavy classes (BrowseCategoriesInRegions) stay several
+times more expensive than light ones (Home). Clients are closed-loop
+session emulators with exponential think times — eight threads per
+client node in the paper; we default to 64 threads on the client farm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.server.request import Request
+from repro.sim.resources import Store
+from repro.sim.units import MICROSECOND, MILLISECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+    from repro.server.dispatcher import Dispatcher
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """One RUBiS interaction type."""
+
+    name: str
+    #: mean PHP CPU demand, ns
+    web_cpu: int
+    #: mean DB CPU demand, ns
+    db_cpu: int
+    #: probability in the session mix
+    weight: float
+    #: response size, bytes
+    response_bytes: int = 4096
+
+
+#: the eight query classes of Table 1 (paper row order)
+RUBIS_QUERIES: List[QueryClass] = [
+    QueryClass("Home", web_cpu=500 * MICROSECOND, db_cpu=200 * MICROSECOND,
+               weight=0.12, response_bytes=2048),
+    QueryClass("Browse", web_cpu=600 * MICROSECOND, db_cpu=500 * MICROSECOND,
+               weight=0.22, response_bytes=4096),
+    QueryClass("BrowseRegions", web_cpu=900 * MICROSECOND, db_cpu=1800 * MICROSECOND,
+               weight=0.12, response_bytes=4096),
+    QueryClass("BrowseCatgryReg", web_cpu=2500 * MICROSECOND, db_cpu=7000 * MICROSECOND,
+               weight=0.08, response_bytes=8192),
+    QueryClass("SearchItemsReg", web_cpu=800 * MICROSECOND, db_cpu=1200 * MICROSECOND,
+               weight=0.18, response_bytes=4096),
+    QueryClass("PutBidAuth", web_cpu=700 * MICROSECOND, db_cpu=500 * MICROSECOND,
+               weight=0.10, response_bytes=2048),
+    QueryClass("Sell", web_cpu=700 * MICROSECOND, db_cpu=800 * MICROSECOND,
+               weight=0.08, response_bytes=2048),
+    QueryClass("AboutMe", web_cpu=700 * MICROSECOND, db_cpu=600 * MICROSECOND,
+               weight=0.10, response_bytes=4096),
+]
+
+_WEIGHTS = np.array([q.weight for q in RUBIS_QUERIES])
+_WEIGHTS = _WEIGHTS / _WEIGHTS.sum()
+
+
+class RubisWorkload:
+    """Closed-loop RUBiS client emulator."""
+
+    def __init__(
+        self,
+        sim: "ClusterSim",
+        dispatcher: "Dispatcher",
+        num_clients: int = 64,
+        think_time: int = 12 * MILLISECOND,
+        demand_cv: float = 0.35,
+        burst_length: float = 8.0,
+        idle_factor: float = 6.0,
+        deadline: int = 0,
+        persistence: float = 0.0,
+        rng_name: str = "rubis",
+    ) -> None:
+        """``burst_length``: mean requests per session burst (clients fire
+        bursts back-to-back, then idle ``idle_factor``× the think time —
+        the bursty traffic the paper's §4 calls out). ``burst_length <= 1``
+        disables burstiness (pure exponential think times). ``deadline``:
+        client patience in ns (0 = infinite); late responses count as
+        timeouts in the dispatcher statistics. ``persistence``: probability
+        a session repeats its previous query class (a lazy Markov chain —
+        the stationary distribution stays exactly the calibrated mix, but
+        sessions produce browsing sprees of correlated demand)."""
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.num_clients = num_clients
+        self.think_time = think_time
+        self.demand_cv = demand_cv
+        self.burst_length = burst_length
+        self.idle_factor = idle_factor
+        if not 0.0 <= persistence < 1.0:
+            raise ValueError("persistence must be in [0, 1)")
+        self.deadline = deadline
+        self.persistence = persistence
+        self.rng = sim.rng.stream(rng_name)
+        self.issued = 0
+        self._next_rid = [0]
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the client threads on the client farm."""
+        assert self.sim.clients is not None
+        for c in range(self.num_clients):
+            self.sim.clients.spawn(f"rubis-client:{c}", self._client_body(c))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def make_request(self, reply_node, reply_store, session=None) -> Request:
+        """Sample one request from the session mix.
+
+        ``session``: optional one-element list holding the session's last
+        query index; with ``persistence`` > 0 the session repeats it with
+        that probability (correlated demand), else resamples the mix.
+        """
+        if (session is not None and session[0] is not None
+                and self.persistence > 0
+                and self.rng.random() < self.persistence):
+            idx = session[0]
+        else:
+            idx = int(self.rng.choice(len(RUBIS_QUERIES), p=_WEIGHTS))
+        if session is not None:
+            session[0] = idx
+        q = RUBIS_QUERIES[idx]
+        # Lognormal demand variation around the class mean.
+        scale = float(self.rng.lognormal(mean=0.0, sigma=self.demand_cv))
+        self._next_rid[0] += 1
+        self.issued += 1
+        return Request(
+            rid=self._next_rid[0],
+            workload="rubis",
+            query=q.name,
+            web_cpu=int(q.web_cpu * scale),
+            db_cpu=int(q.db_cpu * scale),
+            response_bytes=q.response_bytes,
+            reply_node=reply_node,
+            reply_store=reply_store,
+            deadline=self.deadline,
+        )
+
+    def _client_body(self, index: int):
+        clients = self.sim.clients
+        assert clients is not None
+        frontend = self.dispatcher.frontend
+        inbox = self.dispatcher.inbox
+        reply_store = Store(clients.env, name=f"rubis-replies:{index}")
+        think_rng = self.sim.rng.stream(f"rubis-think:{index}")
+
+        def body(k):
+            # Desynchronise session starts.
+            yield k.sleep(int(think_rng.integers(0, max(1, self.think_time * 4))))
+            session = [None]
+            while not self._stopped:
+                burst = 1
+                if self.burst_length > 1:
+                    burst = 1 + int(think_rng.geometric(1.0 / self.burst_length))
+                session[0] = None  # a new burst starts a fresh spree
+                for _ in range(burst):
+                    if self._stopped:
+                        return
+                    request = self.make_request(clients, reply_store, session=session)
+                    request.created_at = k.now
+                    yield from clients.netstack.send(
+                        k, frontend, inbox, request, self.dispatcher.request_bytes
+                    )
+                    response = yield from clients.netstack.recv(k, reply_store)
+                    self.dispatcher.on_response(response)
+                    if response.rejected:
+                        # Turned away at the door: the user backs off
+                        # (or takes their business elsewhere — §1).
+                        backoff = int(think_rng.exponential(
+                            self.think_time * self.idle_factor * 2))
+                        yield k.sleep(max(MICROSECOND, backoff))
+                        break
+                    think = int(think_rng.exponential(self.think_time))
+                    yield k.sleep(max(MICROSECOND, think))
+                idle = int(think_rng.exponential(self.think_time * self.idle_factor))
+                yield k.sleep(max(MICROSECOND, idle))
+
+        return body

@@ -1,0 +1,188 @@
+"""Request-trace recording and replay.
+
+Capacity studies and regression comparisons want *identical* request
+streams across runs. A :class:`TraceRecorder` snapshots the request
+stream of any run (arrival times, query classes, exact demands) into a
+plain list of dicts (JSON-serialisable); :class:`TraceReplayer` fires a
+recorded trace open-loop at the original timing (or time-scaled), so two
+schemes can be compared on byte-identical input.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.server.request import Request
+from repro.sim.resources import Store
+from repro.sim.units import MICROSECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+    from repro.server.dispatcher import Dispatcher
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded request."""
+
+    offset_ns: int
+    workload: str
+    query: str
+    web_cpu: int
+    db_cpu: int
+    doc_id: Optional[int]
+    response_bytes: int
+    deadline: int
+
+    def to_dict(self) -> dict:
+        return {
+            "offset_ns": self.offset_ns, "workload": self.workload,
+            "query": self.query, "web_cpu": self.web_cpu,
+            "db_cpu": self.db_cpu, "doc_id": self.doc_id,
+            "response_bytes": self.response_bytes, "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEntry":
+        return cls(**d)
+
+
+class TraceRecorder:
+    """Builds a trace from completed/observed requests."""
+
+    def __init__(self, start_time: int = 0) -> None:
+        self.start_time = start_time
+        self.entries: List[TraceEntry] = []
+
+    def record(self, request: Request) -> None:
+        """Capture one request (call from a dispatcher/stats hook)."""
+        self.entries.append(TraceEntry(
+            offset_ns=max(0, request.created_at - self.start_time),
+            workload=request.workload,
+            query=request.query,
+            web_cpu=request.web_cpu,
+            db_cpu=request.db_cpu,
+            doc_id=request.doc_id,
+            response_bytes=request.response_bytes,
+            deadline=request.deadline,
+        ))
+
+    def record_stats(self, stats) -> None:
+        """Capture every completed request from a RequestStats."""
+        for request in stats.completed:
+            self.record(request)
+
+    # -- persistence ---------------------------------------------------------
+    def dumps(self) -> str:
+        ordered = sorted(self.entries, key=lambda e: e.offset_ns)
+        return json.dumps([e.to_dict() for e in ordered])
+
+    def dump(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.dumps())
+
+    @staticmethod
+    def loads(text: str) -> List[TraceEntry]:
+        return [TraceEntry.from_dict(d) for d in json.loads(text)]
+
+    @staticmethod
+    def load(path) -> List[TraceEntry]:
+        with open(path) as fh:
+            return TraceRecorder.loads(fh.read())
+
+
+class TraceReplayer:
+    """Replays a trace open-loop with the original inter-arrival times."""
+
+    def __init__(
+        self,
+        sim: "ClusterSim",
+        dispatcher: "Dispatcher",
+        trace: List[TraceEntry],
+        time_scale: float = 1.0,
+        injectors: int = 16,
+    ) -> None:
+        """``time_scale`` < 1 replays faster (stress), > 1 slower."""
+        if not trace:
+            raise ValueError("cannot replay an empty trace")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if injectors < 1:
+            raise ValueError("need at least one injector")
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.trace = sorted(trace, key=lambda e: e.offset_ns)
+        self.time_scale = time_scale
+        self.injectors = injectors
+        self.issued = 0
+        self.completed_inline = 0
+        self._next_rid = [5_000_000]
+
+    def start(self) -> None:
+        assert self.sim.clients is not None
+        # Round-robin the trace across injector tasks; each fires its
+        # share at the scheduled offsets.
+        shards: List[List[TraceEntry]] = [[] for _ in range(self.injectors)]
+        for i, entry in enumerate(self.trace):
+            shards[i % self.injectors].append(entry)
+        for i, shard in enumerate(shards):
+            if shard:
+                self.sim.clients.spawn(f"replay:{i}", self._injector_body(i, shard))
+
+    def _injector_body(self, index: int, shard: List[TraceEntry]):
+        clients = self.sim.clients
+        assert clients is not None
+        frontend = self.dispatcher.frontend
+        inbox = self.dispatcher.inbox
+        reply_store = Store(clients.env, name=f"replay-replies:{index}")
+        base = clients.env.now
+
+        def body(k):
+            from repro.sim.events import AnyOf
+
+            got = 0
+            for entry in shard:
+                due = base + int(entry.offset_ns * self.time_scale)
+                if due > k.now:
+                    yield k.sleep(due - k.now)
+                self._next_rid[0] += 1
+                request = Request(
+                    rid=self._next_rid[0],
+                    workload=entry.workload,
+                    query=entry.query,
+                    web_cpu=entry.web_cpu,
+                    db_cpu=entry.db_cpu,
+                    doc_id=entry.doc_id,
+                    response_bytes=entry.response_bytes,
+                    deadline=entry.deadline,
+                    reply_node=clients,
+                    reply_store=reply_store,
+                )
+                request.created_at = k.now
+                self.issued += 1
+                yield from clients.netstack.send(
+                    k, frontend, inbox, request, self.dispatcher.request_bytes
+                )
+                # Collect any responses that have landed (non-blocking).
+                while True:
+                    ok, item = reply_store.try_get()
+                    if not ok:
+                        break
+                    self.dispatcher.on_response(item[0])
+                    got += 1
+                    self.completed_inline += 1
+            # Shard exhausted: drain the stragglers (bounded patience).
+            while got < len(shard):
+                get_ev = reply_store.get()
+                deadline = k.env.timeout(200 * 1_000_000)
+                fired = yield k.wait(AnyOf(k.env, [get_ev, deadline]))
+                if get_ev not in fired:
+                    get_ev.cancel()
+                    break
+                self.dispatcher.on_response(get_ev.value[0])
+                got += 1
+                self.completed_inline += 1
+
+        return body

@@ -1,0 +1,134 @@
+"""Zipf document-trace workload (the paper's §5.2.1, Fig 7).
+
+"According to Zipf law, the relative probability of a request for the
+i'th most popular document is proportional to 1/i^α" — higher α means
+higher temporal locality. At low α the working set exceeds the per-node
+document caches, so placement quality (which server's cache holds what;
+who is stalled on disk) matters and fine-grained monitoring pays off;
+at high α everything is cached everywhere and all schemes converge —
+exactly the trend of Fig 7.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.server.request import Request
+from repro.sim.resources import Store
+from repro.sim.units import MICROSECOND, MILLISECOND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+    from repro.server.dispatcher import Dispatcher
+
+
+def zipf_weights(num_documents: int, alpha: float) -> np.ndarray:
+    """Normalised Zipf(α) probabilities over document ranks 1..N."""
+    if num_documents < 1:
+        raise ValueError("need at least one document")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, num_documents + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+class ZipfWorkload:
+    """Closed-loop static-content clients driving the document trace."""
+
+    #: PHP-side cost of serving any document request (dispatch, headers)
+    WEB_CPU = 250 * MICROSECOND
+
+    def __init__(
+        self,
+        sim: "ClusterSim",
+        dispatcher: "Dispatcher",
+        alpha: float = 0.5,
+        num_clients: int = 32,
+        think_time: int = 15 * MILLISECOND,
+        num_documents: Optional[int] = None,
+        burst_length: float = 6.0,
+        idle_factor: float = 5.0,
+        rng_name: str = "zipf",
+    ) -> None:
+        """Bursty sessions (``burst_length`` requests back-to-back, then
+        an ``idle_factor``×think pause): a burst of cache misses
+        transiently saturates one server's disk, which is exactly the
+        imbalance that timely load information routes around (Fig 7)."""
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.alpha = alpha
+        self.num_clients = num_clients
+        self.think_time = think_time
+        self.burst_length = burst_length
+        self.idle_factor = idle_factor
+        self.num_documents = (
+            num_documents if num_documents is not None else sim.cfg.server.zipf_documents
+        )
+        self.weights = zipf_weights(self.num_documents, alpha)
+        self.rng = sim.rng.stream(rng_name)
+        self.issued = 0
+        self._next_rid = [1_000_000]
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        assert self.sim.clients is not None
+        for c in range(self.num_clients):
+            self.sim.clients.spawn(f"zipf-client:{c}", self._client_body(c))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def sample_document(self) -> int:
+        """Draw a document id from the Zipf(α) popularity distribution."""
+        return int(self.rng.choice(self.num_documents, p=self.weights))
+
+    def make_request(self, reply_node, reply_store) -> Request:
+        self._next_rid[0] += 1
+        self.issued += 1
+        return Request(
+            rid=self._next_rid[0],
+            workload="zipf",
+            query=f"doc",
+            web_cpu=self.WEB_CPU,
+            db_cpu=0,
+            doc_id=self.sample_document(),
+            response_bytes=4096,
+            reply_node=reply_node,
+            reply_store=reply_store,
+        )
+
+    def _client_body(self, index: int):
+        clients = self.sim.clients
+        assert clients is not None
+        frontend = self.dispatcher.frontend
+        inbox = self.dispatcher.inbox
+        reply_store = Store(clients.env, name=f"zipf-replies:{index}")
+        think_rng = self.sim.rng.stream(f"zipf-think:{index}")
+
+        def body(k):
+            yield k.sleep(int(think_rng.integers(0, max(1, self.think_time * 4))))
+            while not self._stopped:
+                burst = 1
+                if self.burst_length > 1:
+                    burst = 1 + int(think_rng.geometric(1.0 / self.burst_length))
+                for _ in range(burst):
+                    if self._stopped:
+                        return
+                    request = self.make_request(clients, reply_store)
+                    request.created_at = k.now
+                    yield from clients.netstack.send(
+                        k, frontend, inbox, request, self.dispatcher.request_bytes
+                    )
+                    response = yield from clients.netstack.recv(k, reply_store)
+                    self.dispatcher.on_response(response)
+                    think = int(think_rng.exponential(self.think_time))
+                    yield k.sleep(max(MICROSECOND, think))
+                idle = int(think_rng.exponential(self.think_time * self.idle_factor))
+                yield k.sleep(max(MICROSECOND, idle))
+
+        return body

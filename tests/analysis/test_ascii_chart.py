@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import ascii_chart
+
+
+def test_basic_chart_structure():
+    out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=30, height=8,
+                      title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert len(lines) == 1 + 8 + 2 + 1  # title + grid + axis/xlabels + legend
+    assert "legend: * a" in lines[-1]
+
+
+def test_markers_present_for_each_series():
+    out = ascii_chart([0, 1], {"up": [0, 10], "down": [10, 0]}, width=20, height=6)
+    assert "*" in out and "o" in out
+
+
+def test_monotone_series_renders_monotone():
+    out = ascii_chart([0, 1, 2, 3], {"a": [0, 1, 2, 3]}, width=24, height=8)
+    grid_lines = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+    rows = []
+    for r, line in enumerate(grid_lines):
+        for c, ch in enumerate(line):
+            if ch == "*":
+                rows.append((c, r))
+    rows.sort()
+    # Higher x -> higher value -> smaller row index.
+    assert all(r1 >= r2 for (_, r1), (_, r2) in zip(rows, rows[1:]))
+
+
+def test_y_axis_labels_show_range():
+    out = ascii_chart([0, 1], {"a": [5.0, 25.0]}, width=20, height=6)
+    assert "25" in out and "5" in out
+
+
+def test_log_scale_handles_wide_ranges():
+    out = ascii_chart([0, 1, 2], {"a": [1, 100, 10000]}, width=24, height=8,
+                      log_y=True)
+    assert "1e+04" in out or "10000" in out
+
+
+def test_flat_series_does_not_crash():
+    out = ascii_chart([0, 1, 2], {"a": [2.0, 2.0, 2.0]}, width=20, height=5)
+    assert "*" in out
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([1], {"a": [1]}, width=20, height=5)
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {}, width=20, height=5)
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"a": [1, 2, 3]}, width=20, height=5)
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"a": [1, 2]}, width=1, height=5)

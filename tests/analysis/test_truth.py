@@ -1,0 +1,57 @@
+"""Tests for the ground-truth sampler."""
+
+import pytest
+
+from repro.analysis.truth import GroundTruthSampler
+from repro.sim.units import ms, us
+
+
+def test_sampler_collects_series(cluster1):
+    be = cluster1.backends[0]
+    sampler = GroundTruthSampler(be, interval=ms(5))
+    cluster1.run(ms(100))
+    series = sampler.series["nr_threads"]
+    assert len(series) >= 18
+    times = [t for t, _ in series]
+    assert times == sorted(times)
+
+
+def test_sampler_tracks_load_changes(cluster1):
+    be = cluster1.backends[0]
+    sampler = GroundTruthSampler(be, interval=ms(2))
+
+    def hog(k):
+        while True:
+            yield k.compute(us(1000))
+
+    cluster1.run(ms(50))
+    be.spawn("hog", hog)
+    cluster1.run(ms(150))
+    busy = sampler.series["busy_cpus"]
+    early = [v for t, v in busy if t < ms(50)]
+    late = [v for t, v in busy if t > ms(60)]
+    assert max(early) == 0.0
+    assert max(late) >= 1.0
+
+
+def test_probe_is_instantaneous(cluster1):
+    be = cluster1.backends[0]
+    sampler = GroundTruthSampler(be, interval=ms(50))
+    probe = sampler.probe()
+    assert set(probe) == {"nr_threads", "nr_running", "runq_load", "busy_cpus"}
+    assert probe["nr_threads"] == 2.0  # ksoftirqd x2
+
+
+def test_sampler_stop(cluster1):
+    be = cluster1.backends[0]
+    sampler = GroundTruthSampler(be, interval=ms(5))
+    cluster1.run(ms(50))
+    sampler.stop()
+    n = len(sampler.series["nr_threads"])
+    cluster1.run(ms(150))
+    assert len(sampler.series["nr_threads"]) <= n + 1
+
+
+def test_interval_validation(cluster1):
+    with pytest.raises(ValueError):
+        GroundTruthSampler(cluster1.backends[0], interval=0)

@@ -1,0 +1,18 @@
+"""Shared fixtures: small clusters and task helpers."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+
+
+@pytest.fixture
+def cluster2():
+    """A booted cluster with two back-ends (plus the front-end)."""
+    return build_cluster(SimConfig(num_backends=2))
+
+
+@pytest.fixture
+def cluster1():
+    """A booted cluster with one back-end."""
+    return build_cluster(SimConfig(num_backends=1))

@@ -1,0 +1,104 @@
+"""Quick-mode smoke tests of every experiment: shape assertions only.
+
+Each experiment runs at a reduced scale here; full-scale runs live in
+``benchmarks/``. The assertions check the *qualitative* paper claims —
+who wins, in which direction — not absolute values.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig3_latency,
+    fig4_granularity,
+    fig5_accuracy,
+    fig6_interrupts,
+    fig7_zipf,
+    fig8_ganglia,
+    fig9_finegrained,
+    table1_rubis,
+)
+from repro.sim.units import MILLISECOND, SECOND
+
+
+def test_fig3_socket_grows_rdma_flat():
+    res = fig3_latency.run(thread_counts=(0, 32), duration=1 * SECOND)
+    for name in ("socket-async", "socket-sync"):
+        assert res.series[name][1] > res.series[name][0], name
+    for name in ("rdma-async", "rdma-sync"):
+        lo, hi = res.series[name]
+        assert abs(hi - lo) < 2.0, (name, lo, hi)  # µs
+
+
+def test_fig3_socket_sync_latency_grows_superlinearly():
+    res = fig3_latency.run(thread_counts=(0, 16, 48), duration=1 * SECOND)
+    s = res.series["socket-sync"]
+    assert s[2] > 2 * s[1] > 2 * s[0]
+
+
+def test_fig4_rdma_sync_unperturbed():
+    res = fig4_granularity.run(granularities_ms=(1, 64),
+                               schemes=("socket-async", "rdma-sync"),
+                               app_compute=150 * MILLISECOND)
+    sa, rs = res.series["socket-async"], res.series["rdma-sync"]
+    assert rs[0] < 1.01  # rdma-sync flat even at 1 ms
+    assert sa[0] > rs[0] + 0.02  # socket-async visibly perturbs at 1 ms
+    assert sa[1] < sa[0]  # perturbation shrinks with granularity
+
+
+def test_fig5_rdma_sync_most_accurate():
+    res = fig5_accuracy.run(load_levels=(0, 24), window=1 * SECOND)
+    for metric in ("threads", "load"):
+        rdma_sync = res.series[f"rdma-sync:{metric}"]
+        assert max(rdma_sync) < 0.5, (metric, rdma_sync)
+    # The async schemes deviate under load.
+    assert res.series["rdma-async:load"][1] > 0.3
+    assert res.series["socket-async:load"][1] > 0.3
+
+
+def test_fig6_rdma_sync_sees_most_pending():
+    res = fig6_interrupts.run(duration=3 * SECOND)
+    idx = {name: i for i, name in enumerate(res.xs)}
+    cpu1 = res.series["mean_pending_cpu1"]
+    assert cpu1[idx["rdma-sync"]] >= 2 * cpu1[idx["socket-sync"]]
+    # NIC affinity: CPU1 sees more than CPU0 for the DMA sampler.
+    cpu0 = res.series["mean_pending_cpu0"]
+    assert cpu1[idx["rdma-sync"]] > cpu0[idx["rdma-sync"]]
+
+
+def test_table1_rdma_sync_beats_socket_async():
+    res = table1_rubis.run(
+        schemes=("socket-async", "e-rdma-sync"),
+        duration=6 * SECOND,
+        num_backends=2, num_clients=48, workers=24,
+    )
+    sa = res.tables["socket-async"]["__all__"]
+    er = res.tables["e-rdma-sync"]["__all__"]
+    assert er["avg_ms"] < sa["avg_ms"]
+    assert er["throughput_rps"] > sa["throughput_rps"]
+
+
+def test_fig7_rdma_gains_at_low_alpha():
+    res = fig7_zipf.run(
+        alphas=(0.25,), schemes=("socket-async", "e-rdma-sync"),
+        duration=6 * SECOND, num_backends=2,
+        rubis_clients=24, zipf_clients=24, workers=24,
+    )
+    assert res.series["e-rdma-sync:improvement_pct"][0] > 0
+
+
+def test_fig8_rdma_collection_cheaper_at_fine_granularity():
+    res = fig8_ganglia.run(
+        granularities_ms=(1,), schemes=("socket-sync", "rdma-sync"),
+        duration=6 * SECOND,
+    )
+    assert (res.series["socket-sync:p95_ms"][0]
+            > res.series["rdma-sync:p95_ms"][0] * 0.95)
+
+
+def test_fig9_rdma_sync_wins_at_fine_granularity():
+    res = fig9_finegrained.run(
+        granularities_ms=(64,), schemes=("socket-async", "rdma-sync"),
+        duration=6 * SECOND, num_backends=2,
+        rubis_clients=24, zipf_clients=24, workers=24,
+    )
+    assert res.series["rdma-sync:rps"][0] > res.series["socket-async:rps"][0] * 0.95

@@ -1,0 +1,30 @@
+"""CLI coverage: the run_all registry stays in sync with the experiments."""
+
+import pytest
+
+from repro.experiments.run_all import RUNNERS
+
+
+def test_every_paper_figure_has_a_runner():
+    for key in ("fig3", "fig4", "fig5", "fig6", "table1",
+                "fig7", "fig8", "fig9", "scalability"):
+        assert key in RUNNERS, key
+
+
+def test_quick_runner_fig6(tmp_path, capsys):
+    from repro.experiments.run_all import main
+
+    rc = main(["fig6", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    text = (tmp_path / "fig6.txt").read_text()
+    assert "rdma-sync" in text
+    assert "pending" in text
+
+
+def test_quick_runner_fig3(tmp_path, capsys):
+    from repro.experiments.run_all import main
+
+    rc = main(["fig3", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    text = (tmp_path / "fig3.txt").read_text()
+    assert "socket-sync" in text

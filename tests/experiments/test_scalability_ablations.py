@@ -1,0 +1,35 @@
+"""Quick-mode tests for the scalability experiment and ablations."""
+
+from repro.experiments import ablations, scalability
+from repro.sim.units import SECOND
+
+
+def test_scalability_shapes():
+    res = scalability.run(sizes=(2, 8), duration=2 * SECOND)
+    socket = res.series["socket_round_us"]
+    rdma = res.series["rdma_round_us"]
+    assert rdma[0] < socket[0] / 5
+    assert rdma[1] < socket[1] / 5
+    # RDMA round time grows roughly linearly with N (engine serialises).
+    assert rdma[1] > rdma[0]
+    assert all(v == 0.0 for v in res.series["rdma_backend_monitor_cpu_pct"])
+
+
+def test_ablation_irq_affinity_quick():
+    res = ablations.run_irq_affinity(duration=2 * SECOND)
+    cpu1 = res.series["cpu1"]
+    cpu0 = res.series["cpu0"]
+    assert cpu1[0] > cpu0[0]  # affinity concentrates on CPU1
+
+
+def test_ablation_multicast_quick():
+    res = ablations.run_multicast_push()
+    push, poll = res.series["normalized_app_delay"]
+    assert push > poll
+
+
+def test_ablation_scheduler_quick():
+    res = ablations.run_scheduler_wakeups(duration=2 * SECOND)
+    lat = dict(zip(res.xs, res.series["socket_sync_latency_us"]))
+    assert lat["2.4-faithful"] > 0
+    assert lat["preemptible-kernel"] < lat["2.4-faithful"]

@@ -1,0 +1,139 @@
+"""Tests for the Ganglia substrate: gmond, gmetad, gmetric."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.ganglia.gmetad import Gmetad
+from repro.ganglia.gmetric import Gmetric
+from repro.ganglia.gmond import Gmond
+from repro.ganglia.metrics import MetricRecord, MetricStore
+from repro.hw.cluster import build_cluster
+from repro.monitoring import create_scheme
+from repro.sim.units import ms, seconds
+from repro.transport.multicast import MulticastGroup
+
+
+def test_metric_store_latest_and_history():
+    store = MetricStore()
+    store.update(MetricRecord("h1", "load", 1.0, 10))
+    store.update(MetricRecord("h1", "load", 2.0, 20))
+    assert store.value("h1", "load") == 2.0
+    assert len(store) == 2
+    assert store.hosts() == ["h1"]
+    assert store.metrics_for("h1") == {"load": 2.0}
+
+
+def build_ganglia(num_backends=3, interval=ms(200)):
+    sim = build_cluster(SimConfig(num_backends=num_backends))
+    channel = MulticastGroup("ganglia")
+    gmonds = [Gmond(node, channel, interval=interval) for node in sim.backends]
+    return sim, channel, gmonds
+
+
+def test_gmond_collects_local_metrics():
+    sim, _, gmonds = build_ganglia(1)
+    sim.run(seconds(1))
+    g = gmonds[0]
+    assert g.announcements >= 4
+    assert g.store.value(g.node.name, "proc_total") is not None
+
+
+def test_gmond_federation_via_multicast():
+    """Every gmond learns every node's metrics (listen/announce)."""
+    sim, _, gmonds = build_ganglia(3)
+    sim.run(seconds(1))
+    names = {g.node.name for g in gmonds}
+    for g in gmonds:
+        assert set(g.store.hosts()) == names, g.node.name
+
+
+def test_gmetad_aggregates_cluster():
+    sim, _, gmonds = build_ganglia(3)
+    gmetad = Gmetad(sim.frontend, gmonds, interval=ms(300))
+    sim.run(seconds(2))
+    assert gmetad.polls >= 4
+    assert len(gmetad.store.hosts()) == 3
+
+
+def test_gmetad_validation():
+    sim, _, gmonds = build_ganglia(1)
+    with pytest.raises(ValueError):
+        Gmetad(sim.frontend, [], interval=ms(100))
+    with pytest.raises(ValueError):
+        Gmetad(sim.frontend, gmonds, interval=0)
+
+
+def test_gmetric_publishes_scheme_data():
+    sim, channel, gmonds = build_ganglia(2)
+    scheme = create_scheme("rdma-sync", sim, interval=ms(20))
+    gmetric = Gmetric(scheme, channel, granularity=ms(20))
+    sim.run(seconds(1))
+    assert gmetric.published >= 30
+    # gmetric announcements propagate into every gmond's store.
+    g = gmonds[0]
+    assert g.store.value(sim.backends[0].name, "fine_load") is not None
+
+
+def test_gmetric_granularity_validation():
+    sim, channel, _ = build_ganglia(1)
+    scheme = create_scheme("rdma-sync", sim, interval=ms(20))
+    with pytest.raises(ValueError):
+        Gmetric(scheme, channel, granularity=0)
+
+
+def test_gmond_interval_validation():
+    sim = build_cluster(SimConfig(num_backends=1))
+    with pytest.raises(ValueError):
+        Gmond(sim.backends[0], MulticastGroup(), interval=0)
+
+
+def test_multicast_group_subscription():
+    sim = build_cluster(SimConfig(num_backends=2))
+    group = MulticastGroup("test")
+    s1 = group.subscribe(sim.backends[0])
+    s2 = group.subscribe(sim.backends[0])
+    assert s1 is s2  # idempotent
+    group.subscribe(sim.backends[1])
+    assert group.subscriber_count == 2
+
+
+def test_multicast_publish_reaches_all_subscribers():
+    sim = build_cluster(SimConfig(num_backends=3))
+    group = MulticastGroup("test")
+    for node in sim.backends:
+        group.subscribe(node)
+    got = []
+
+    def receiver(node):
+        def body(k):
+            payload = yield from group.recv(k)
+            got.append((node.name, payload))
+
+        return body
+
+    for node in sim.backends[1:]:
+        node.spawn(f"rx:{node.name}", receiver(node))
+
+    def sender(k):
+        yield from group.publish(k, "announcement", 128)
+
+    sim.backends[0].spawn("tx", sender)
+    sim.run(ms(50))
+    assert sorted(n for n, _ in got) == ["backend1", "backend2"]
+    assert all(p == "announcement" for _, p in got)
+
+
+def test_multicast_recv_requires_subscription():
+    sim = build_cluster(SimConfig(num_backends=1))
+    group = MulticastGroup("test")
+    errors = []
+
+    def body(k):
+        try:
+            yield from group.recv(k)
+        except RuntimeError:
+            errors.append(True)
+
+    sim.backends[0].spawn("rx", body)
+    sim.run(ms(10))
+    assert errors == [True]

@@ -1,0 +1,68 @@
+"""Tests for the two gmetric deployment modes."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.ganglia.gmetric import Gmetric
+from repro.hw.cluster import build_cluster
+from repro.monitoring import create_scheme
+from repro.sim.units import ms, seconds
+from repro.transport.multicast import MulticastGroup
+
+
+def build(scheme_name, mode, granularity=ms(10)):
+    sim = build_cluster(SimConfig(num_backends=2))
+    channel = MulticastGroup("ganglia")
+    channel.subscribe(sim.frontend)
+    scheme = create_scheme(scheme_name, sim, interval=granularity)
+    gmetric = Gmetric(scheme, channel, granularity=granularity, mode=mode)
+    return sim, channel, gmetric
+
+
+def test_mode_validation():
+    sim = build_cluster(SimConfig(num_backends=1))
+    scheme = create_scheme("rdma-sync", sim, interval=ms(10))
+    with pytest.raises(ValueError):
+        Gmetric(scheme, MulticastGroup(), granularity=ms(10), mode="carrier-pigeon")
+
+
+def test_frontend_mode_publishes_without_backend_forks():
+    sim, channel, gmetric = build("rdma-sync", "frontend")
+    sim.run(seconds(1))
+    assert gmetric.published > 30
+    assert gmetric.backend_forks == 0
+
+
+def test_backend_agent_mode_forks_on_backends():
+    sim, channel, gmetric = build("socket-sync", "backend-agent")
+    before = [be.sched.nr_threads() for be in sim.backends]
+    sim.run(seconds(1))
+    assert gmetric.backend_forks > 20
+    # The agent threads persist; transient gmetric processes come and go.
+    after = [be.sched.nr_threads() for be in sim.backends]
+    assert all(a >= b for a, b in zip(after, before))
+
+
+def test_backend_agent_announcements_reach_the_channel():
+    sim, channel, gmetric = build("socket-sync", "backend-agent")
+    received = []
+
+    def collector(k):
+        while True:
+            records = yield from channel.recv(k)
+            received.extend(records)
+
+    sim.frontend.spawn("collector", collector)
+    sim.run(seconds(1))
+    assert received
+    assert all(r.source == "gmetric" for r in received)
+    hosts = {r.host for r in received}
+    assert hosts == {be.name for be in sim.backends}
+
+
+def test_agent_mode_respects_process_cap():
+    sim, channel, gmetric = build("socket-sync", "backend-agent", granularity=ms(1))
+    sim.run(seconds(2))
+    for be in sim.backends:
+        live_gmetrics = sum(1 for t in be.sched.tasks if t.name.startswith("gmetric:"))
+        assert live_gmetrics <= Gmetric.MAX_LIVE_PROCESSES

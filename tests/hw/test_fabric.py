@@ -1,0 +1,89 @@
+"""Tests for the fabric/switch model: latency, serialisation, multicast."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.sim.units import us
+
+
+def min_one_way(cfg, nbytes, bw_factor=1.0):
+    net = cfg.net
+    ser = max(1, -(-nbytes // int(net.link_bytes_per_ns * bw_factor)))
+    return 2 * ser + 2 * net.hop_latency + net.switch_latency
+
+
+def test_transmit_delivers_with_expected_latency(cluster2):
+    env, cfg = cluster2.env, cluster2.cfg
+    a, b = cluster2.backends
+    arrivals = []
+    cluster2.fabric.transmit(a.nic, b.nic, 100, lambda: arrivals.append(env.now))
+    env.run(until=us(100))
+    assert arrivals
+    expected = min_one_way(cfg, 100)
+    assert arrivals[0] == expected
+
+
+def test_tx_serialisation_queues_messages(cluster2):
+    env = cluster2.env
+    a, b = cluster2.backends
+    arrivals = []
+    for _ in range(3):
+        cluster2.fabric.transmit(a.nic, b.nic, 10_000, lambda: arrivals.append(env.now))
+    env.run(until=us(500))
+    assert len(arrivals) == 3
+    gaps = [b_ - a_ for a_, b_ in zip(arrivals, arrivals[1:])]
+    # Each message serialises behind the previous: gaps ≈ serialisation time.
+    assert all(g >= 10_000 / cluster2.cfg.net.link_bytes_per_ns * 0.9 for g in gaps)
+
+
+def test_bw_factor_slows_transfer(cluster2):
+    env = cluster2.env
+    a, b = cluster2.backends
+    arrivals = {}
+    cluster2.fabric.transmit(a.nic, b.nic, 50_000, lambda: arrivals.setdefault("fast", env.now))
+    env.run(until=us(1000))
+    env2 = cluster2.env
+    cluster2.fabric.transmit(a.nic, b.nic, 50_000,
+                             lambda: arrivals.setdefault("slow", env2.now),
+                             bw_factor=0.25)
+    start = env.now
+    env.run(until=start + us(5000))
+    assert arrivals["slow"] - start > arrivals["fast"] * 2
+
+
+def test_unattached_nic_rejected(cluster2):
+    from repro.hw.nic import Nic
+
+    stranger = Nic("stranger")
+    with pytest.raises(ValueError):
+        cluster2.fabric.transmit(stranger, cluster2.backends[0].nic, 10, lambda: None)
+
+
+def test_invalid_size_rejected(cluster2):
+    a, b = cluster2.backends
+    with pytest.raises(ValueError):
+        cluster2.fabric.transmit(a.nic, b.nic, 0, lambda: None)
+
+
+def test_port_stats_accumulate(cluster2):
+    a, b = cluster2.backends
+    cluster2.fabric.transmit(a.nic, b.nic, 500, lambda: None)
+    cluster2.env.run(until=us(50))
+    stats_a = cluster2.fabric.port_stats(a.nic.name)
+    stats_b = cluster2.fabric.port_stats(b.nic.name)
+    assert stats_a["tx_messages"] == 1 and stats_a["tx_bytes"] == 500
+    assert stats_b["rx_messages"] == 1
+
+
+def test_multicast_single_tx_multiple_arrivals():
+    sim = build_cluster(SimConfig(num_backends=4))
+    env = sim.env
+    src = sim.backends[0]
+    dsts = [n.nic for n in sim.backends[1:]]
+    arrivals = []
+    sim.fabric.multicast(src.nic, dsts, 200, lambda nic: arrivals.append(nic.name))
+    env.run(until=us(100))
+    assert sorted(arrivals) == sorted(n.name for n in dsts)
+    # One TX serialisation only.
+    assert sim.fabric.port_stats(src.nic.name)["tx_messages"] == 1

@@ -1,0 +1,83 @@
+"""Tests for the host memory model."""
+
+import pytest
+
+from repro.hw.memory import Memory, MemoryError_
+
+
+def test_alloc_and_read_write():
+    mem = Memory("n0")
+    region = mem.alloc("buf", 64, value={"x": 1})
+    assert region.read() == {"x": 1}
+    region.write({"x": 2})
+    assert region.read() == {"x": 2}
+    assert region.writes == 1
+
+
+def test_read_returns_snapshot_not_reference():
+    mem = Memory("n0")
+    region = mem.alloc("buf", 64, value={"x": 1})
+    snap = region.read()
+    region.write({"x": 99})
+    assert snap == {"x": 1}
+
+
+def test_live_region_reflects_current_state():
+    mem = Memory("n0")
+    state = {"counter": 0}
+    region = mem.alloc_live("live", 32, provider=lambda: dict(state))
+    assert region.read() == {"counter": 0}
+    state["counter"] = 7
+    assert region.read() == {"counter": 7}
+    assert region.is_live
+
+
+def test_live_region_rejects_writes():
+    mem = Memory("n0")
+    region = mem.alloc_live("live", 32, provider=lambda: 1)
+    with pytest.raises(MemoryError_):
+        region.write(2)
+
+
+def test_duplicate_region_name_rejected():
+    mem = Memory("n0")
+    mem.alloc("buf", 64)
+    with pytest.raises(MemoryError_):
+        mem.alloc("buf", 64)
+
+
+def test_capacity_enforced():
+    mem = Memory("n0", capacity_bytes=100)
+    mem.alloc("a", 60)
+    with pytest.raises(MemoryError_):
+        mem.alloc("b", 60)
+
+
+def test_free_releases_capacity():
+    mem = Memory("n0", capacity_bytes=100)
+    mem.alloc("a", 60)
+    mem.free("a")
+    mem.alloc("b", 90)
+    assert mem.allocated_bytes == 90
+
+
+def test_cannot_free_pinned_region():
+    mem = Memory("n0")
+    region = mem.alloc("a", 10)
+    region.pin()
+    with pytest.raises(MemoryError_):
+        mem.free("a")
+    region.unpin()
+    mem.free("a")
+
+
+def test_get_unknown_region_raises():
+    mem = Memory("n0")
+    with pytest.raises(MemoryError_):
+        mem.get("missing")
+
+
+def test_size_validation():
+    mem = Memory("n0")
+    with pytest.raises(ValueError):
+        mem.alloc("zero", 0)

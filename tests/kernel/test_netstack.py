@@ -1,0 +1,98 @@
+"""Tests for the kernel network stack cost structure."""
+
+from repro.kernel.interrupts import IrqVector
+from repro.sim.resources import Store
+from repro.sim.units import ms, us
+
+
+def test_send_charges_sender_task(cluster2):
+    a, b = cluster2.backends
+    store = Store(cluster2.env, name="rx")
+
+    def sender(k):
+        yield from a.netstack.send(k, b, store, "hello", 1024)
+
+    task = a.spawn("tx", sender)
+    cluster2.run(ms(10))
+    # syscall + copy(1KB) + tcp path
+    expected_min = (a.cfg.syscall.trap + a.cfg.syscall.copy_per_kb
+                    + a.cfg.net.tcp_tx_cost)
+    assert task.sys_ns >= expected_min
+
+
+def test_delivery_raises_nic_irq_on_affinity_cpu(cluster2):
+    a, b = cluster2.backends
+    store = Store(cluster2.env, name="rx")
+
+    def sender(k):
+        yield from a.netstack.send(k, b, store, "hello", 256)
+
+    before = b.irq.percpu[1].handled[IrqVector.NIC]
+    a.spawn("tx", sender)
+    cluster2.run(ms(10))
+    assert b.irq.percpu[1].handled[IrqVector.NIC] == before + 1
+    assert b.irq.percpu[0].handled[IrqVector.NIC] == 0
+
+
+def test_message_lands_in_store_without_reader(cluster2):
+    a, b = cluster2.backends
+    store = Store(cluster2.env, name="rx")
+
+    def sender(k):
+        yield from a.netstack.send(k, b, store, "payload", 128)
+
+    a.spawn("tx", sender)
+    cluster2.run(ms(10))
+    assert len(store) == 1
+    ok, item = store.try_get()
+    assert ok and item[0] == "payload"
+
+
+def test_recv_wakeup_is_boosted(cluster2):
+    """A blocked reader preempts a compute hog when its packet lands."""
+    a, b = cluster2.backends
+    store = Store(cluster2.env, name="rx")
+    wake_delay = []
+
+    def reader(k):
+        t0 = k.now
+        yield from b.netstack.recv(k, store)
+        wake_delay.append(k.now - t0)
+
+    def hog(k):
+        while True:
+            yield k.compute(us(1000))
+
+    b.spawn("reader", reader)
+    cluster2.run(ms(5))
+    for i in range(4):
+        b.spawn(f"hog{i}", hog)
+    cluster2.run(ms(100))
+
+    def sender(k):
+        yield from a.netstack.send(k, b, store, "go", 64)
+
+    send_time = cluster2.env.now
+    a.spawn("tx", sender)
+    cluster2.run(send_time + ms(50))
+    assert wake_delay, "reader never woke"
+    # Boosted wake: the reader ran within ~a softirq + wire time, not a
+    # full timeslice behind the hogs.
+    total = wake_delay[0] - (send_time - ms(105))
+    assert wake_delay[0] < ms(105) + ms(2)
+
+
+def test_netstack_counts_deliveries(cluster2):
+    a, b = cluster2.backends
+    store = Store(cluster2.env, name="rx")
+
+    def sender(k):
+        for _ in range(5):
+            yield from a.netstack.send(k, b, store, "x", 64)
+
+    a.spawn("tx", sender)
+    cluster2.run(ms(20))
+    assert b.netstack.delivered == 5
+    assert b.nic.kernel_rx_packets == 5
+    assert b.nic.kernel_rx_bytes == 5 * (64 + b.cfg.net.tcp_overhead_bytes)
+    assert a.nic.kernel_tx_bytes == 5 * (64 + a.cfg.net.tcp_overhead_bytes)

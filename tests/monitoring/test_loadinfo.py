@@ -1,0 +1,84 @@
+"""Tests for LoadInfo records and the LoadCalculator."""
+
+from repro.monitoring.loadinfo import LoadCalculator, LoadInfo
+
+
+def snapshot(time, user=0, sys=0, irq=0, idle=0, **kw):
+    base = {
+        "time": time,
+        "nr_running": kw.get("nr_running", 1),
+        "nr_threads": kw.get("nr_threads", 5),
+        "busy_cpus": kw.get("busy_cpus", 1),
+        "runq_ema": kw.get("runq_ema", 1.0),
+        "loadavg": kw.get("loadavg", (0.5, 0.4, 0.3)),
+        "jiffies": [
+            {"user": user, "sys": sys, "irq": irq, "idle": idle},
+            {"user": user, "sys": sys, "irq": irq, "idle": idle},
+        ],
+        "gauges": kw.get("gauges", {}),
+    }
+    return base
+
+
+def test_staleness_computed():
+    info = LoadInfo(backend="b", collected_at=100, received_at=150)
+    assert info.staleness == 50
+
+
+def test_staleness_never_negative():
+    info = LoadInfo(backend="b", collected_at=200, received_at=150)
+    assert info.staleness == 0
+
+
+def test_irq_pressure_zero_without_detail():
+    info = LoadInfo(backend="b", collected_at=0)
+    assert info.irq_pressure == 0.0
+
+
+def test_irq_pressure_sums_cpus():
+    info = LoadInfo(backend="b", collected_at=0, irq_pending=[2, 3])
+    assert info.irq_pressure == 5.0
+
+
+def test_calculator_first_sample_uses_busy_fraction():
+    calc = LoadCalculator("b")
+    info = calc.compute(snapshot(1000, user=10))
+    # First sample: both CPUs have user time > 0 -> busy fraction 1.0.
+    assert info.cpu_util == 1.0
+    assert info.backend == "b"
+    assert info.collected_at == 1000
+
+
+def test_calculator_derives_utilisation_from_deltas():
+    calc = LoadCalculator("b")
+    calc.compute(snapshot(0, user=0))
+    # After 1000 ns, each CPU accumulated 500 ns busy -> 50 %.
+    info = calc.compute(snapshot(1000, user=500))
+    assert abs(info.cpu_util - 0.5) < 1e-9
+
+
+def test_calculator_clamps_utilisation():
+    calc = LoadCalculator("b")
+    calc.compute(snapshot(0, user=0))
+    info = calc.compute(snapshot(100, user=1000))  # impossible > 100 %
+    assert info.cpu_util == 1.0
+
+
+def test_calculator_attaches_irq_detail():
+    calc = LoadCalculator("b")
+    irq_stat = {
+        "cpus": [
+            {"hard_pending": 1, "soft_pending": 2, "handled": {"NIC": 5}, "bh_executed": 3},
+            {"hard_pending": 0, "soft_pending": 1, "handled": {"NIC": 9}, "bh_executed": 4},
+        ],
+        "time": 0,
+    }
+    info = calc.compute(snapshot(0), irq_stat)
+    assert info.irq_pending == [3, 1]
+    assert info.irq_handled == [5, 9]
+
+
+def test_calculator_copies_gauges():
+    calc = LoadCalculator("b")
+    info = calc.compute(snapshot(0, gauges={"connections": 7}))
+    assert info.gauges == {"connections": 7}

@@ -1,0 +1,79 @@
+"""Tests for the memory and network load indices (WebSphere's full set)."""
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.monitoring import FrontendMonitor, create_scheme
+from repro.monitoring.loadinfo import LoadCalculator
+from repro.sim.resources import Store
+from repro.sim.units import ms, seconds
+
+
+def test_snapshot_reports_memory(cluster1):
+    be = cluster1.backends[0]
+    snap = be.loadacct.snapshot()
+    assert snap["mem_total_bytes"] == 1 << 30
+    base = snap["mem_used_bytes"]
+
+    def idle_task(k):
+        yield k.sleep(seconds(10))
+
+    be.spawn("fat", idle_task, rss_bytes=64 * 1024 * 1024)
+    snap = be.loadacct.snapshot()
+    assert snap["mem_used_bytes"] == base + 64 * 1024 * 1024
+
+
+def test_kthreads_carry_no_rss(cluster1):
+    be = cluster1.backends[0]
+    # Only ksoftirqd threads exist; they are kthreads with zero rss.
+    assert be.sched.rss_total() == 0
+
+
+def test_calculator_mem_util():
+    calc = LoadCalculator("b")
+    snap = {
+        "time": 1000, "nr_running": 0, "nr_threads": 1, "busy_cpus": 0,
+        "runq_ema": 0.0, "loadavg": (0, 0, 0),
+        "jiffies": [{"user": 0, "sys": 0, "irq": 0, "idle": 0}],
+        "gauges": {}, "mem_used_bytes": 256, "mem_total_bytes": 1024,
+        "net_rx_bytes": 0, "net_tx_bytes": 0,
+    }
+    info = calc.compute(snap)
+    assert info.mem_util == 0.25
+
+
+def test_calculator_net_rate_from_deltas():
+    calc = LoadCalculator("b")
+    base = {
+        "nr_running": 0, "nr_threads": 1, "busy_cpus": 0,
+        "runq_ema": 0.0, "loadavg": (0, 0, 0),
+        "jiffies": [{"user": 0, "sys": 0, "irq": 0, "idle": 0}],
+        "gauges": {}, "mem_used_bytes": 0, "mem_total_bytes": 1,
+    }
+    info = calc.compute({**base, "time": 0, "net_rx_bytes": 0, "net_tx_bytes": 0})
+    assert info.net_rate_mbps == 0.0  # no baseline yet
+    # 1 MB in 10 ms -> 100 MB/s
+    info = calc.compute({**base, "time": 10_000_000,
+                         "net_rx_bytes": 500_000, "net_tx_bytes": 500_000})
+    assert abs(info.net_rate_mbps - 100.0) < 1e-6
+
+
+def test_schemes_deliver_net_rate_under_traffic():
+    sim = build_cluster(SimConfig(num_backends=2))
+    be = sim.backends[0]
+    peer = sim.backends[1]
+    store = Store(sim.env, name="sink")
+
+    def blaster(k):
+        while True:
+            yield from peer.netstack.send(k, be, store, "x" * 10, 8192)
+            yield k.sleep(ms(1))
+
+    peer.spawn("blaster", blaster)
+    scheme = create_scheme("rdma-sync", sim, interval=ms(50))
+    mon = FrontendMonitor(scheme)
+    mon.start()
+    sim.run(seconds(2))
+    info = mon.load_of(0)
+    assert info.net_rate_mbps > 1.0, info.net_rate_mbps
+    # The blaster's own node reports its TX as network load too.
+    assert mon.load_of(1).net_rate_mbps > 1.0

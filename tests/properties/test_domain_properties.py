@@ -1,0 +1,115 @@
+"""Property-based tests of domain invariants: scheduler accounting,
+Zipf weights, the LRU cache, deviation analysis and the balancer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import deviation_series
+from repro.monitoring.loadinfo import LoadInfo
+from repro.server.loadbalancer import LeastLoadedBalancer
+from repro.server.webserver import LruDocCache
+from repro.workloads.zipf import zipf_weights
+
+
+@given(
+    n=st.integers(1, 2000),
+    alpha=st.floats(0.0, 3.0, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_zipf_weights_are_a_distribution(n, alpha):
+    w = zipf_weights(n, alpha)
+    assert len(w) == n
+    assert abs(w.sum() - 1.0) < 1e-9
+    assert (w >= 0).all()
+    assert all(a >= b - 1e-15 for a, b in zip(w, w[1:]))
+
+
+@given(
+    capacity=st.integers(1, 32),
+    accesses=st.lists(st.integers(0, 63), min_size=1, max_size=300),
+)
+@settings(max_examples=80, deadline=None)
+def test_lru_cache_invariants(capacity, accesses):
+    cache = LruDocCache(capacity)
+    for doc in accesses:
+        cache.access(doc)
+        assert len(cache) <= capacity
+    assert cache.hits + cache.misses == len(accesses)
+    # Re-accessing the most recent doc is always a hit.
+    assert cache.access(accesses[-1])
+
+
+@given(
+    truth=st.lists(
+        st.tuples(st.integers(0, 10**6), st.floats(-100, 100)),
+        min_size=1, max_size=40,
+    ),
+    reports=st.lists(
+        st.tuples(st.integers(0, 10**6), st.floats(-100, 100)),
+        min_size=0, max_size=40,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_deviation_series_nonnegative_and_aligned(truth, reports):
+    truth = sorted(truth, key=lambda tv: tv[0])
+    devs = deviation_series(reports, truth)
+    assert len(devs) == len(reports)
+    assert all(d >= 0 for _, d in devs)
+    assert [t for t, _ in devs] == [t for t, _ in reports]
+
+
+@given(
+    scores=st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_balancer_weights_monotone_in_load(scores):
+    """Valid picks; headroom weights decrease as the score increases."""
+    lb = LeastLoadedBalancer(len(scores))
+    lb.weights.inflight = 0.0
+    loads = {
+        i: LoadInfo(backend=f"b{i}", collected_at=0, cpu_util=s)
+        for i, s in enumerate(scores)
+    }
+    choice = lb.choose(loads)
+    assert 0 <= choice < len(scores)
+    weights = lb.server_weights(loads)
+    assert all(w >= lb.MIN_WEIGHT for w in weights)
+    order = sorted(range(len(scores)), key=lambda i: lb.score(loads[i]))
+    for a, b in zip(order, order[1:]):
+        assert weights[a] >= weights[b] - 1e-12
+
+
+@given(
+    bursts=st.lists(st.integers(1, 2000), min_size=1, max_size=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_scheduler_conserves_cpu_time(bursts):
+    """Sum of charged task time never exceeds wall time × CPUs."""
+    from repro.config import SimConfig
+    from repro.hw.cluster import build_cluster
+    from repro.sim.units import us
+
+    sim = build_cluster(SimConfig(num_backends=1))
+    node = sim.backends[0]
+    tasks = []
+
+    def worker(burst_us):
+        def body(k):
+            yield k.compute(us(burst_us))
+
+        return body
+
+    for i, b in enumerate(bursts):
+        tasks.append(node.spawn(f"w{i}", worker(b)))
+    sim.run_horizon = sum(bursts) * 1000 * 4 + 50_000_000
+    sim.run(sim.run_horizon)
+    node.sched.sync()
+    total_user = sum(t.user_ns for t in tasks)
+    assert total_user == sum(us(b) for b in bursts)  # all work completed, exactly
+    wall = sim.env.now
+    charged = sum(
+        node.sched.jiffies(i)["user"] + node.sched.jiffies(i)["sys"] +
+        node.sched.jiffies(i)["irq"]
+        for i in range(node.num_cpus)
+    )
+    assert charged <= wall * node.num_cpus

@@ -1,0 +1,85 @@
+"""Property-based tests for the transports."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.sim.units import ms
+from repro.transport.sockets import socket_pair
+from repro.transport.verbs import AccessFlags, ProtectionDomain, connect_qp
+
+
+@given(messages=st.lists(st.integers(), min_size=1, max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_socket_stream_preserves_any_sequence(messages):
+    sim = build_cluster(SimConfig(num_backends=2))
+    a, b = sim.backends
+    ea, eb = socket_pair(a, b)
+    got = []
+
+    def sender(k):
+        for m in messages:
+            yield from ea.send(k, m, 64)
+
+    def receiver(k):
+        for _ in messages:
+            got.append((yield from eb.recv(k)))
+
+    b.spawn("rx", receiver)
+    a.spawn("tx", sender)
+    sim.run(ms(200))
+    assert got == messages
+
+
+@given(
+    values=st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                    min_size=1, max_size=15),
+)
+@settings(max_examples=25, deadline=None)
+def test_rdma_write_read_roundtrip_any_values(values):
+    """What one side writes, the other reads back, in write order."""
+    sim = build_cluster(SimConfig(num_backends=2))
+    fe, be = sim.frontend, sim.backends[0]
+    region = be.memory.alloc("prop", 64, value=None)
+    mr = ProtectionDomain.for_node(be).register(
+        region, AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE)
+    qp, _ = connect_qp(fe, be)
+    observed = []
+
+    def driver(k):
+        for v in values:
+            wc = yield from qp.rdma_write(k, mr.rkey, v, 8)
+            assert wc.ok
+            wc = yield from qp.rdma_read(k, mr.rkey, 8)
+            observed.append(wc.value)
+
+    fe.spawn("driver", driver)
+    sim.run(ms(200))
+    assert observed == values
+
+
+@given(
+    deltas=st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=1, max_size=20),
+)
+@settings(max_examples=25, deadline=None)
+def test_fetch_add_sums_any_delta_sequence(deltas):
+    sim = build_cluster(SimConfig(num_backends=2))
+    fe, be = sim.frontend, sim.backends[0]
+    region = be.memory.alloc("ctr", 8, value=0)
+    mr = ProtectionDomain.for_node(be).register(region, AccessFlags.REMOTE_ATOMIC)
+    qp, _ = connect_qp(fe, be)
+    running = [0]
+
+    def driver(k):
+        total = 0
+        for d in deltas:
+            wc = yield from qp.fetch_add(k, mr.rkey, d)
+            assert wc.ok and wc.value == total
+            total += d
+        running[0] = total
+
+    fe.spawn("driver", driver)
+    sim.run(ms(200))
+    assert region.read() == running[0] == sum(deltas)

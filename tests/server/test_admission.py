@@ -1,0 +1,43 @@
+"""Tests for admission control."""
+
+from repro.monitoring.loadinfo import LoadInfo
+from repro.server.admission import AdmissionController
+from repro.server.loadbalancer import LeastLoadedBalancer
+
+
+def info(cpu):
+    return LoadInfo(backend="b", collected_at=0, cpu_util=cpu)
+
+
+def make(max_score=0.5):
+    lb = LeastLoadedBalancer(2)
+    return AdmissionController(2, max_score=max_score, balancer=lb)
+
+
+def test_admits_without_data():
+    ac = make()
+    assert ac.admit({})
+    assert ac.admitted == 1
+
+
+def test_admits_below_threshold():
+    ac = make(max_score=0.5)
+    assert ac.admit({0: info(0.1), 1: info(0.2)})
+
+
+def test_rejects_above_threshold():
+    ac = make(max_score=0.2)
+    assert not ac.admit({0: info(1.0), 1: info(1.0)})
+    assert ac.rejected == 1
+
+
+def test_rejection_rate():
+    ac = make(max_score=0.2)
+    ac.admit({0: info(0.0), 1: info(0.0)})
+    ac.admit({0: info(1.0), 1: info(1.0)})
+    assert ac.rejection_rate == 0.5
+
+
+def test_admits_without_balancer():
+    ac = AdmissionController(2, max_score=0.0, balancer=None)
+    assert ac.admit({0: info(1.0)})

@@ -1,0 +1,128 @@
+"""Tests for the WebSphere-style balancer and the round-robin baseline."""
+
+from collections import Counter
+
+import pytest
+
+from repro.monitoring.loadinfo import LoadInfo
+from repro.server.loadbalancer import (
+    LeastLoadedBalancer,
+    LoadWeights,
+    RoundRobinBalancer,
+)
+
+
+def info(cpu=0.0, runq=0.0, conns=0, threads=0, irq=None):
+    return LoadInfo(
+        backend="b", collected_at=0, cpu_util=cpu, runq_load=runq,
+        nr_threads=threads, gauges={"connections": conns}, irq_pending=irq,
+    )
+
+
+def pick_counts(lb, loads, n=2000):
+    counts = Counter(lb.choose(loads) for _ in range(n))
+    return [counts.get(i, 0) for i in range(lb.num_backends)]
+
+
+def test_idle_server_receives_most_requests():
+    lb = LeastLoadedBalancer(3)
+    loads = {0: info(cpu=0.9, runq=16), 1: info(cpu=0.0), 2: info(cpu=0.9, runq=16)}
+    counts = pick_counts(lb, loads)
+    assert counts[1] > counts[0] * 2
+    assert counts[1] > counts[2] * 2
+
+
+def test_proportional_spread_tracks_headroom():
+    lb = LeastLoadedBalancer(2)
+    lb.weights = LoadWeights(cpu=1.0, runq=0, connections=0, memory=0)
+    # headroom 1.0 vs 0.5 -> roughly 2:1 split
+    loads = {0: info(cpu=0.0), 1: info(cpu=0.5)}
+    counts = pick_counts(lb, loads, n=6000)
+    ratio = counts[0] / counts[1]
+    assert 1.6 < ratio < 2.5, counts
+
+
+def test_equal_loads_spread_evenly():
+    lb = LeastLoadedBalancer(4)
+    loads = {i: info(cpu=0.4) for i in range(4)}
+    counts = pick_counts(lb, loads, n=8000)
+    assert max(counts) < 1.3 * min(counts), counts
+
+
+def test_no_server_fully_starved():
+    """The MIN_WEIGHT floor keeps probing even a saturated server."""
+    lb = LeastLoadedBalancer(2)
+    loads = {0: info(cpu=1.0, runq=32, conns=64), 1: info(cpu=0.0)}
+    counts = pick_counts(lb, loads, n=5000)
+    assert counts[0] > 0
+
+
+def test_round_robin_without_data():
+    lb = LeastLoadedBalancer(3)
+    picks = [lb.choose({}) for _ in range(6)]
+    assert picks == [1, 2, 0, 1, 2, 0]
+
+
+def test_unknown_backend_assumed_idle():
+    lb = LeastLoadedBalancer(2)
+    loads = {0: info(cpu=0.9, runq=16)}
+    counts = pick_counts(lb, loads)
+    assert counts[1] > counts[0]
+
+
+def test_score_uses_connection_gauge():
+    lb = LeastLoadedBalancer(2)
+    assert lb.score(info(conns=32)) > lb.score(info(conns=0))
+
+
+def test_score_weights_configurable():
+    lb = LeastLoadedBalancer(2, weights=LoadWeights(cpu=1.0, runq=0, connections=0, memory=0))
+    assert lb.score(info(cpu=0.8)) == pytest.approx(0.8)
+
+
+def test_irq_pressure_ignored_unless_enabled():
+    plain = LeastLoadedBalancer(2)
+    extended = LeastLoadedBalancer(2, use_irq_pressure=True)
+    loaded = info(irq=[4, 4])
+    assert plain.score(loaded) == plain.score(info())
+    assert extended.score(loaded) > extended.score(info())
+
+
+def test_inflight_weight_enables_jsq_ablation():
+    lb = LeastLoadedBalancer(2)
+    lb.weights.inflight = 1.0
+    loads = {0: info(), 1: info()}
+    for _ in range(16):
+        lb.note_assigned(0)
+    counts = pick_counts(lb, loads)
+    assert counts[1] > counts[0] * 2
+
+
+def test_note_completed_never_negative():
+    lb = LeastLoadedBalancer(2)
+    lb.note_completed(0)
+    assert lb.assigned[0] == 0
+    lb.note_completed(-1)  # rejected requests carry backend -1
+
+
+def test_determinism_with_seeded_rng():
+    import numpy as np
+
+    loads = {0: info(cpu=0.2), 1: info(cpu=0.6)}
+    picks = []
+    for _ in range(2):
+        lb = LeastLoadedBalancer(2, rng=np.random.Generator(np.random.PCG64(42)))
+        picks.append([lb.choose(loads) for _ in range(50)])
+    assert picks[0] == picks[1]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LeastLoadedBalancer(0)
+    with pytest.raises(ValueError):
+        RoundRobinBalancer(0)
+
+
+def test_round_robin_rotates():
+    rr = RoundRobinBalancer(3)
+    assert [rr.choose({}) for _ in range(6)] == [0, 1, 2, 0, 1, 2]

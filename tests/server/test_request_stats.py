@@ -1,0 +1,72 @@
+"""Tests for RequestStats helpers."""
+
+from repro.server.request import Request, RequestStats
+from repro.sim.units import ms
+
+
+def make(rid, query="Home", backend=0, created=0, completed=ms(10)):
+    r = Request(rid=rid, workload="rubis", query=query, web_cpu=0, db_cpu=0)
+    r.backend = backend
+    r.created_at = created
+    r.completed_at = completed
+    return r
+
+
+def test_counts_and_means():
+    stats = RequestStats()
+    stats.record(make(1, completed=ms(10)))
+    stats.record(make(2, completed=ms(30)))
+    assert stats.count() == 2
+    assert stats.mean_response() == ms(20)
+    assert stats.max_response() == ms(30)
+
+
+def test_per_query_filtering():
+    stats = RequestStats()
+    stats.record(make(1, query="Home", completed=ms(10)))
+    stats.record(make(2, query="Browse", completed=ms(50)))
+    assert stats.mean_response("Home") == ms(10)
+    assert stats.max_response("Browse") == ms(50)
+    assert stats.response_times("Sell") == []
+    assert stats.mean_response("Sell") == 0.0
+    assert stats.max_response("Sell") == 0
+
+
+def test_by_query_grouping():
+    stats = RequestStats()
+    for i, q in enumerate(["Home", "Home", "Browse"]):
+        stats.record(make(i, query=q))
+    groups = stats.by_query()
+    assert len(groups["Home"]) == 2
+    assert len(groups["Browse"]) == 1
+
+
+def test_per_backend_counts():
+    stats = RequestStats()
+    for i, b in enumerate([0, 0, 1, 2]):
+        stats.record(make(i, backend=b))
+    assert stats.per_backend_counts() == {0: 2, 1: 1, 2: 1}
+
+
+def test_throughput_computation():
+    stats = RequestStats()
+    for i in range(10):
+        stats.record(make(i))
+    assert stats.throughput(int(2e9)) == 5.0
+    assert stats.throughput(0) == 0.0
+
+
+def test_rejected_separated():
+    stats = RequestStats()
+    r = make(1)
+    r.rejected = True
+    stats.record(r)
+    assert stats.count() == 0
+    assert stats.rejected_count == 1
+
+
+def test_queue_time_property():
+    r = make(1)
+    r.dispatched_at = ms(1)
+    r.started_at = ms(4)
+    assert r.queue_time == ms(3)

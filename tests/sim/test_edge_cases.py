@@ -1,0 +1,175 @@
+"""Edge-case tests for the sim kernel: races, cancellations, priorities."""
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.events import AnyOf, EventPriority
+from repro.sim.process import Interrupt
+from repro.sim.resources import Resource, Store
+
+
+def test_interrupt_while_waiting_on_anyof():
+    env = Environment()
+    outcome = []
+
+    def victim():
+        try:
+            yield AnyOf(env, [env.timeout(1000), env.timeout(2000)])
+            outcome.append("completed")
+        except Interrupt:
+            outcome.append("interrupted")
+
+    v = env.process(victim())
+
+    def attacker():
+        yield env.timeout(10)
+        v.interrupt()
+
+    env.process(attacker())
+    env.run()
+    assert outcome == ["interrupted"]
+
+
+def test_anyof_with_both_firing_simultaneously():
+    env = Environment()
+    results = []
+
+    def proc():
+        t1 = env.timeout(100, value="first-scheduled")
+        t2 = env.timeout(100, value="second-scheduled")
+        cond = yield AnyOf(env, [t1, t2])
+        # Both fire at t=100; the first-scheduled processes first.
+        results.append(t1 in cond)
+
+    env.process(proc())
+    env.run()
+    assert results == [True]
+
+
+def test_request_cancel_leaves_queue_consistent():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(100)
+
+    def canceller():
+        yield env.timeout(10)
+        req = res.request()
+        yield env.timeout(10)
+        req.cancel()
+
+    def patient():
+        yield env.timeout(20)
+        with res.request() as req:
+            yield req
+            order.append(env.now)
+
+    env.process(holder())
+    env.process(canceller())
+    env.process(patient())
+    env.run()
+    # The cancelled request must not consume the released slot.
+    assert order == [100]
+
+
+def test_store_get_cancel():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def impatient():
+        get = store.get()
+        yield env.timeout(10)
+        get.cancel()
+
+    def patient():
+        item = yield store.get()
+        got.append(item)
+
+    def producer():
+        yield env.timeout(50)
+        yield store.put("item")
+
+    env.process(impatient())
+    env.process(patient())
+    env.process(producer())
+    env.run()
+    assert got == ["item"]
+
+
+def test_timeout_priority_parameter():
+    env = Environment()
+    order = []
+    low = env.timeout(10, priority=EventPriority.LOW)
+    low.callbacks.append(lambda e: order.append("low"))
+    urgent = env.timeout(10, priority=EventPriority.URGENT)
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    env.run()
+    assert order == ["urgent", "low"]
+
+
+def test_process_spawning_processes():
+    env = Environment()
+    finished = []
+
+    def child(n):
+        yield env.timeout(n)
+        finished.append(n)
+
+    def parent():
+        children = [env.process(child(i)) for i in (3, 1, 2)]
+        for c in children:
+            yield c
+
+    env.process(parent())
+    env.run()
+    assert sorted(finished) == [1, 2, 3]
+    assert finished == [1, 2, 3]
+
+
+def test_run_until_event_that_fails():
+    env = Environment()
+
+    def boom():
+        yield env.timeout(5)
+        raise RuntimeError("kaput")
+
+    p = env.process(boom())
+    with pytest.raises(RuntimeError, match="kaput"):
+        env.run(until=p)
+
+
+def test_deeply_chained_processes():
+    """A long chain of processes waiting on each other completes."""
+    env = Environment()
+
+    def link(prev):
+        if prev is not None:
+            yield prev
+        yield env.timeout(1)
+        return 1
+
+    p = None
+    for _ in range(200):
+        p = env.process(link(p))
+    env.run()
+    assert p.processed and p.value == 1
+    assert env.now == 200
+
+
+def test_zero_delay_timeout_processes_in_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(0)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]

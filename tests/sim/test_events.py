@@ -1,0 +1,127 @@
+"""Tests for Event, Timeout, AllOf/AnyOf condition events."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, ConditionValue
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_event_succeed_value_visible():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(123)
+    assert ev.value == 123
+    assert ev.ok
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not-an-exception")
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def proc():
+        t1 = env.timeout(10, value="a")
+        t2 = env.timeout(30, value="b")
+        cond = yield AllOf(env, [t1, t2])
+        results.append((env.now, cond[t1], cond[t2]))
+
+    env.process(proc())
+    env.run()
+    assert results == [(30, "a", "b")]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc():
+        t1 = env.timeout(10, value="fast")
+        t2 = env.timeout(30, value="slow")
+        cond = yield AnyOf(env, [t1, t2])
+        results.append((env.now, t1 in cond, t2 in cond))
+
+    env.process(proc())
+    env.run()
+    assert results == [(10, True, False)]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    results = []
+
+    def proc():
+        value = yield AllOf(env, [])
+        results.append((env.now, len(value)))
+
+    env.process(proc())
+    env.run()
+    assert results == [(0, 0)]
+
+
+def test_condition_fails_if_subevent_fails():
+    env = Environment()
+    caught = []
+
+    def failing():
+        yield env.timeout(5)
+        raise RuntimeError("sub-failure")
+
+    def proc(p):
+        try:
+            yield AllOf(env, [p, env.timeout(100)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    p = env.process(failing())
+    env.process(proc(p))
+    env.run()
+    assert caught == ["sub-failure"]
+
+
+def test_condition_value_mapping_protocol():
+    env = Environment()
+    t = env.timeout(0, value=7)
+    env.run()
+    cv = ConditionValue([t])
+    assert cv[t] == 7
+    assert t in cv
+    assert len(cv) == 1
+    assert list(cv) == [t]
+    assert cv.todict() == {t: 7}
+    assert cv == {t: 7}
+
+
+def test_condition_rejects_foreign_events():
+    env1 = Environment()
+    env2 = Environment()
+    t = env2.timeout(1)
+    with pytest.raises(ValueError):
+        AllOf(env1, [t])
+
+
+def test_condition_with_already_processed_event():
+    env = Environment()
+    t1 = env.timeout(1, value="x")
+    env.run()
+    results = []
+
+    def proc():
+        cond = yield AllOf(env, [t1, env.timeout(5, value="y")])
+        results.append(sorted(cond.todict().values()))
+
+    env.process(proc())
+    env.run()
+    assert results == [["x", "y"]]

@@ -1,0 +1,207 @@
+"""Tests for generator-based processes: waiting, values, interrupts."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.process import Interrupt
+
+
+def test_process_receives_timeout_value():
+    env = Environment()
+    got = []
+
+    def proc():
+        value = yield env.timeout(10, value="payload")
+        got.append(value)
+
+    env.process(proc())
+    env.run()
+    assert got == ["payload"]
+
+
+def test_process_is_event_with_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(10)
+        return 99
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [99]
+
+
+def test_processes_interleave_by_time():
+    env = Environment()
+    log = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(proc("a", 10))
+    env.process(proc("b", 15))
+    env.run()
+    assert log == [(10, "a"), (15, "b"), (20, "a"), (30, "b")]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    seen = []
+
+    def victim():
+        try:
+            yield env.timeout(1000)
+        except Interrupt as exc:
+            seen.append((env.now, exc.cause))
+
+    def attacker(v):
+        yield env.timeout(50)
+        v.interrupt("preempted")
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert seen == [(50, "preempted")]
+
+
+def test_interrupted_process_detaches_from_target():
+    """The original wait target firing later must not resume the victim."""
+    env = Environment()
+    resumes = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+            resumes.append("timeout")
+        except Interrupt:
+            resumes.append("interrupt")
+        yield env.timeout(500)
+        resumes.append("second-wait")
+
+    def attacker(v):
+        yield env.timeout(10)
+        v.interrupt()
+
+    v = env.process(victim())
+    env.process(attacker(v))
+    env.run()
+    assert resumes == ["interrupt", "second-wait"]
+    assert env.now == 510
+
+
+def test_cannot_interrupt_finished_process():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+    errors = []
+
+    def selfish():
+        me = env.active_process
+        try:
+            me.interrupt()
+        except RuntimeError:
+            errors.append("refused")
+        yield env.timeout(1)
+
+    env.process(selfish())
+    env.run()
+    assert errors == ["refused"]
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_wait_on_already_processed_event():
+    env = Environment()
+    log = []
+
+    def early():
+        yield env.timeout(1)
+        return "early-value"
+
+    def late(p):
+        yield env.timeout(100)
+        value = yield p  # p finished long ago
+        log.append((env.now, value))
+
+    p = env.process(early())
+    env.process(late(p))
+    env.run()
+    assert log == [(100, "early-value")]
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def failing():
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    def waiter(p):
+        try:
+            yield p
+        except KeyError as exc:
+            caught.append(str(exc))
+
+    p = env.process(failing())
+    env.process(waiter(p))
+    env.run()
+    assert caught == ["'inner'"]
+
+
+def test_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_multiple_waiters_on_one_process():
+    env = Environment()
+    results = []
+
+    def worker():
+        yield env.timeout(5)
+        return "x"
+
+    def waiter(p, tag):
+        value = yield p
+        results.append((tag, value, env.now))
+
+    p = env.process(worker())
+    env.process(waiter(p, "a"))
+    env.process(waiter(p, "b"))
+    env.run()
+    assert results == [("a", "x", 5), ("b", "x", 5)]

@@ -1,0 +1,67 @@
+"""Tests for tracer integration with the kernel components."""
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.sim.units import ms, us
+
+
+def traced_cluster():
+    cfg = SimConfig(num_backends=1, trace=True)
+    return build_cluster(cfg)
+
+
+def test_scheduler_emits_lifecycle_traces():
+    sim = traced_cluster()
+    be = sim.backends[0]
+
+    def worker(k):
+        yield k.compute(us(100))
+        yield k.sleep(ms(5))
+        yield k.compute(us(100))
+
+    be.spawn("traced-worker", worker)
+    sim.run(ms(20))
+    categories = {r.category for r in sim.tracer.records}
+    assert {"sched.spawn", "sched.dispatch", "sched.block", "sched.wake",
+            "sched.exit"} <= categories
+    spawns = [r for r in sim.tracer.by_category("sched.spawn")
+              if r.payload == "traced-worker"]
+    assert len(spawns) == 1
+
+
+def test_irq_raise_traced_with_cpu_and_vector():
+    sim = traced_cluster()
+    sim.run(ms(25))
+    raises = sim.tracer.by_category("irq.raise")
+    assert raises
+    cpus = {payload[0] for _, _, payload in raises}
+    vectors = {payload[1] for _, _, payload in raises}
+    # The shared tracer sees every node; the dual-CPU nodes contribute
+    # CPUs 0 and 1, the client farm more.
+    assert {0, 1} <= cpus
+    assert "TIMER" in vectors
+
+
+def test_causality_block_before_wake():
+    """For any sleep, the block trace precedes the wake trace."""
+    sim = traced_cluster()
+    be = sim.backends[0]
+
+    def sleeper(k):
+        yield k.sleep(ms(10))
+
+    be.spawn("sleeper", sleeper)
+    sim.run(ms(30))
+    blocks = [r.time for r in sim.tracer.by_category("sched.block")
+              if r.payload == "sleeper"]
+    wakes = [r.time for r in sim.tracer.by_category("sched.wake")
+             if r.payload == "sleeper"]
+    assert blocks and wakes
+    assert blocks[0] < wakes[0]
+    assert wakes[0] - blocks[0] >= ms(10)
+
+
+def test_tracing_disabled_by_default():
+    sim = build_cluster(SimConfig(num_backends=1))
+    sim.run(ms(20))
+    assert len(sim.tracer) == 0

@@ -1,0 +1,83 @@
+"""The examples must actually run (they are part of the public API surface)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py", [])
+    out = capsys.readouterr().out
+    assert "rdma-sync" in out
+    assert "remote-access-error" in out
+
+
+def test_rubis_cluster_runs(capsys):
+    run_example("rubis_cluster.py", ["rdma-sync", "2"])
+    out = capsys.readouterr().out
+    assert "Throughput:" in out
+    assert "Monitoring latency" in out
+
+
+def test_interrupt_observatory_runs(capsys):
+    run_example("interrupt_observatory.py", [])
+    out = capsys.readouterr().out
+    assert "e-rdma-sync" in out and "socket-sync" in out
+
+
+def test_ganglia_monitoring_runs(capsys):
+    run_example("ganglia_monitoring.py", ["rdma-sync", "8"])
+    out = capsys.readouterr().out
+    assert "gmetad federated view" in out
+    assert "fine_load" in out
+
+
+def test_failure_detection_runs(capsys):
+    run_example("failure_detection.py", [])
+    out = capsys.readouterr().out
+    assert "-> dead" in out and "-> hung" in out
+    assert "Healthy pool" in out
+
+
+def test_reconfiguration_runs(capsys):
+    run_example("reconfiguration.py", ["50"])
+    out = capsys.readouterr().out
+    assert "batch -> web" in out
+    assert "reaction lag" in out
+
+
+def test_scheme_shootout_runs(capsys):
+    run_example("scheme_shootout.py", [])
+    out = capsys.readouterr().out
+    assert "rdma-write-push" in out
+    assert "loaded_latency_us" in out
+
+
+def test_run_all_cli_subset(tmp_path, capsys):
+    from repro.experiments.run_all import main
+
+    rc = main(["fig4", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert (tmp_path / "fig4.txt").exists()
+
+
+def test_run_all_cli_rejects_unknown(tmp_path):
+    from repro.experiments.run_all import main
+
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment", "--results-dir", str(tmp_path)])

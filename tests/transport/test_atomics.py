@@ -1,0 +1,136 @@
+"""Tests for IBA-style remote atomics (fetch-add / compare-and-swap)."""
+
+import pytest
+
+from repro.sim.units import ms
+from repro.transport.verbs import (
+    AccessFlags,
+    ProtectionDomain,
+    WcStatus,
+    connect_qp,
+)
+
+
+def setup_counter(node, value=0, access=AccessFlags.REMOTE_ATOMIC | AccessFlags.REMOTE_READ):
+    region = node.memory.alloc("counter", 8, value=value)
+    return ProtectionDomain.for_node(node).register(region, access)
+
+
+def run_task(cluster, node, body, until_ms=50):
+    results = []
+
+    def wrapper(k):
+        results.append((yield from body(k)))
+
+    node.spawn("t", wrapper)
+    cluster.run(cluster.env.now + ms(until_ms))
+    assert results
+    return results[0]
+
+
+def test_fetch_add_returns_previous(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_counter(be, value=10)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.fetch_add(k, mr.rkey, 5)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.ok and wc.value == 10
+    assert mr.region.read() == 15
+
+
+def test_fetch_add_accumulates(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_counter(be, value=0)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        for i in range(4):
+            wc = yield from qp.fetch_add(k, mr.rkey, 1)
+            assert wc.value == i
+        return True
+
+    assert run_task(cluster2, fe, body)
+    assert mr.region.read() == 4
+
+
+def test_compare_swap_success_and_failure(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_counter(be, value=7)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        won = yield from qp.compare_swap(k, mr.rkey, expected=7, desired=99)
+        lost = yield from qp.compare_swap(k, mr.rkey, expected=7, desired=123)
+        return won, lost
+
+    won, lost = run_task(cluster2, fe, body)
+    assert won.ok and won.value == 7
+    assert lost.ok and lost.value == 99  # previous value; swap not applied
+    assert mr.region.read() == 99
+
+
+def test_atomics_require_remote_atomic_flag(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_counter(be, value=0, access=AccessFlags.REMOTE_READ)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.fetch_add(k, mr.rkey, 1)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.REMOTE_ACCESS_ERROR
+    assert mr.region.read() == 0
+
+
+def test_atomic_on_non_integer_region_rejected(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    region = be.memory.alloc("str-region", 8, value="text")
+    mr = ProtectionDomain.for_node(be).register(region, AccessFlags.REMOTE_ATOMIC)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.fetch_add(k, mr.rkey, 1)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.LENGTH_ERROR
+
+
+def test_concurrent_fetch_adds_serialise_at_target(cluster2):
+    """Two initiators: no lost updates (the NIC's locked RMW)."""
+    fe, (b0, b1) = cluster2.frontend, cluster2.backends
+    mr = setup_counter(b0, value=0)
+    qp_fe, _ = connect_qp(fe, b0)
+    qp_b1, _ = connect_qp(b1, b0)
+    done = []
+
+    def adder(qp, n):
+        def body(k):
+            for _ in range(n):
+                yield from qp.fetch_add(k, mr.rkey, 1)
+            done.append(True)
+
+        return body
+
+    fe.spawn("a1", adder(qp_fe, 10))
+    b1.spawn("a2", adder(qp_b1, 10))
+    cluster2.run(ms(100))
+    assert len(done) == 2
+    assert mr.region.read() == 20
+
+
+def test_invalid_rkey_atomic(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.fetch_add(k, 0xBEEF, 1)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.INVALID_RKEY

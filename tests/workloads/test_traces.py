@@ -1,0 +1,84 @@
+"""Tests for trace recording and replay."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.common import deploy_rubis_cluster
+from repro.sim.units import ms, seconds
+from repro.workloads.rubis import RubisWorkload
+from repro.workloads.traces import TraceEntry, TraceRecorder, TraceReplayer
+
+
+def record_run(duration=seconds(2), num_clients=6):
+    app = deploy_rubis_cluster(SimConfig(num_backends=2), scheme_name="rdma-sync",
+                               poll_interval=ms(50))
+    wl = RubisWorkload(app.sim, app.dispatcher, num_clients=num_clients,
+                       think_time=ms(8), burst_length=1)
+    wl.start()
+    app.run(duration)
+    recorder = TraceRecorder()
+    recorder.record_stats(app.dispatcher.stats)
+    return recorder
+
+
+def test_recording_captures_all_completed():
+    recorder = record_run()
+    assert len(recorder.entries) > 100
+    entry = recorder.entries[0]
+    assert entry.workload == "rubis"
+    assert entry.web_cpu > 0
+
+
+def test_serialisation_roundtrip(tmp_path):
+    recorder = record_run()
+    path = tmp_path / "trace.json"
+    recorder.dump(path)
+    loaded = TraceRecorder.load(path)
+    assert len(loaded) == len(recorder.entries)
+    original = sorted(recorder.entries, key=lambda e: e.offset_ns)
+    assert loaded == original
+
+
+def test_replay_reproduces_the_stream():
+    recorder = record_run()
+    trace = sorted(recorder.entries, key=lambda e: e.offset_ns)
+
+    app = deploy_rubis_cluster(SimConfig(num_backends=2), scheme_name="rdma-sync",
+                               poll_interval=ms(50))
+    replayer = TraceReplayer(app.sim, app.dispatcher, trace)
+    replayer.start()
+    horizon = trace[-1].offset_ns + seconds(2)
+    app.run(horizon)
+    assert replayer.issued == len(trace)
+    # Nearly everything completes; mix is preserved.
+    stats = app.dispatcher.stats
+    assert stats.count() > 0.9 * len(trace)
+    replay_queries = {q for q in stats.by_query()}
+    original_queries = {e.query for e in trace}
+    assert replay_queries <= original_queries
+
+
+def test_replay_time_scale_compresses():
+    recorder = record_run()
+    trace = sorted(recorder.entries, key=lambda e: e.offset_ns)
+    spans = {}
+    for scale in (1.0, 0.5):
+        app = deploy_rubis_cluster(SimConfig(num_backends=2),
+                                   scheme_name="rdma-sync")
+        replayer = TraceReplayer(app.sim, app.dispatcher, trace, time_scale=scale)
+        replayer.start()
+        app.run(trace[-1].offset_ns + seconds(2))
+        times = [r.created_at for r in app.dispatcher.stats.completed]
+        spans[scale] = max(times) - min(times)
+    assert spans[0.5] < spans[1.0] * 0.7
+
+
+def test_replay_validation():
+    app = deploy_rubis_cluster(SimConfig(num_backends=1), scheme_name="rdma-sync")
+    with pytest.raises(ValueError):
+        TraceReplayer(app.sim, app.dispatcher, [])
+    entry = TraceEntry(0, "rubis", "Home", 1000, 0, None, 512, 0)
+    with pytest.raises(ValueError):
+        TraceReplayer(app.sim, app.dispatcher, [entry], time_scale=0)
+    with pytest.raises(ValueError):
+        TraceReplayer(app.sim, app.dispatcher, [entry], injectors=0)
