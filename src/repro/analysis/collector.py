@@ -1,45 +1,81 @@
-"""Generic time-series collection."""
+"""Generic time-series collection.
+
+Times within one series are appended monotonically (simulation time
+never goes backwards), which :meth:`TimeSeries.add` asserts. That
+invariant lets :meth:`window_mean` and :meth:`resample` use binary
+search / vectorised slicing instead of scanning the whole series per
+call — the old O(n)-per-window behaviour made repeated windowed
+reductions over long runs quadratic.
+"""
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 
 class TimeSeries:
-    """A named bag of (time, value) series with window reductions."""
+    """A named bag of (time, value) series with window reductions.
+
+    Internally each series is a pair of parallel lists (times, values)
+    so reductions can binary-search the sorted times and slice values
+    without materialising tuples.
+    """
 
     def __init__(self) -> None:
-        self._data: Dict[str, List[Tuple[int, float]]] = {}
+        self._times: Dict[str, List[int]] = {}
+        self._vals: Dict[str, List[float]] = {}
 
     def add(self, name: str, time: int, value: float) -> None:
-        self._data.setdefault(name, []).append((time, value))
+        times = self._times.get(name)
+        if times is None:
+            times = self._times[name] = []
+            self._vals[name] = []
+        if times and time < times[-1]:
+            raise ValueError(
+                f"series {name!r}: non-monotonic append "
+                f"(t={time} after t={times[-1]})"
+            )
+        times.append(time)
+        self._vals[name].append(value)
 
     def get(self, name: str) -> List[Tuple[int, float]]:
-        return list(self._data.get(name, []))
+        return list(zip(self._times.get(name, []), self._vals.get(name, [])))
 
     def names(self) -> List[str]:
-        return sorted(self._data)
+        return sorted(self._times)
 
     def values(self, name: str) -> np.ndarray:
-        return np.array([v for _, v in self._data.get(name, [])], dtype=np.float64)
+        return np.array(self._vals.get(name, []), dtype=np.float64)
 
     def times(self, name: str) -> np.ndarray:
-        return np.array([t for t, _ in self._data.get(name, [])], dtype=np.int64)
+        return np.array(self._times.get(name, []), dtype=np.int64)
 
     def window_mean(self, name: str, start: int, end: int) -> float:
-        """Mean of samples with start <= t < end (0.0 when empty)."""
-        vals = [v for t, v in self._data.get(name, []) if start <= t < end]
-        return float(np.mean(vals)) if vals else 0.0
+        """Mean of samples with start <= t < end (0.0 when empty).
+
+        O(log n) bisection on the sorted times plus an O(window) slice —
+        independent of samples outside the window.
+        """
+        times = self._times.get(name)
+        if not times:
+            return 0.0
+        lo = bisect_left(times, start)
+        hi = bisect_left(times, end, lo=lo)
+        if hi <= lo:
+            return 0.0
+        window = self._vals[name][lo:hi]
+        return float(sum(window) / len(window))
 
     def resample(self, name: str, step: int, start: int = 0, end: int | None = None):
         """Step-hold resampling onto a uniform grid; returns (times, values)."""
-        series = self._data.get(name, [])
-        if not series:
+        times_list = self._times.get(name)
+        if not times_list:
             return np.array([], dtype=np.int64), np.array([])
-        times = np.array([t for t, _ in series], dtype=np.int64)
-        vals = np.array([v for _, v in series], dtype=np.float64)
+        times = np.array(times_list, dtype=np.int64)
+        vals = np.array(self._vals[name], dtype=np.float64)
         if end is None:
             end = int(times[-1])
         grid = np.arange(start, end + 1, step, dtype=np.int64)
@@ -47,4 +83,4 @@ class TimeSeries:
         return grid, vals[idx]
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._times)

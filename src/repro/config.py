@@ -168,6 +168,10 @@ class MonitorConfig:
     extended_bytes: int = 128
     #: CPU cost for the back-end to compose a LoadInfo from /proc output
     compose_cost: int = 2 * US
+    #: FrontendMonitor history bound, entries (0 = unbounded, as the
+    #: paper's short experiment runs want; long-horizon runs set this
+    #: and keep full statistics in repro.telemetry instead)
+    history_limit: int = 0
 
 
 @dataclass
@@ -207,6 +211,8 @@ class SimConfig:
             raise ValueError("softirq budget must be >= 1")
         if self.monitor.interval <= 0:
             raise ValueError("monitoring interval must be positive")
+        if self.monitor.history_limit < 0:
+            raise ValueError("history_limit must be >= 0 (0 = unbounded)")
 
 
 #: default polling interval alias used across experiments

@@ -28,6 +28,7 @@ from repro.experiments import (
     fig9_finegrained,
     scalability,
     table1_rubis,
+    telemetry_overhead,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "design_space",
     "capacity",
     "table1_rubis",
+    "telemetry_overhead",
 ]

@@ -20,6 +20,7 @@ from repro.server.admission import AdmissionController
 from repro.server.dispatcher import Dispatcher
 from repro.server.loadbalancer import LeastLoadedBalancer
 from repro.server.webserver import BackendServer
+from repro.telemetry.pipeline import TelemetryPipeline
 
 
 @dataclass
@@ -51,6 +52,7 @@ class RubisCluster:
     balancer: LeastLoadedBalancer
     dispatcher: Dispatcher
     admission: Optional[AdmissionController] = None
+    telemetry: Optional[TelemetryPipeline] = None
 
     def run(self, until: int) -> None:
         self.sim.run(until)
@@ -63,8 +65,20 @@ def deploy_rubis_cluster(
     with_admission: bool = False,
     admission_max_score: float = 0.85,
     workers: Optional[int] = None,
+    with_telemetry: bool = False,
+    telemetry_rules=None,
+    alert_shedding: bool = False,
 ) -> RubisCluster:
-    """Build the standard application stack on a fresh cluster."""
+    """Build the standard application stack on a fresh cluster.
+
+    ``with_telemetry`` attaches a bounded
+    :class:`~repro.telemetry.pipeline.TelemetryPipeline` to the monitor
+    (front-end only — no simulated-time cost). ``alert_shedding``
+    additionally lets the dispatcher route around critically-alerted
+    back-ends (opt-in policy; implies telemetry); combine it with
+    ``with_admission=True`` to also have the admission controller
+    reject while most back-ends are shedding.
+    """
     cfg = cfg if cfg is not None else SimConfig()
     sim = build_cluster(cfg)
 
@@ -79,6 +93,11 @@ def deploy_rubis_cluster(
     monitor = FrontendMonitor(scheme)
     monitor.start()
 
+    telemetry = None
+    if with_telemetry or alert_shedding:
+        telemetry = TelemetryPipeline(rules=telemetry_rules)
+        telemetry.attach(monitor)
+
     balancer = LeastLoadedBalancer(
         num_backends=len(servers),
         use_irq_pressure=(scheme_name == "e-rdma-sync"),
@@ -90,9 +109,11 @@ def deploy_rubis_cluster(
             num_backends=len(servers),
             max_score=admission_max_score,
             balancer=balancer,
+            alert_engine=(telemetry.engine if alert_shedding and telemetry else None),
         )
     dispatcher = Dispatcher(
-        sim.frontend, servers, balancer, monitor=monitor, admission=admission
+        sim.frontend, servers, balancer, monitor=monitor, admission=admission,
+        telemetry=(telemetry if alert_shedding else None),
     )
     dispatcher.start()
     return RubisCluster(
@@ -103,4 +124,5 @@ def deploy_rubis_cluster(
         balancer=balancer,
         dispatcher=dispatcher,
         admission=admission,
+        telemetry=telemetry,
     )

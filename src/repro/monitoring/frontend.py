@@ -28,7 +28,13 @@ class FrontendMonitor:
         interval: Optional[int] = None,
         observer: Optional[Callable[[int, LoadInfo], None]] = None,
         name: str = "frontend-monitor",
+        history_limit: Optional[int] = None,
     ) -> None:
+        """``history_limit``: retain only the newest N history entries
+        (0 = unbounded). Defaults to ``cfg.monitor.history_limit`` so a
+        single config knob bounds every monitor in a deployment. Long
+        runs should bound history here and keep full-horizon statistics
+        in a :class:`~repro.telemetry.pipeline.TelemetryPipeline`."""
         self.scheme = scheme
         self.sim = scheme.sim
         self.interval = interval if interval is not None else scheme.interval
@@ -36,10 +42,19 @@ class FrontendMonitor:
             raise ValueError("poll interval must be positive")
         self.observer = observer
         self.name = name
+        if history_limit is None:
+            history_limit = getattr(self.sim.cfg.monitor, "history_limit", 0)
+        if history_limit < 0:
+            raise ValueError("history_limit must be >= 0 (0 = unbounded)")
+        self.history_limit = history_limit
         #: freshest report per back-end index
         self.latest: Dict[int, LoadInfo] = {}
-        #: full history [(backend, info)] in arrival order
+        #: history [(backend, info)] in arrival order; when bounded, a
+        #: plain list trimmed in chunks (slicing stays O(1) amortised and
+        #: existing ``history[n:]`` access patterns keep working)
         self.history: List[Tuple[int, LoadInfo]] = []
+        #: history entries discarded by the bound (0 when unbounded)
+        self.history_dropped = 0
         self.polls = 0
         self._stopped = False
         self._task: Optional["Task"] = None
@@ -60,11 +75,21 @@ class FrontendMonitor:
             infos = yield from self.scheme.query_all(k)
             self.polls += 1
             for i, info in infos.items():
-                self.latest[i] = info
-                self.history.append((i, info))
-                if self.observer is not None:
-                    self.observer(i, info)
+                self._record(i, info)
             yield k.sleep(self.interval)
+
+    def _record(self, i: int, info: LoadInfo) -> None:
+        """Cache + history + observer fan-out for one delivered report."""
+        self.latest[i] = info
+        self.history.append((i, info))
+        limit = self.history_limit
+        if limit and len(self.history) >= 2 * limit:
+            # Chunked trim: let the list grow to 2x then slice back to the
+            # bound — amortised O(1) per record, unlike per-append del.
+            self.history_dropped += len(self.history) - limit
+            self.history = self.history[-limit:]
+        if self.observer is not None:
+            self.observer(i, info)
 
     # ------------------------------------------------------------------
     def load_of(self, backend_index: int) -> Optional[LoadInfo]:

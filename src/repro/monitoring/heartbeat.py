@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.sim.events import AnyOf
 from repro.transport.verbs import (
@@ -57,8 +57,11 @@ class HeartbeatMonitor:
         interval: int = 50_000_000,  # 50 ms
         timeout: int = 10_000_000,  # 10 ms — far above a healthy RTT
         hung_after: int = 2,
+        observer: Optional[Callable[[HealthRecord], None]] = None,
     ) -> None:
-        """``hung_after``: consecutive frozen-tick probes before HUNG."""
+        """``hung_after``: consecutive frozen-tick probes before HUNG.
+        ``observer``: called with each :class:`HealthRecord` transition
+        (the telemetry alert engine hooks in here)."""
         if interval <= 0 or timeout <= 0:
             raise ValueError("interval and timeout must be positive")
         if hung_after < 1:
@@ -67,6 +70,7 @@ class HeartbeatMonitor:
         self.interval = interval
         self.timeout = timeout
         self.hung_after = hung_after
+        self.observer = observer
         self.state: Dict[int, NodeHealth] = {
             i: NodeHealth.ALIVE for i in range(len(sim.backends))
         }
@@ -95,7 +99,10 @@ class HeartbeatMonitor:
         if self.state[backend] is state:
             return
         self.state[backend] = state
-        self.transitions.append(HealthRecord(now, backend, state))
+        record = HealthRecord(now, backend, state)
+        self.transitions.append(record)
+        if self.observer is not None:
+            self.observer(record)
 
     def _body(self, k):
         env = self.sim.env

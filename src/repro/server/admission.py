@@ -23,17 +23,39 @@ class AdmissionController:
         num_backends: int,
         max_score: float = 0.85,
         balancer=None,
+        alert_engine=None,
+        shed_fraction: float = 0.5,
     ) -> None:
         """``max_score``: cluster-average score above which requests are
-        rejected. ``balancer``: scoring delegate (LeastLoadedBalancer)."""
+        rejected. ``balancer``: scoring delegate (LeastLoadedBalancer).
+
+        ``alert_engine``: optional
+        :class:`~repro.telemetry.alerts.AlertEngine` enabling alert-aware
+        shedding — requests are also rejected while at least
+        ``shed_fraction`` of the back-ends carry an active critical
+        alert from a shedding rule (overload, heartbeat-miss). Unlike
+        the mean-score test, this reacts to *trend* conditions the
+        telemetry plane detects, not just the freshest sample."""
         self.num_backends = num_backends
         self.max_score = max_score
         self.balancer = balancer
+        self.alert_engine = alert_engine
+        if not 0.0 < shed_fraction <= 1.0:
+            raise ValueError("shed_fraction must be in (0, 1]")
+        self.shed_fraction = shed_fraction
         self.admitted = 0
         self.rejected = 0
+        #: rejections attributed to active alerts (subset of ``rejected``)
+        self.shed_by_alert = 0
 
     def admit(self, loads: Dict[int, LoadInfo]) -> bool:
         """Decide on one request given the current monitor cache."""
+        if self.alert_engine is not None:
+            shed = self.alert_engine.shed_backends()
+            if len(shed) >= self.shed_fraction * self.num_backends:
+                self.rejected += 1
+                self.shed_by_alert += 1
+                return False
         if self.balancer is None or not loads:
             self.admitted += 1
             return True

@@ -37,12 +37,19 @@ class Dispatcher:
         monitor: Optional["FrontendMonitor"] = None,
         admission=None,
         health=None,
+        telemetry=None,
         num_tasks: int = 2,
         request_bytes: int = 512,
     ) -> None:
         """``health``: optional
         :class:`~repro.monitoring.heartbeat.HeartbeatMonitor`; back-ends
         it marks unhealthy are excluded from routing until they recover.
+
+        ``telemetry``: optional
+        :class:`~repro.telemetry.pipeline.TelemetryPipeline`; back-ends
+        with an active critical shedding alert (overload,
+        heartbeat-miss) are routed around while at least one clean
+        back-end remains — opt-in alert-aware routing.
         """
         if not servers:
             raise ValueError("dispatcher needs at least one back-end server")
@@ -52,6 +59,8 @@ class Dispatcher:
         self.monitor = monitor
         self.admission = admission
         self.health = health
+        self.telemetry = telemetry
+        self.rerouted_by_alert = 0
         self.num_tasks = num_tasks
         self.request_bytes = request_bytes
         #: client requests land here (the dispatcher's listening socket)
@@ -108,6 +117,18 @@ class Dispatcher:
                     choice = self.balancer.choose(live_loads)
                     if choice not in healthy:
                         choice = healthy[self.forwarded % len(healthy)]
+            if self.telemetry is not None:
+                shed = self.telemetry.engine.shed_backends()
+                if shed and choice in shed and len(shed) < len(self.servers):
+                    clean_loads = {
+                        i: v for i, v in loads.items() if i not in shed
+                    }
+                    choice = self.balancer.choose(clean_loads)
+                    if choice in shed:
+                        clean = [i for i in range(len(self.servers))
+                                 if i not in shed]
+                        choice = clean[self.forwarded % len(clean)]
+                    self.rerouted_by_alert += 1
             request.backend = choice
             request.dispatched_at = k.now
             self.balancer.note_assigned(choice)

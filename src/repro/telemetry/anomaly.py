@@ -1,0 +1,95 @@
+"""EWMA + z-score anomaly detection over monitored metrics.
+
+The detector keeps exponentially-weighted estimates of a metric's mean
+and variance (Roberts' EWMA control chart). A sample whose deviation
+from the EWMA mean exceeds ``z_threshold`` standard deviations is an
+anomaly — the load-plane analogue of "this back-end just left its
+recent operating regime", which matters to the balancer long before a
+fixed threshold would trip.
+
+Detection is asymmetric-friendly: callers may care only about upward
+excursions (overload) — set ``direction="above"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class AnomalyEvent:
+    """One detected excursion."""
+
+    time: int
+    value: float
+    mean: float
+    std: float
+    zscore: float
+
+    def describe(self) -> str:
+        return (f"value {self.value:.4g} deviates {self.zscore:.1f} sigma "
+                f"from EWMA mean {self.mean:.4g}")
+
+
+class EwmaDetector:
+    """Streaming z-score detector with EWMA mean/variance tracking."""
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        z_threshold: float = 3.0,
+        warmup: int = 16,
+        min_std: float = 1e-9,
+        direction: str = "both",
+    ) -> None:
+        """``warmup``: samples absorbed before any detection fires.
+        ``min_std``: variance floor so a flat-lined metric does not turn
+        every later wiggle into an infinite z-score."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        if direction not in ("both", "above", "below"):
+            raise ValueError("direction must be 'both', 'above' or 'below'")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.min_std = min_std
+        self.direction = direction
+        self.mean = 0.0
+        self.var = 0.0
+        self.samples = 0
+        self.anomalies = 0
+
+    def update(self, time: int, value: float) -> Optional[AnomalyEvent]:
+        """Feed one sample; returns an event when it is anomalous.
+
+        Anomalous samples still update the EWMA (with the same alpha),
+        so a *sustained* shift re-baselines within ~1/alpha samples and
+        stops firing — the alert layer's hysteresis decides how long the
+        condition stays raised.
+        """
+        self.samples += 1
+        if self.samples <= self.warmup:
+            # Seed with plain running estimates to avoid cold-start bias.
+            delta = value - self.mean
+            self.mean += delta / self.samples
+            self.var += (delta * (value - self.mean) - self.var) / self.samples
+            return None
+        std = max(self.min_std, self.var ** 0.5)
+        z = (value - self.mean) / std
+        event: Optional[AnomalyEvent] = None
+        fires = (
+            abs(z) >= self.z_threshold
+            if self.direction == "both"
+            else (z >= self.z_threshold if self.direction == "above" else -z >= self.z_threshold)
+        )
+        if fires:
+            self.anomalies += 1
+            event = AnomalyEvent(time=time, value=value, mean=self.mean, std=std, zscore=z)
+        diff = value - self.mean
+        incr = self.alpha * diff
+        self.mean += incr
+        self.var = (1.0 - self.alpha) * (self.var + diff * incr)
+        return event

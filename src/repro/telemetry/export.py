@@ -1,0 +1,154 @@
+"""Deterministic export of the telemetry plane.
+
+Two renderings of one :class:`~repro.telemetry.pipeline.TelemetryPipeline`:
+
+* :func:`to_jsonl` — one JSON object per line (meta, per-metric
+  summaries, alert log), keys sorted and ordering fixed by metric name,
+  so identical runs produce byte-identical output;
+* :func:`dashboard` — the terminal view: per-back-end digest table,
+  CPU sparklines from the raw retention tier, and the alert log, built
+  on :mod:`repro.analysis.report` like every other figure in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.analysis.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.pipeline import TelemetryPipeline
+
+#: glyph ramp for sparklines (ASCII-only, like the rest of the repo)
+SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def _round(x: float, digits: int = 6) -> float:
+    """Stable rounding so JSONL output is platform-independent."""
+    return round(float(x), digits)
+
+
+def to_jsonl(pipeline: "TelemetryPipeline") -> str:
+    """Serialise the pipeline state as deterministic JSON lines."""
+    lines: List[str] = []
+
+    def emit(obj: dict) -> None:
+        lines.append(json.dumps(obj, sort_keys=True, separators=(",", ":")))
+
+    emit({
+        "kind": "meta",
+        "observations": pipeline.observations,
+        "capacity": pipeline.store.capacity,
+        "decimation": pipeline.store.decimation,
+        "metrics": sorted(pipeline.metrics),
+        "rules": sorted(r.name for r in pipeline.engine.rules),
+    })
+    digests = pipeline.digests()
+    for key in sorted(digests):
+        summary = digests[key].summary()
+        ring = pipeline.store.get(key)
+        emit({
+            "kind": "metric",
+            "key": key,
+            "count": summary["count"],
+            "mean": _round(summary["mean"]),
+            "min": _round(summary["min"]),
+            "max": _round(summary["max"]),
+            "p50": _round(summary["p50"]),
+            "p95": _round(summary["p95"]),
+            "p99": _round(summary["p99"]),
+            "retained": len(ring.raw) if ring is not None else 0,
+            "dropped": ring.raw.dropped if ring is not None else 0,
+        })
+    for alert in pipeline.engine.log:
+        emit({
+            "kind": "alert",
+            "time": alert.time,
+            "rule": alert.rule,
+            "backend": alert.backend,
+            "severity": alert.severity.name,
+            "metric": alert.metric,
+            "value": _round(alert.value),
+            "message": alert.message,
+            "cleared": alert.cleared,
+        })
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(pipeline: "TelemetryPipeline", path) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(pipeline))
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """Render the newest ``width`` values as a one-line ASCII ramp."""
+    vals = list(values)[-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_GLYPHS[0] * len(vals)
+    ramp = len(SPARK_GLYPHS) - 1
+    return "".join(SPARK_GLYPHS[round((v - lo) / span * ramp)] for v in vals)
+
+
+def dashboard(pipeline: "TelemetryPipeline", sparkline_width: int = 48) -> str:
+    """The terminal dashboard: digests, sparklines, active + logged alerts."""
+    sections: List[str] = ["== TELEMETRY DASHBOARD =="]
+
+    rows = []
+    for backend in pipeline.backends():
+        cpu = pipeline.digest(backend, "cpu_util")
+        runq = pipeline.digest(backend, "runq_load")
+        stale = pipeline.digest(backend, "staleness")
+        active = [a for a in pipeline.engine.active_alerts() if a.backend == backend]
+        rows.append([
+            f"backend{backend}",
+            cpu.count if cpu else 0,
+            f"{cpu.p50:.2f}" if cpu else "-",
+            f"{cpu.p95:.2f}" if cpu else "-",
+            f"{cpu.p99:.2f}" if cpu else "-",
+            f"{runq.p95:.1f}" if runq else "-",
+            f"{stale.p95 / 1e6:.1f}" if stale else "-",
+            ",".join(sorted({a.rule for a in active})) or "-",
+        ])
+    sections.append(format_table(
+        ["backend", "polls", "cpu p50", "cpu p95", "cpu p99",
+         "runq p95", "stale p95 ms", "active alerts"],
+        rows,
+        title="Per-backend load digests",
+    ))
+
+    spark_rows = []
+    for backend in pipeline.backends():
+        ring = pipeline.store.get(f"b{backend}.cpu_util")
+        if ring is None:
+            continue
+        spark_rows.append(
+            f"backend{backend} cpu [{sparkline(ring.values(), sparkline_width)}]")
+    if spark_rows:
+        sections.append("CPU utilisation (raw tier, oldest -> newest):")
+        sections.append("\n".join(spark_rows))
+
+    log = pipeline.engine.log
+    if log:
+        alert_rows = [
+            [f"{a.time / 1e9:.3f}s", a.rule, f"backend{a.backend}",
+             "cleared" if a.cleared else a.severity.name, a.message]
+            for a in log
+        ]
+        sections.append(format_table(
+            ["time", "rule", "backend", "state", "detail"],
+            alert_rows,
+            title=f"Alert log ({sum(1 for a in log if not a.cleared)} raised)",
+        ))
+    else:
+        sections.append("Alert log: empty")
+
+    counts = pipeline.engine.counts_by_rule()
+    if counts:
+        sections.append("Raised by rule: " + ", ".join(
+            f"{name}={n}" for name, n in sorted(counts.items())))
+    return "\n\n".join(sections)

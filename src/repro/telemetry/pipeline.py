@@ -1,0 +1,165 @@
+"""Wiring: FrontendMonitor observations → rings, digests, alerts.
+
+:class:`TelemetryPipeline` is a passive observer. Attaching it to a
+:class:`~repro.monitoring.frontend.FrontendMonitor` chains onto the
+monitor's observer hook (preserving any experiment observer already
+installed) so every delivered :class:`LoadInfo` is fanned out to
+
+* the bounded :class:`~repro.telemetry.ringstore.RingStore`
+  (per-back-end, per-metric rings, keyed ``b<i>.<metric>``),
+* one :class:`~repro.telemetry.digest.StreamingDigest` per key, and
+* the :class:`~repro.telemetry.alerts.AlertEngine`.
+
+No simulated events are scheduled and no back-end work is induced: the
+pipeline costs zero simulated time by construction, preserving the
+paper's one-sided-RDMA non-perturbation property (verified by
+``experiments/telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.monitoring.loadinfo import LoadInfo
+from repro.telemetry.alerts import (
+    AlertEngine,
+    AnomalyRule,
+    HeartbeatRule,
+    Rule,
+    Severity,
+    StalenessRule,
+    ThresholdRule,
+)
+from repro.telemetry.digest import StreamingDigest
+from repro.telemetry.ringstore import RingStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitoring.frontend import FrontendMonitor
+    from repro.monitoring.heartbeat import HeartbeatMonitor
+
+#: LoadInfo fields tracked by default (staleness is derived)
+DEFAULT_METRICS: Tuple[str, ...] = (
+    "cpu_util",
+    "runq_load",
+    "nr_running",
+    "irq_pressure",
+    "mem_util",
+    "net_rate_mbps",
+    "staleness",
+)
+
+
+def default_rules(
+    overload_above: float = 0.95,
+    overload_clear: float = 0.80,
+    max_staleness: int = 500_000_000,
+) -> List[Rule]:
+    """The stock rule set: overload, run-queue anomaly, staleness, heartbeat."""
+    return [
+        ThresholdRule(
+            "overload", metric="cpu_util", fire_above=overload_above,
+            clear_below=overload_clear, severity=Severity.CRITICAL, sheds=True,
+        ),
+        AnomalyRule("runq-anomaly", metric="runq_load", severity=Severity.WARNING),
+        StalenessRule(
+            "stale-loadinfo", max_staleness=max_staleness,
+            severity=Severity.WARNING, sheds=False,
+        ),
+        HeartbeatRule(),
+    ]
+
+
+class TelemetryPipeline:
+    """The bounded metric plane for one front-end monitor."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        decimation: int = 10,
+        compression: int = 1024,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        rules: Optional[List[Rule]] = None,
+    ) -> None:
+        self.metrics = tuple(metrics)
+        self.store = RingStore(capacity=capacity, decimation=decimation)
+        self.compression = compression
+        self.engine = AlertEngine(rules if rules is not None else default_rules())
+        self._digests: Dict[str, StreamingDigest] = {}
+        self.observations = 0
+        self._monitor: Optional["FrontendMonitor"] = None
+        self._heartbeat: Optional["HeartbeatMonitor"] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, monitor: "FrontendMonitor") -> "TelemetryPipeline":
+        """Chain onto the monitor's observer hook (keeps any existing one)."""
+        previous = monitor.observer
+
+        def observer(backend: int, info: LoadInfo) -> None:
+            if previous is not None:
+                previous(backend, info)
+            self.observe(backend, info)
+
+        monitor.observer = observer
+        self._monitor = monitor
+        return self
+
+    def attach_heartbeat(self, heartbeat: "HeartbeatMonitor") -> "TelemetryPipeline":
+        """Surface heartbeat transitions as alerts (keeps any existing hook)."""
+        previous = heartbeat.observer
+
+        def observer(record) -> None:
+            if previous is not None:
+                previous(record)
+            self.engine.observe_health(record)
+
+        heartbeat.observer = observer
+        self._heartbeat = heartbeat
+        return self
+
+    # ------------------------------------------------------------------
+    def observe(self, backend: int, info: LoadInfo) -> None:
+        """Ingest one delivered load report (the observer body)."""
+        self.observations += 1
+        now = info.received_at
+        sample: Dict[str, float] = {}
+        for metric in self.metrics:
+            value = float(getattr(info, metric))
+            sample[metric] = value
+            key = f"b{backend}.{metric}"
+            self.store.add(key, now, value)
+            digest = self._digests.get(key)
+            if digest is None:
+                digest = self._digests[key] = StreamingDigest(self.compression)
+            digest.update(value)
+        self.engine.observe(backend, now, sample)
+
+    # ------------------------------------------------------------------
+    def digest(self, backend: int, metric: str) -> Optional[StreamingDigest]:
+        return self._digests.get(f"b{backend}.{metric}")
+
+    def digests(self) -> Dict[str, StreamingDigest]:
+        """All digests, keyed ``b<i>.<metric>``."""
+        return dict(self._digests)
+
+    def backends(self) -> List[int]:
+        """Back-end indices observed so far."""
+        seen = set()
+        for key in self._digests:
+            prefix, _, _ = key.partition(".")
+            seen.add(int(prefix[1:]))
+        return sorted(seen)
+
+    def memory_bound(self) -> int:
+        """Upper bound on retained samples: 3 tiers x capacity x rings."""
+        return 3 * self.store.capacity * max(1, len(self.store))
+
+    # Convenience re-exports -------------------------------------------
+    def dashboard(self, sparkline_width: int = 48) -> str:
+        from repro.telemetry.export import dashboard
+
+        return dashboard(self, sparkline_width=sparkline_width)
+
+    def to_jsonl(self) -> str:
+        from repro.telemetry.export import to_jsonl
+
+        return to_jsonl(self)

@@ -1,0 +1,192 @@
+"""Fixed-capacity time-series retention with tiered downsampling.
+
+A :class:`MetricRing` keeps three tiers of (time, value) samples:
+
+* **raw** — every sample, newest ``capacity`` retained;
+* **mid** — one aggregate per ``decimation`` raw samples (default 10x);
+* **coarse** — one aggregate per ``decimation²`` raw samples (100x).
+
+Each tier is a :class:`RingBuffer` of the same capacity, so total
+memory is O(3 · capacity) *regardless of run length* while the coarse
+tier still spans ``decimation² · capacity`` polls of history — the
+classic RRDtool/TSDB retention trade. Aggregates carry the block mean
+plus min/max so downsampling never hides a spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Aggregate:
+    """One downsampled block: ``time`` is the block's last sample time."""
+
+    time: int
+    mean: float
+    lo: float
+    hi: float
+    count: int
+
+
+class RingBuffer:
+    """Preallocated circular buffer of (time, value-like) entries."""
+
+    __slots__ = ("capacity", "_buf", "_head", "_len", "pushed")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._buf: List[object] = [None] * capacity
+        self._head = 0  # next write slot
+        self._len = 0
+        #: total appends ever (monotonic, survives wrap)
+        self.pushed = 0
+
+    def append(self, item: object) -> None:
+        self._buf[self._head] = item
+        self._head = (self._head + 1) % self.capacity
+        self._len = min(self._len + 1, self.capacity)
+        self.pushed += 1
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[object]:
+        """Oldest → newest."""
+        start = (self._head - self._len) % self.capacity
+        for i in range(self._len):
+            yield self._buf[(start + i) % self.capacity]
+
+    def last(self, n: int) -> List[object]:
+        """The newest ``n`` entries (fewer if the ring holds fewer)."""
+        n = min(n, self._len)
+        out = []
+        for i in range(n):
+            out.append(self._buf[(self._head - n + i) % self.capacity])
+        return out
+
+    @property
+    def dropped(self) -> int:
+        """How many entries have been overwritten by wrap-around."""
+        return self.pushed - self._len
+
+
+class MetricRing:
+    """Three-tier bounded retention for one metric."""
+
+    def __init__(self, capacity: int = 1024, decimation: int = 10) -> None:
+        if decimation < 2:
+            raise ValueError("decimation factor must be >= 2")
+        self.capacity = capacity
+        self.decimation = decimation
+        self.raw = RingBuffer(capacity)
+        self.mid = RingBuffer(capacity)
+        self.coarse = RingBuffer(capacity)
+        self._acc = [_BlockAcc(), _BlockAcc()]  # raw→mid, mid→coarse
+
+    def add(self, time: int, value: float) -> None:
+        self.raw.append((time, value))
+        agg = self._acc[0].feed(time, value, value, value, 1, self.decimation)
+        if agg is not None:
+            self.mid.append(agg)
+            agg2 = self._acc[1].feed(
+                agg.time, agg.mean, agg.lo, agg.hi, agg.count, self.decimation
+            )
+            if agg2 is not None:
+                self.coarse.append(agg2)
+
+    # ------------------------------------------------------------------
+    def raw_samples(self) -> List[Tuple[int, float]]:
+        return list(self.raw)  # type: ignore[arg-type]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.raw]  # type: ignore[misc]
+
+    def tier(self, name: str) -> RingBuffer:
+        try:
+            return {"raw": self.raw, "mid": self.mid, "coarse": self.coarse}[name]
+        except KeyError:
+            raise KeyError(f"unknown tier {name!r}") from None
+
+    def span(self) -> Optional[Tuple[int, int]]:
+        """(oldest, newest) data time across all tiers, None when empty."""
+        oldest: Optional[int] = None
+        for ring in (self.coarse, self.mid, self.raw):
+            for entry in ring:
+                t = entry.time if isinstance(entry, Aggregate) else entry[0]
+                oldest = t if oldest is None else min(oldest, t)
+                break
+        newest = None
+        tail = self.raw.last(1)
+        if tail:
+            newest = tail[0][0]
+        if oldest is None or newest is None:
+            return None
+        return oldest, newest
+
+
+class _BlockAcc:
+    """Accumulates one decimation block."""
+
+    __slots__ = ("n", "total", "weight", "lo", "hi", "time")
+
+    def __init__(self) -> None:
+        self._reset()
+
+    def _reset(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.weight = 0
+        self.lo = float("inf")
+        self.hi = float("-inf")
+        self.time = 0
+
+    def feed(
+        self, time: int, mean: float, lo: float, hi: float, count: int, factor: int
+    ) -> Optional[Aggregate]:
+        self.n += 1
+        self.total += mean * count
+        self.weight += count
+        self.lo = min(self.lo, lo)
+        self.hi = max(self.hi, hi)
+        self.time = time
+        if self.n < factor:
+            return None
+        agg = Aggregate(self.time, self.total / self.weight, self.lo, self.hi, self.weight)
+        self._reset()
+        return agg
+
+
+class RingStore:
+    """Named collection of :class:`MetricRing` — the TSDB front."""
+
+    def __init__(self, capacity: int = 1024, decimation: int = 10) -> None:
+        self.capacity = capacity
+        self.decimation = decimation
+        self._rings: Dict[str, MetricRing] = {}
+        self.total_samples = 0
+
+    def add(self, name: str, time: int, value: float) -> None:
+        ring = self._rings.get(name)
+        if ring is None:
+            ring = self._rings[name] = MetricRing(self.capacity, self.decimation)
+        ring.add(time, value)
+        self.total_samples += 1
+
+    def ring(self, name: str) -> MetricRing:
+        return self._rings[name]
+
+    def get(self, name: str) -> Optional[MetricRing]:
+        return self._rings.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._rings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rings
+
+    def __len__(self) -> int:
+        return len(self._rings)

@@ -1,0 +1,71 @@
+"""TimeSeries bisect-windowing correctness and the monotonic invariant."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.collector import TimeSeries
+
+
+def test_non_monotonic_append_rejected():
+    ts = TimeSeries()
+    ts.add("x", 10, 1.0)
+    ts.add("x", 10, 2.0)  # equal times are fine
+    with pytest.raises(ValueError, match="non-monotonic"):
+        ts.add("x", 5, 3.0)
+    # other series are independent
+    ts.add("y", 0, 0.0)
+
+
+def test_window_mean_matches_bruteforce():
+    rng = np.random.default_rng(11)
+    ts = TimeSeries()
+    times = np.cumsum(rng.integers(0, 5, 500))
+    vals = rng.normal(0, 1, 500)
+    for t, v in zip(times, vals):
+        ts.add("m", int(t), float(v))
+    for start, end in [(0, 50), (100, 400), (37, 38), (-10, 3000), (500, 100)]:
+        window = [v for t, v in zip(times, vals) if start <= t < end]
+        expected = float(np.mean(window)) if window else 0.0
+        assert ts.window_mean("m", start, end) == pytest.approx(expected)
+
+
+def test_window_mean_boundary_semantics():
+    """start is inclusive, end exclusive — same as the O(n) original."""
+    ts = TimeSeries()
+    for t, v in [(0, 1.0), (10, 3.0), (20, 5.0)]:
+        ts.add("x", t, v)
+    assert ts.window_mean("x", 0, 15) == 2.0
+    assert ts.window_mean("x", 10, 20) == 3.0  # t=20 excluded
+    assert ts.window_mean("x", 10, 21) == 4.0
+    assert ts.window_mean("x", 100, 200) == 0.0
+    assert ts.window_mean("missing", 0, 10) == 0.0
+
+
+def test_window_mean_duplicate_times():
+    ts = TimeSeries()
+    for v in (1.0, 2.0, 3.0):
+        ts.add("x", 5, v)
+    assert ts.window_mean("x", 5, 6) == 2.0
+    assert ts.window_mean("x", 0, 5) == 0.0
+
+
+def test_resample_unchanged_by_rewrite():
+    ts = TimeSeries()
+    ts.add("x", 0, 1.0)
+    ts.add("x", 100, 2.0)
+    grid, vals = ts.resample("x", step=50, start=0, end=150)
+    assert list(grid) == [0, 50, 100, 150]
+    assert list(vals) == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_get_and_len_preserved():
+    ts = TimeSeries()
+    ts.add("a", 1, 10.0)
+    ts.add("a", 2, 20.0)
+    ts.add("b", 1, 5.0)
+    assert ts.get("a") == [(1, 10.0), (2, 20.0)]
+    assert ts.get("missing") == []
+    assert len(ts) == 2
+    assert ts.names() == ["a", "b"]
+    assert list(ts.times("a")) == [1, 2]
+    assert list(ts.values("b")) == [5.0]

@@ -1,0 +1,138 @@
+"""Alert rules: hysteresis (no flapping), staleness, heartbeat, shedding."""
+
+import pytest
+
+from repro.monitoring.heartbeat import HealthRecord, NodeHealth
+from repro.telemetry.alerts import (
+    AlertEngine,
+    AnomalyRule,
+    HeartbeatRule,
+    Severity,
+    StalenessRule,
+    ThresholdRule,
+)
+
+
+def make_engine(**kw):
+    return AlertEngine([ThresholdRule(
+        "overload", metric="cpu", fire_above=0.9, clear_below=0.7,
+        severity=Severity.CRITICAL, sheds=True, **kw,
+    )])
+
+
+def test_threshold_fires_once_and_clears():
+    eng = make_engine()
+    eng.observe(0, 1, {"cpu": 0.95})
+    assert eng.is_active("overload", 0)
+    eng.observe(0, 2, {"cpu": 0.5})
+    assert not eng.is_active("overload", 0)
+    raises = [a for a in eng.log if not a.cleared]
+    clears = [a for a in eng.log if a.cleared]
+    assert len(raises) == 1 and len(clears) == 1
+    assert clears[0].time == 2
+
+
+def test_hysteresis_band_prevents_flapping():
+    """Oscillation inside (clear_below, fire_above) must not re-fire."""
+    eng = make_engine()
+    seq = [0.95, 0.85, 0.92, 0.75, 0.91, 0.88, 0.71]
+    for t, v in enumerate(seq):
+        eng.observe(0, t, {"cpu": v})
+    assert eng.is_active("overload", 0)
+    assert len(eng.log) == 1  # exactly one raise, zero clears
+    eng.observe(0, 99, {"cpu": 0.69})
+    assert len(eng.log) == 2  # now cleared
+    # A fresh excursion raises a new alert.
+    eng.observe(0, 100, {"cpu": 0.99})
+    assert len([a for a in eng.log if not a.cleared]) == 2
+
+
+def test_threshold_requires_sane_band():
+    with pytest.raises(ValueError):
+        ThresholdRule("x", metric="cpu", fire_above=0.5, clear_below=0.6)
+
+
+def test_alerts_are_per_backend():
+    eng = make_engine()
+    eng.observe(0, 1, {"cpu": 0.95})
+    eng.observe(1, 1, {"cpu": 0.2})
+    assert eng.is_active("overload", 0)
+    assert not eng.is_active("overload", 1)
+    assert eng.shed_backends() == [0]
+
+
+def test_missing_metric_is_not_a_condition():
+    eng = make_engine()
+    eng.observe(0, 1, {"other": 1.0})
+    assert not eng.is_active("overload", 0)
+    # And an active alert does not clear on a sample missing the metric.
+    eng.observe(0, 2, {"cpu": 0.95})
+    eng.observe(0, 3, {"other": 1.0})
+    assert eng.is_active("overload", 0)
+
+
+def test_staleness_rule():
+    eng = AlertEngine([StalenessRule("stale", max_staleness=100, sheds=True)])
+    eng.observe(0, 1, {"staleness": 50.0})
+    assert not eng.is_active("stale", 0)
+    eng.observe(0, 2, {"staleness": 500.0})
+    assert eng.is_active("stale", 0)
+    assert "500" in eng.log[0].message or "0.0 ms" in eng.log[0].message
+    eng.observe(0, 3, {"staleness": 10.0})
+    assert not eng.is_active("stale", 0)
+    # WARNING-severity alerts don't shed by default severity filter
+    assert eng.shed_backends() == []
+    assert eng.shed_backends(min_severity=Severity.WARNING) == []  # cleared
+
+
+def test_anomaly_rule_clears_after_quiet_period():
+    rule = AnomalyRule("spike", metric="v", clear_after=3)
+    eng = AlertEngine([rule])
+    for t in range(50):
+        eng.observe(0, t, {"v": 1.0 + 0.001 * (t % 3)})
+    eng.observe(0, 50, {"v": 100.0})
+    assert eng.is_active("spike", 0)
+    for t in range(51, 54):
+        eng.observe(0, t, {"v": 1.0})
+    assert not eng.is_active("spike", 0)
+
+
+def test_heartbeat_rule_raises_and_clears():
+    eng = AlertEngine([HeartbeatRule()])
+    a = eng.observe_health(HealthRecord(10, 2, NodeHealth.DEAD))
+    assert a is not None and a.severity is Severity.CRITICAL
+    assert eng.shed_backends() == [2]
+    # escalation while active: no duplicate
+    assert eng.observe_health(HealthRecord(11, 2, NodeHealth.HUNG)) is None
+    assert len([x for x in eng.log if not x.cleared]) == 1
+    eng.observe_health(HealthRecord(20, 2, NodeHealth.ALIVE))
+    assert eng.shed_backends() == []
+    assert eng.log[-1].cleared
+
+
+def test_heartbeat_rule_is_never_sample_driven():
+    eng = AlertEngine([HeartbeatRule()])
+    eng.observe(0, 1, {"cpu": 1.0})
+    assert eng.log == []
+
+
+def test_active_alerts_sorted_and_filtered():
+    eng = AlertEngine([
+        ThresholdRule("warn", metric="a", fire_above=1.0, severity=Severity.WARNING),
+        ThresholdRule("crit", metric="b", fire_above=1.0,
+                      severity=Severity.CRITICAL, sheds=True),
+    ])
+    eng.observe(0, 5, {"a": 2.0, "b": 2.0})
+    assert [a.rule for a in eng.active_alerts()] == ["crit", "warn"] or \
+           [a.rule for a in eng.active_alerts()] == ["warn", "crit"]
+    crit_only = eng.active_alerts(min_severity=Severity.CRITICAL)
+    assert [a.rule for a in crit_only] == ["crit"]
+    assert eng.counts_by_rule() == {"warn": 1, "crit": 1}
+
+
+def test_duplicate_rule_names_rejected():
+    with pytest.raises(ValueError):
+        AlertEngine([HeartbeatRule("x"), HeartbeatRule("x")])
+    eng = AlertEngine([HeartbeatRule("x")])
+    with pytest.raises(ValueError):
+        eng.add_rule(HeartbeatRule("x"))

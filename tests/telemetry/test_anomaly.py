@@ -1,0 +1,63 @@
+"""EWMA z-score detector behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.anomaly import EwmaDetector
+
+
+def test_no_anomalies_on_steady_noise():
+    rng = np.random.default_rng(1)
+    det = EwmaDetector(alpha=0.1, z_threshold=4.0, warmup=32)
+    events = [det.update(t, float(v))
+              for t, v in enumerate(rng.normal(10, 1, 2000))]
+    fired = [e for e in events if e is not None]
+    # 4-sigma on gaussian noise: essentially silent
+    assert len(fired) <= 2
+    assert det.mean == pytest.approx(10, abs=0.5)
+
+
+def test_step_change_fires_then_rebaselines():
+    det = EwmaDetector(alpha=0.2, z_threshold=3.0, warmup=16)
+    rng = np.random.default_rng(2)
+    for t, v in enumerate(rng.normal(1.0, 0.05, 200)):
+        det.update(t, float(v))
+    # Step to a new regime: the first samples there are anomalous ...
+    events = [det.update(200 + i, 5.0) for i in range(50)]
+    assert events[0] is not None
+    assert events[0].zscore > 3.0
+    # ... but a *sustained* shift re-baselines and stops firing.
+    assert events[-1] is None
+    assert det.mean == pytest.approx(5.0, abs=0.5)
+
+
+def test_warmup_absorbs_everything():
+    det = EwmaDetector(warmup=10)
+    for t in range(10):
+        assert det.update(t, float(t * 100)) is None
+
+
+def test_direction_above_ignores_downward():
+    det = EwmaDetector(alpha=0.1, z_threshold=3.0, warmup=16, direction="above")
+    for t in range(100):
+        det.update(t, 10.0 + (0.01 if t % 2 else -0.01))
+    assert det.update(100, -50.0) is None  # downward excursion ignored
+    assert det.update(101, 70.0) is not None
+
+
+def test_flatline_then_wiggle_uses_std_floor():
+    det = EwmaDetector(alpha=0.1, z_threshold=3.0, warmup=8, min_std=0.5)
+    for t in range(100):
+        det.update(t, 1.0)
+    # 0.4 above a perfectly flat baseline: below the floored threshold
+    assert det.update(100, 1.4) is None
+    assert det.update(101, 100.0) is not None
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        EwmaDetector(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaDetector(z_threshold=0.0)
+    with pytest.raises(ValueError):
+        EwmaDetector(direction="sideways")

@@ -1,0 +1,89 @@
+"""Export determinism and dashboard rendering."""
+
+import json
+
+from repro.config import SimConfig
+from repro.experiments.common import deploy_rubis_cluster
+from repro.monitoring.heartbeat import HealthRecord, NodeHealth
+from repro.monitoring.loadinfo import LoadInfo
+from repro.sim.units import MILLISECOND, SECOND
+from repro.telemetry.export import dashboard, sparkline, to_jsonl, write_jsonl
+from repro.telemetry.pipeline import TelemetryPipeline
+from repro.workloads.rubis import RubisWorkload
+
+
+def fill_pipeline(values=(0.2, 0.5, 0.97, 0.3)) -> TelemetryPipeline:
+    pipe = TelemetryPipeline(metrics=("cpu_util", "runq_load", "staleness"))
+    for backend in (0, 1):
+        for t, v in enumerate(values):
+            pipe.observe(backend, LoadInfo(
+                backend=f"backend{backend}", collected_at=t * 1000,
+                received_at=t * 1000 + 500, cpu_util=v, runq_load=v * 4,
+            ))
+    pipe.engine.observe_health(HealthRecord(5000, 1, NodeHealth.DEAD))
+    return pipe
+
+
+def test_jsonl_is_valid_and_complete():
+    out = to_jsonl(fill_pipeline())
+    lines = [json.loads(line) for line in out.strip().split("\n")]
+    kinds = [obj["kind"] for obj in lines]
+    assert kinds[0] == "meta"
+    assert kinds.count("metric") == 6  # 2 backends x 3 metrics
+    assert "alert" in kinds
+    meta = lines[0]
+    assert meta["observations"] == 8
+    metric_keys = [obj["key"] for obj in lines if obj["kind"] == "metric"]
+    assert metric_keys == sorted(metric_keys)
+
+
+def test_jsonl_deterministic_across_identical_runs():
+    assert to_jsonl(fill_pipeline()) == to_jsonl(fill_pipeline())
+
+
+def test_jsonl_deterministic_for_same_seed_simulation():
+    """Same seed, fresh simulation → byte-identical export."""
+
+    def run_once():
+        app = deploy_rubis_cluster(
+            SimConfig(num_backends=2, master_seed=77), scheme_name="rdma-sync",
+            poll_interval=50 * MILLISECOND, with_telemetry=True,
+        )
+        RubisWorkload(app.sim, app.dispatcher, num_clients=8,
+                      think_time=3 * MILLISECOND).start()
+        app.run(1 * SECOND)
+        return to_jsonl(app.telemetry)
+
+    assert run_once() == run_once()
+
+
+def test_write_jsonl_roundtrip(tmp_path):
+    pipe = fill_pipeline()
+    path = tmp_path / "telemetry.jsonl"
+    write_jsonl(pipe, path)
+    assert path.read_text() == to_jsonl(pipe)
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0, 1.0]) == "   "
+    ramp = sparkline([0.0, 0.5, 1.0])
+    assert len(ramp) == 3
+    assert ramp[0] == " " and ramp[-1] == "@"
+    assert len(sparkline(list(range(1000)), width=48)) == 48
+
+
+def test_dashboard_sections():
+    out = dashboard(fill_pipeline())
+    assert "TELEMETRY DASHBOARD" in out
+    assert "Per-backend load digests" in out
+    assert "backend0" in out and "backend1" in out
+    assert "cpu p95" in out
+    assert "Alert log" in out
+    assert "heartbeat-miss" in out
+    assert "Raised by rule:" in out
+
+
+def test_dashboard_empty_pipeline():
+    out = dashboard(TelemetryPipeline())
+    assert "Alert log: empty" in out

@@ -1,0 +1,145 @@
+"""Pipeline wiring: observer chaining, bounded history, 1e6-poll bound."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.common import deploy_rubis_cluster
+from repro.monitoring.frontend import FrontendMonitor
+from repro.monitoring.loadinfo import LoadInfo
+from repro.sim.units import MILLISECOND, SECOND
+from repro.telemetry.alerts import Severity, ThresholdRule
+from repro.telemetry.pipeline import DEFAULT_METRICS, TelemetryPipeline
+from repro.workloads.rubis import RubisWorkload
+
+
+class StubScheme:
+    """Minimal MonitoringScheme stand-in for observer-path tests."""
+
+    def __init__(self):
+        from types import SimpleNamespace
+
+        self.sim = SimpleNamespace(
+            cfg=SimpleNamespace(monitor=SimpleNamespace(history_limit=0)),
+            frontend=None,
+        )
+        self.interval = 1
+
+
+def make_monitor(**kw) -> FrontendMonitor:
+    return FrontendMonitor(StubScheme(), **kw)
+
+
+def info_for(backend: int, t: int, cpu: float, runq: float = 1.0) -> LoadInfo:
+    return LoadInfo(
+        backend=f"backend{backend}", collected_at=t - 1000, received_at=t,
+        nr_running=2, runq_load=runq, cpu_util=cpu,
+    )
+
+
+def test_observer_chain_preserves_existing_observer():
+    seen = []
+    monitor = make_monitor(observer=lambda i, info: seen.append(i))
+    pipe = TelemetryPipeline(metrics=("cpu_util",)).attach(monitor)
+    monitor._record(0, info_for(0, 100, 0.5))
+    assert seen == [0]
+    assert pipe.observations == 1
+    assert pipe.digest(0, "cpu_util").count == 1
+
+
+def test_pipeline_tracks_all_default_metrics():
+    monitor = make_monitor()
+    pipe = TelemetryPipeline().attach(monitor)
+    monitor._record(1, info_for(1, 100, 0.5))
+    assert pipe.store.names() == sorted(f"b1.{m}" for m in DEFAULT_METRICS)
+    assert pipe.backends() == [1]
+    # staleness is the derived property, recorded like any field
+    assert pipe.digest(1, "staleness").mean == 1000.0
+
+
+def test_bounded_history_mode():
+    monitor = make_monitor(history_limit=100)
+    for t in range(1000):
+        monitor._record(0, info_for(0, t, 0.1))
+    assert len(monitor.history) < 2 * 100
+    assert monitor.history_dropped > 0
+    # newest entries survive, slicing access patterns still work
+    assert monitor.history[-1][1].received_at == 999
+    assert [i for i, _ in monitor.history[-3:]] == [0, 0, 0]
+
+
+def test_history_limit_from_config_knob():
+    scheme = StubScheme()
+    scheme.sim.cfg.monitor.history_limit = 7
+    monitor = FrontendMonitor(scheme)
+    assert monitor.history_limit == 7
+    with pytest.raises(ValueError):
+        FrontendMonitor(StubScheme(), history_limit=-1)
+
+
+def test_million_polls_bounded_memory_and_accurate_digests():
+    """The acceptance bar: >= 1e6 polls, O(capacity) retention, <= 1 %
+    quantile error against the exact percentiles of the full stream."""
+    capacity = 512
+    monitor = make_monitor(history_limit=1000)
+    pipe = TelemetryPipeline(capacity=capacity, metrics=("cpu_util",),
+                             rules=[]).attach(monitor)
+    n = 1_000_000
+    rng = np.random.default_rng(123)
+    values = rng.beta(2.0, 5.0, n)  # skewed load-like distribution in [0,1]
+    info = info_for(0, 0, 0.0)
+    for t in range(n):
+        info.received_at = t
+        info.cpu_util = float(values[t])
+        monitor._record(0, info)
+
+    # History and every retention tier stay within their bounds.
+    assert len(monitor.history) < 2 * 1000
+    ring = pipe.store.ring("b0.cpu_util")
+    assert len(ring.raw) <= capacity
+    assert len(ring.mid) <= capacity
+    assert len(ring.coarse) <= capacity
+    assert ring.raw.pushed == n
+
+    # Digest quantiles within 1 % of the exact percentiles.
+    digest = pipe.digest(0, "cpu_util")
+    assert digest.count == n
+    span = float(values.max() - values.min())
+    for q in (0.50, 0.95, 0.99):
+        exact = float(np.percentile(values, q * 100))
+        assert abs(digest.quantile(q) - exact) <= 0.01 * span, q
+
+
+def test_alert_rules_fire_through_pipeline():
+    monitor = make_monitor()
+    pipe = TelemetryPipeline(
+        metrics=("cpu_util",),
+        rules=[ThresholdRule("overload", metric="cpu_util", fire_above=0.9,
+                             clear_below=0.7, severity=Severity.CRITICAL,
+                             sheds=True)],
+    ).attach(monitor)
+    monitor._record(0, info_for(0, 1, 0.95))
+    monitor._record(1, info_for(1, 1, 0.2))
+    assert pipe.engine.shed_backends() == [0]
+    monitor._record(0, info_for(0, 2, 0.5))
+    assert pipe.engine.shed_backends() == []
+
+
+def test_pipeline_on_live_cluster_run():
+    """End-to-end: deployed stack, real poll loop, digests populated."""
+    app = deploy_rubis_cluster(
+        SimConfig(num_backends=2), scheme_name="rdma-sync",
+        poll_interval=50 * MILLISECOND, with_telemetry=True,
+    )
+    workload = RubisWorkload(app.sim, app.dispatcher, num_clients=8,
+                             think_time=3 * MILLISECOND)
+    workload.start()
+    app.run(1 * SECOND)
+    assert app.telemetry is not None
+    assert app.telemetry.observations == 2 * app.monitor.polls
+    assert app.telemetry.backends() == [0, 1]
+    digest = app.telemetry.digest(0, "cpu_util")
+    assert digest is not None and digest.count == app.monitor.polls
+    assert 0.0 <= digest.p50 <= 1.0
+    # telemetry consumed zero simulated time: poll cadence unchanged
+    assert app.monitor.polls == pytest.approx(1 * SECOND / (50 * MILLISECOND), abs=2)

@@ -1,0 +1,98 @@
+"""Ring buffer wrap and tiered-downsampling correctness."""
+
+import pytest
+
+from repro.telemetry.ringstore import Aggregate, MetricRing, RingBuffer, RingStore
+
+
+def test_ring_buffer_keeps_newest():
+    ring = RingBuffer(4)
+    for i in range(10):
+        ring.append(i)
+    assert len(ring) == 4
+    assert list(ring) == [6, 7, 8, 9]
+    assert ring.last(2) == [8, 9]
+    assert ring.pushed == 10
+    assert ring.dropped == 6
+
+
+def test_ring_buffer_below_capacity():
+    ring = RingBuffer(8)
+    for i in range(3):
+        ring.append(i)
+    assert list(ring) == [0, 1, 2]
+    assert ring.last(10) == [0, 1, 2]
+    assert ring.dropped == 0
+
+
+def test_ring_buffer_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+
+
+def test_metric_ring_downsample_means():
+    ring = MetricRing(capacity=100, decimation=10)
+    for i in range(100):
+        ring.add(i, float(i))
+    # raw: all 100; mid: 10 blocks of 10; coarse: one block of 100
+    assert len(ring.raw) == 100
+    assert len(ring.mid) == 10
+    assert len(ring.coarse) == 1
+    first_mid = next(iter(ring.mid))
+    assert isinstance(first_mid, Aggregate)
+    assert first_mid.mean == pytest.approx(4.5)  # mean(0..9)
+    assert first_mid.lo == 0.0 and first_mid.hi == 9.0
+    assert first_mid.time == 9  # block-end timestamp
+    coarse = next(iter(ring.coarse))
+    assert coarse.mean == pytest.approx(49.5)  # mean(0..99)
+    assert coarse.count == 100
+
+
+def test_downsampling_preserves_extremes():
+    """A one-sample spike must survive into every tier's hi."""
+    ring = MetricRing(capacity=10, decimation=10)
+    for i in range(1000):
+        ring.add(i, 100.0 if i == 345 else 0.0)
+    spikes = [a for a in ring.coarse if a.hi == 100.0]
+    assert len(spikes) == 1
+    assert spikes[0].count == 100
+
+
+def test_memory_stays_bounded_regardless_of_stream_length():
+    ring = MetricRing(capacity=32, decimation=10)
+    for i in range(50_000):
+        ring.add(i, float(i % 7))
+    for tier in (ring.raw, ring.mid, ring.coarse):
+        assert len(tier) <= 32
+    lo, hi = ring.span()
+    assert hi == 49_999
+    # coarse tier spans decimation^2 * capacity = 3200 blocks of history
+    assert lo < hi - 32  # far more history than the raw tier alone
+
+
+def test_ring_store_named_metrics():
+    store = RingStore(capacity=16)
+    store.add("b0.cpu", 1, 0.5)
+    store.add("b1.cpu", 1, 0.7)
+    store.add("b0.cpu", 2, 0.6)
+    assert store.names() == ["b0.cpu", "b1.cpu"]
+    assert "b0.cpu" in store and "b9.cpu" not in store
+    assert store.total_samples == 3
+    assert store.ring("b0.cpu").raw_samples() == [(1, 0.5), (2, 0.6)]
+    assert store.get("missing") is None
+    with pytest.raises(KeyError):
+        store.ring("missing")
+
+
+def test_metric_ring_rejects_bad_decimation():
+    with pytest.raises(ValueError):
+        MetricRing(capacity=8, decimation=1)
+
+
+def test_tier_lookup():
+    ring = MetricRing(capacity=8)
+    assert ring.tier("raw") is ring.raw
+    assert ring.tier("mid") is ring.mid
+    assert ring.tier("coarse") is ring.coarse
+    with pytest.raises(KeyError):
+        ring.tier("nope")

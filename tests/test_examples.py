@@ -66,6 +66,15 @@ def test_scheme_shootout_runs(capsys):
     assert "loaded_latency_us" in out
 
 
+def test_telemetry_dashboard_runs(capsys):
+    run_example("telemetry_dashboard.py", ["rdma-sync", "3"])
+    out = capsys.readouterr().out
+    assert "TELEMETRY DASHBOARD" in out
+    assert "overload" in out
+    assert "heartbeat-miss" in out
+    assert "Alerts raised:" in out
+
+
 def test_run_all_cli_subset(tmp_path, capsys):
     from repro.experiments.run_all import main
 
