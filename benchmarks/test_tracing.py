@@ -1,0 +1,102 @@
+"""Benchmark: the tracing plane is free in simulated time, bounded in space.
+
+Enables ``repro.tracing`` on the standard RUBiS stack and checks the
+properties the span plane promises (see docs/TRACING.md):
+
+* same seeds → *identical* simulated outcomes (LB decisions,
+  completions, response times) with tracing off, on, and head-sampled —
+  every hook is observer bookkeeping, never a simulated event, so the
+  paper's non-perturbation property extends to per-request causality;
+* two traced runs of a seed export byte-identical Chrome-trace JSON
+  (the whole span plane is deterministic);
+* the span store never retains more than ``max_spans`` spans no matter
+  how many were emitted — the rest are counted, not kept;
+* wall-clock overhead stays small and head sampling reduces it.
+
+Also emits ``results/BENCH_tracing.json`` — the machine-readable
+baseline for tracking the tracing plane's wall-clock cost over time.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.analysis.report import format_series, format_table
+from repro.experiments import trace_overhead
+from repro.sim.units import SECOND
+
+
+def test_trace_overhead(benchmark, record, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: trace_overhead.run(seeds=(1, 2, 3), duration=6 * SECOND),
+    )
+    rows = result.tables["runs"]
+    table = format_table(
+        ["seed", "identical", "det.export", "forwarded", "spans",
+         "dropped", "bound", "traces", "sampled", "unsampled"],
+        [[r["seed"], r["identical"], r["deterministic_export"],
+          r["forwarded"], r["spans"], r["dropped"], r["max_spans"],
+          r["traces"], r["spans_sampled"], r["unsampled"]] for r in rows],
+        title="Tracing off/on/sampled per seed",
+    )
+    series = format_series(
+        "seed", result.xs,
+        {k: result.series[k] for k in
+         ("wall_off_s", "wall_on_s", "wall_sampled_s", "overhead_pct")},
+        title="Wall-clock cost of the tracing plane",
+        fmt="{:.3f}",
+    )
+    record("trace_overhead", table + "\n\n" + series + "\n\n" + result.notes)
+
+    # Machine-readable baseline for the perf trajectory.
+    baseline = {
+        "experiment": result.name,
+        "params": result.params,
+        "seeds": result.xs,
+        "series": result.series,
+        "runs": rows,
+        "identical": result.tables["identical"],
+    }
+    (results_dir / "BENCH_tracing.json").write_text(
+        json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+
+    # Identical simulated-time results: same seeds -> same LB decisions,
+    # whether tracing is off, on, or sampling 10% of traces.
+    assert result.tables["identical"], rows
+    for r in rows:
+        assert r["per_backend_off"] == r["per_backend_on"], r
+        # Same seed -> byte-identical Chrome-trace export.
+        assert r["deterministic_export"], r
+        # Memory is bounded regardless of how many spans were emitted.
+        assert r["spans"] <= r["max_spans"], r
+        # The plane actually saw the run: spans and whole traces exist,
+        # and head sampling kept strictly fewer spans than full tracing.
+        assert r["spans"] > 0 and r["traces"] > 0, r
+        assert 0 < r["spans_sampled"] < r["spans"], r
+        assert r["unsampled"] > 0, r
+
+
+def test_trace_bound_enforced(benchmark, record):
+    """A tiny max_spans bound drops spans without perturbing the run."""
+    result = run_once(
+        benchmark,
+        lambda: {
+            "off": trace_overhead.run_one(7, with_tracing=False,
+                                          duration=2 * SECOND),
+            "tight": trace_overhead.run_one(7, with_tracing=True,
+                                            duration=2 * SECOND,
+                                            max_spans=512),
+        },
+    )
+    off, tight = result["off"], result["tight"]
+    record("trace_bound", "\n".join([
+        "Bounded span store under a 512-span cap (seed 7, 2s):",
+        f"  retained : {tight['spans']} (cap {tight['max_spans']})",
+        f"  dropped  : {tight['dropped']}",
+        f"  identical: {off['fingerprint'] == tight['fingerprint']}",
+    ]))
+    assert tight["spans"] <= 512
+    assert tight["dropped"] > 0
+    # Dropping spans is invisible to the simulated cluster.
+    assert off["fingerprint"] == tight["fingerprint"]

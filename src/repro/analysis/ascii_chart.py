@@ -7,10 +7,35 @@ tables — close enough to the paper's figures to eyeball the shapes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: glyphs assigned to series in order
 MARKERS = "*o+x#@%&"
+
+
+def ascii_bars(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one labelled bar per (label, value) row.
+
+    The flamegraph-style breakdown renderer used by
+    :func:`repro.tracing.analysis.flame` — bars are scaled to the
+    largest value, labels are right-padded to align the bars.
+    """
+    if not rows:
+        return title or "(no data)"
+    top = max(v for _, v in rows)
+    label_w = min(32, max(len(label) for label, _ in rows))
+    lines: List[str] = [title] if title else []
+    for label, value in rows:
+        filled = 0 if top <= 0 else round(value / top * width)
+        bar = "#" * filled + "." * (width - filled)
+        suffix = f" {value:,.1f}{(' ' + unit) if unit else ''}"
+        lines.append(f"{label[:label_w]:<{label_w}} |{bar}|{suffix}")
+    return "\n".join(lines)
 
 
 def ascii_chart(

@@ -175,6 +175,20 @@ class MonitorConfig:
 
 
 @dataclass
+class TracingConfig:
+    """Causal span-tracing parameters (see :mod:`repro.tracing`)."""
+
+    #: master switch — when False every tracing hook is a single attribute
+    #: check and the simulation is bit-identical to an untraced run
+    enabled: bool = False
+    #: head-based sampling probability: the keep/drop decision is made
+    #: once per trace at the root; 1.0 never draws from the RNG stream
+    sample_rate: float = 1.0
+    #: span-store bound; spans finished past this are counted as dropped
+    max_spans: int = 65536
+
+
+@dataclass
 class SimConfig:
     """Top-level simulation configuration."""
 
@@ -190,6 +204,7 @@ class SimConfig:
     net: NetConfig = field(default_factory=NetConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    tracing: TracingConfig = field(default_factory=TracingConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
         """Shallow functional update of top-level fields."""
@@ -213,6 +228,10 @@ class SimConfig:
             raise ValueError("monitoring interval must be positive")
         if self.monitor.history_limit < 0:
             raise ValueError("history_limit must be >= 0 (0 = unbounded)")
+        if not 0.0 <= self.tracing.sample_rate <= 1.0:
+            raise ValueError("tracing sample_rate must be in [0, 1]")
+        if self.tracing.max_spans < 1:
+            raise ValueError("tracing max_spans must be >= 1")
 
 
 #: default polling interval alias used across experiments
@@ -227,4 +246,5 @@ __all__ = [
     "ServerConfig",
     "SimConfig",
     "SyscallConfig",
+    "TracingConfig",
 ]

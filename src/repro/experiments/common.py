@@ -68,6 +68,8 @@ def deploy_rubis_cluster(
     with_telemetry: bool = False,
     telemetry_rules=None,
     alert_shedding: bool = False,
+    with_tracing: bool = False,
+    trace_sample: float = 1.0,
 ) -> RubisCluster:
     """Build the standard application stack on a fresh cluster.
 
@@ -78,8 +80,15 @@ def deploy_rubis_cluster(
     back-ends (opt-in policy; implies telemetry); combine it with
     ``with_admission=True`` to also have the admission controller
     reject while most back-ends are shedding.
+
+    ``with_tracing`` enables the causal span plane (see repro.tracing) at
+    head-sampling rate ``trace_sample`` — like telemetry, pure observer
+    bookkeeping with zero simulated-time cost.
     """
     cfg = cfg if cfg is not None else SimConfig()
+    if with_tracing:
+        cfg.tracing.enabled = True
+        cfg.tracing.sample_rate = trace_sample
     sim = build_cluster(cfg)
 
     servers = [
@@ -103,6 +112,8 @@ def deploy_rubis_cluster(
         use_irq_pressure=(scheme_name == "e-rdma-sync"),
         rng=sim.rng.stream("loadbalancer"),
     )
+    balancer.tracer = sim.spans
+    balancer.trace_node = sim.frontend.name
     admission = None
     if with_admission:
         admission = AdmissionController(
@@ -111,6 +122,8 @@ def deploy_rubis_cluster(
             balancer=balancer,
             alert_engine=(telemetry.engine if alert_shedding and telemetry else None),
         )
+        admission.tracer = sim.spans
+        admission.trace_node = sim.frontend.name
     dispatcher = Dispatcher(
         sim.frontend, servers, balancer, monitor=monitor, admission=admission,
         telemetry=(telemetry if alert_shedding else None),

@@ -18,6 +18,7 @@ from repro.hw.node import Node
 from repro.sim.engine import Environment
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+from repro.tracing.span import SpanTracer
 
 
 @dataclass
@@ -34,6 +35,8 @@ class ClusterSim:
     #: the client farm — one wide node standing in for the paper's eight
     #: dedicated client machines (never the bottleneck)
     clients: Node | None = None
+    #: causal span tracer shared by every node (see repro.tracing)
+    spans: SpanTracer | None = None
 
     @property
     def nodes(self) -> List[Node]:
@@ -64,6 +67,13 @@ def build_cluster(cfg: SimConfig | None = None) -> ClusterSim:
     env = Environment()
     rng = RngRegistry(cfg.master_seed)
     tracer = Tracer(enabled=cfg.trace)
+    spans = SpanTracer(
+        env,
+        rng=rng.stream("tracing"),
+        sample_rate=cfg.tracing.sample_rate,
+        max_spans=cfg.tracing.max_spans,
+        enabled=cfg.tracing.enabled,
+    )
     fabric = Fabric(env, cfg)
 
     frontend = Node(env, cfg, "frontend", 0, tracer=tracer)
@@ -75,6 +85,7 @@ def build_cluster(cfg: SimConfig | None = None) -> ClusterSim:
                    num_cpus=cfg.client_cpus)
     for node in [frontend, *backends, clients]:
         fabric.attach(node.nic)
+        node.span_tracer = spans
         node.boot()
 
     return ClusterSim(
@@ -86,4 +97,5 @@ def build_cluster(cfg: SimConfig | None = None) -> ClusterSim:
         frontend=frontend,
         backends=backends,
         clients=clients,
+        spans=spans,
     )

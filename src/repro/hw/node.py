@@ -49,6 +49,8 @@ class Node:
         self.name = name
         self.index = index
         self.tracer = tracer if tracer is not None else Tracer(enabled=cfg.trace)
+        #: causal span tracer (attached by build_cluster; None = untraced)
+        self.span_tracer = None
         #: CPUs on this node (the client farm gets more than the servers)
         self.num_cpus = num_cpus if num_cpus is not None else cfg.cpu.num_cpus
         if self.num_cpus < 1:

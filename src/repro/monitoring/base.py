@@ -15,11 +15,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from repro.monitoring.loadinfo import LoadInfo
+from repro.tracing.span import STATUS_OK
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
     from repro.hw.node import Node
     from repro.kernel.task import TaskContext
+    from repro.tracing.span import Span
 
 
 @dataclass
@@ -90,11 +92,31 @@ class MonitoringScheme(abc.ABC):
         self._stopped = True
 
     # ------------------------------------------------------------------
-    def _record(self, backend_index: int, issued_at: int, info: LoadInfo) -> LoadInfo:
+    def _probe_span(self, backend_index: int) -> "Optional[Span]":
+        """Open a root trace for one monitoring probe (None when off).
+
+        One probe = one trace: every transport hop the query takes
+        (RDMA verb segments or socket send/recv) becomes a child span,
+        so the probe's critical path is directly comparable with the
+        paper's analytic latency model. Closed by :meth:`_record`.
+        """
+        tracer = self.frontend.span_tracer
+        if tracer is None or not tracer.enabled:
+            return None
+        return tracer.start_trace(
+            f"probe:{self.name}", node=self.frontend.name, component="monitor",
+            attrs={"backend": backend_index, "scheme": self.name},
+        )
+
+    def _record(self, backend_index: int, issued_at: int, info: LoadInfo,
+                span: "Optional[Span]" = None) -> LoadInfo:
         info.received_at = self.sim.env.now
         self.records.append(
             QueryRecord(backend_index, issued_at, self.sim.env.now, info)
         )
+        if span is not None:
+            self.frontend.span_tracer.end(
+                span, status=STATUS_OK, attrs={"staleness": info.staleness})
         return info
 
     def latencies(self) -> List[int]:

@@ -69,27 +69,30 @@ class RdmaAsyncScheme(MonitoringScheme):
     # ------------------------------------------------------------------
     def query(self, k: "TaskContext", backend_index: int) -> Generator:
         issued = k.now
+        span = self._probe_span(backend_index)
         mr = self._mrs[backend_index]
-        wc = yield from self._qps[backend_index].rdma_read(k, mr.rkey, mr.nbytes)
+        wc = yield from self._qps[backend_index].rdma_read(k, mr.rkey, mr.nbytes,
+                                                           ctx=span)
         info = wc.value
         if info is None:
             # Buffer not yet filled by the calc thread.
             info = LoadInfo(backend=self.backends[backend_index].name, collected_at=0)
-        return self._record(backend_index, issued, info)
+        return self._record(backend_index, issued, info, span=span)
 
     def query_all(self, k: "TaskContext") -> Generator:
         """Post all reads, then collect completions (overlapped wire time)."""
         net = self.sim.cfg.net
         issued = k.now
+        spans = [self._probe_span(i) for i in range(len(self.backends))]
         events = []
-        for qp, mr in zip(self._qps, self._mrs):
+        for i, (qp, mr) in enumerate(zip(self._qps, self._mrs)):
             yield k.compute(net.doorbell_cost)
-            events.append(qp._post_read(mr.rkey, mr.nbytes))
+            events.append(qp._post_read(mr.rkey, mr.nbytes, ctx=spans[i]))
         out: Dict[int, LoadInfo] = {}
         for i, ev in enumerate(events):
             wc = yield k.wait(ev)
             info = wc.value
             if info is None:
                 info = LoadInfo(backend=self.backends[i].name, collected_at=0)
-            out[i] = self._record(i, issued, info)
+            out[i] = self._record(i, issued, info, span=spans[i])
         return out

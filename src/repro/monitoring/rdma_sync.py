@@ -71,31 +71,33 @@ class RdmaSyncScheme(MonitoringScheme):
     def query(self, k: "TaskContext", backend_index: int) -> Generator:
         mon = self.sim.cfg.monitor
         issued = k.now
+        span = self._probe_span(backend_index)
         qp = self._qps[backend_index]
         load_mr = self._load_mrs[backend_index]
-        wc = yield from qp.rdma_read(k, load_mr.rkey, load_mr.nbytes)
+        wc = yield from qp.rdma_read(k, load_mr.rkey, load_mr.nbytes, ctx=span)
         irq = None
         if self.read_irq_stat:
             irq_mr = self._irq_mrs[backend_index]
-            wc_irq = yield from qp.rdma_read(k, irq_mr.rkey, irq_mr.nbytes)
+            wc_irq = yield from qp.rdma_read(k, irq_mr.rkey, irq_mr.nbytes, ctx=span)
             irq = wc_irq.value
         # Derive load on the *front end* from the raw counters.
         yield k.compute(mon.compose_cost)
         info = self._calcs[backend_index].compute(wc.value, irq)
-        return self._record(backend_index, issued, info)
+        return self._record(backend_index, issued, info, span=span)
 
     def query_all(self, k: "TaskContext") -> Generator:
         net = self.sim.cfg.net
         mon = self.sim.cfg.monitor
         issued = k.now
+        spans = [self._probe_span(i) for i in range(len(self.backends))]
         load_events, irq_events = [], []
-        for qp, lmr in zip(self._qps, self._load_mrs):
+        for i, (qp, lmr) in enumerate(zip(self._qps, self._load_mrs)):
             yield k.compute(net.doorbell_cost)
-            load_events.append(qp._post_read(lmr.rkey, lmr.nbytes))
+            load_events.append(qp._post_read(lmr.rkey, lmr.nbytes, ctx=spans[i]))
         if self.read_irq_stat:
-            for qp, imr in zip(self._qps, self._irq_mrs):
+            for i, (qp, imr) in enumerate(zip(self._qps, self._irq_mrs)):
                 yield k.compute(net.doorbell_cost)
-                irq_events.append(qp._post_read(imr.rkey, imr.nbytes))
+                irq_events.append(qp._post_read(imr.rkey, imr.nbytes, ctx=spans[i]))
         out: Dict[int, LoadInfo] = {}
         for i, ev in enumerate(load_events):
             wc = yield k.wait(ev)
@@ -104,5 +106,6 @@ class RdmaSyncScheme(MonitoringScheme):
                 wc_irq = yield k.wait(irq_events[i])
                 irq = wc_irq.value
             yield k.compute(mon.compose_cost)
-            out[i] = self._record(i, issued, self._calcs[i].compute(wc.value, irq))
+            out[i] = self._record(i, issued, self._calcs[i].compute(wc.value, irq),
+                                  span=spans[i])
         return out

@@ -52,28 +52,39 @@ class RdmaWritePushScheme(MonitoringScheme):
         mon = self.sim.cfg.monitor
         nbytes = mon.extended_bytes if self.with_irq_detail else mon.loadinfo_bytes
         fe_pd = ProtectionDomain.for_node(self.frontend)
-        for be in self.backends:
+        for i, be in enumerate(self.backends):
             region = self.frontend.memory.alloc(f"push-buf:{be.name}", nbytes, value=None)
             handle = fe_pd.register(
                 region, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_READ)
             self._regions.append(region)
             _qp_fe, qp_be = connect_qp(self.frontend, be)
             be.spawn(f"mon-push:{be.name}",
-                     self._pusher_body(be, qp_be, handle, nbytes), nice=0)
+                     self._pusher_body(i, be, qp_be, handle, nbytes), nice=0)
 
-    def _pusher_body(self, be, qp_be: QueuePair, handle: MemoryRegionHandle, nbytes: int):
+    def _pusher_body(self, index: int, be, qp_be: QueuePair,
+                     handle: MemoryRegionHandle, nbytes: int):
         calculator = LoadCalculator(be.name)
         mon = self.sim.cfg.monitor
 
         def body(k):
             while not self._stopped:
+                tracer = be.span_tracer
+                span = None
+                if tracer is not None and tracer.enabled:
+                    # The push direction originates on the back-end: each
+                    # cycle (collect → compose → RDMA write) is one trace.
+                    span = tracer.start_trace(
+                        f"push:{self.name}", node=be.name, component="monitor",
+                        attrs={"backend": index, "scheme": self.name})
                 stats = yield from be.procfs.read_stat(k)
                 irq = None
                 if self.with_irq_detail:
                     irq = yield from be.kmod.read_irq_stat(k)
                 yield k.compute(mon.compose_cost)
                 info = calculator.compute(stats, irq)
-                yield from qp_be.rdma_write(k, handle.rkey, info, nbytes)
+                yield from qp_be.rdma_write(k, handle.rkey, info, nbytes, ctx=span)
+                if span is not None:
+                    tracer.end(span)
                 yield k.sleep(self.interval)
 
         return body
@@ -82,9 +93,10 @@ class RdmaWritePushScheme(MonitoringScheme):
     def query(self, k: "TaskContext", backend_index: int) -> Generator:
         """Local memory read — no wire time at decision point."""
         issued = k.now
+        span = self._probe_span(backend_index)
         # A cached read plus a bounds check: ~100 ns of CPU.
         yield k.compute(100)
         info = self._regions[backend_index].read()
         if info is None:
             info = LoadInfo(backend=self.backends[backend_index].name, collected_at=0)
-        return self._record(backend_index, issued, info)
+        return self._record(backend_index, issued, info, span=span)

@@ -61,17 +61,19 @@ class SocketSyncScheme(MonitoringScheme):
         mon = self.sim.cfg.monitor
         end = self._fe_ends[backend_index]
         issued = k.now
-        yield from end.send(k, "load-req", mon.request_bytes)
-        info = yield from end.recv(k)
-        return self._record(backend_index, issued, info)
+        span = self._probe_span(backend_index)
+        yield from end.send(k, "load-req", mon.request_bytes, ctx=span)
+        info = yield from end.recv(k, ctx=span)
+        return self._record(backend_index, issued, info, span=span)
 
     def query_all(self, k: "TaskContext") -> Generator:
         mon = self.sim.cfg.monitor
         issued = k.now
-        for end in self._fe_ends:
-            yield from end.send(k, "load-req", mon.request_bytes)
+        spans = [self._probe_span(i) for i in range(len(self.backends))]
+        for i, end in enumerate(self._fe_ends):
+            yield from end.send(k, "load-req", mon.request_bytes, ctx=spans[i])
         out: Dict[int, LoadInfo] = {}
         for i, end in enumerate(self._fe_ends):
-            info = yield from end.recv(k)
-            out[i] = self._record(i, issued, info)
+            info = yield from end.recv(k, ctx=spans[i])
+            out[i] = self._record(i, issued, info, span=spans[i])
         return out

@@ -47,9 +47,23 @@ class AdmissionController:
         self.rejected = 0
         #: rejections attributed to active alerts (subset of ``rejected``)
         self.shed_by_alert = 0
+        #: span tracer + node label (wired by deploy_rubis_cluster)
+        self.tracer = None
+        self.trace_node = ""
 
-    def admit(self, loads: Dict[int, LoadInfo]) -> bool:
+    def admit(self, loads: Dict[int, LoadInfo], ctx=None) -> bool:
         """Decide on one request given the current monitor cache."""
+        decision = self._decide(loads)
+        if ctx is not None and self.tracer is not None and self.tracer.enabled:
+            # Point span: the decision consumes no simulated time itself
+            # (the dispatcher charges DECISION_COST separately).
+            now = self.tracer.now
+            self.tracer.record("admission", ctx, now, now,
+                               node=self.trace_node, component="admission",
+                               attrs={"admitted": decision})
+        return decision
+
+    def _decide(self, loads: Dict[int, LoadInfo]) -> bool:
         if self.alert_engine is not None:
             shed = self.alert_engine.shed_backends()
             if len(shed) >= self.shed_fraction * self.num_backends:

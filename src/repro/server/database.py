@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Generator
 import numpy as np
 
 from repro.sim.units import MILLISECOND
+from repro.tracing.span import tracer_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
@@ -36,12 +37,22 @@ class DatabaseStage:
         self.queries = 0
         self.misses = 0
 
-    def execute(self, k: "TaskContext", request: "Request") -> Generator:
+    def execute(self, k: "TaskContext", request: "Request", ctx=None) -> Generator:
         """Run the request's DB work in the calling worker's context."""
         self.queries += 1
+        tracer = tracer_for(self.node, ctx)
+        span = None
+        if tracer is not None:
+            span = tracer.start_span("db", ctx, node=self.node.name,
+                                     component="db",
+                                     attrs={"db_cpu": request.db_cpu})
+        miss = False
         if request.db_cpu > 0:
             yield k.compute(request.db_cpu, mode="sys")
             if self.rng.random() < self.MISS_PROBABILITY:
                 self.misses += 1
+                miss = True
                 yield k.sleep(self.MISS_STALL)
+        if tracer is not None:
+            tracer.end(span, attrs={"miss": miss})
         return None

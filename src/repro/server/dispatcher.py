@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.server.request import Request, RequestStats
 from repro.server.webserver import BackendServer
 from repro.sim.resources import Store
+from repro.tracing.span import STATUS_ERROR, STATUS_OK, tracer_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
@@ -92,9 +93,15 @@ class Dispatcher:
         while not self._stopped:
             request: Request
             request, _nbytes = yield k.wait(self.inbox.get())
+            tracer = tracer_for(self.frontend, request.trace)
+            dspan = None
+            if tracer is not None:
+                dspan = tracer.start_span(
+                    "dispatch", request.trace,
+                    node=self.frontend.name, component="dispatcher")
             yield k.syscall(k.copy_cost(self.request_bytes))
             loads = self._loads()
-            if self.admission is not None and not self.admission.admit(loads):
+            if self.admission is not None and not self.admission.admit(loads, ctx=dspan):
                 request.rejected = True
                 request.completed_at = k.now
                 self.stats.record(request)
@@ -103,6 +110,9 @@ class Dispatcher:
                     yield from self.frontend.netstack.send(
                         k, request.reply_node, request.reply_store, request, 128
                     )
+                if tracer is not None:
+                    tracer.end(dspan, status=STATUS_ERROR,
+                               attrs={"rejected": True})
                 continue
             yield k.compute(self.DECISION_COST)
             set_request = getattr(self.balancer, "set_request", None)
@@ -137,6 +147,8 @@ class Dispatcher:
             yield from self.frontend.netstack.send(
                 k, server.node, server.request_queue, request, self.request_bytes
             )
+            if tracer is not None:
+                tracer.end(dspan, attrs={"backend": choice})
 
     # ------------------------------------------------------------------
     def on_response(self, request: Request) -> None:
@@ -144,3 +156,11 @@ class Dispatcher:
         request.completed_at = self.frontend.env.now
         self.balancer.note_completed(request.backend)
         self.stats.record(request)
+        if request.trace is not None:
+            tracer = getattr(self.frontend, "span_tracer", None)
+            if tracer is not None and tracer.enabled:
+                status = (STATUS_ERROR if request.rejected or request.timed_out
+                          else STATUS_OK)
+                tracer.end(request.trace, status=status,
+                           attrs={"backend": request.backend})
+            request.trace = None  # the trace is closed; guard re-delivery

@@ -73,6 +73,29 @@ class LeastLoadedBalancer:
         #: per-backend in-flight counter maintained by the dispatcher as a
         #: fallback signal before the first monitoring report arrives
         self.assigned: List[int] = [0] * num_backends
+        #: span tracer + node label, wired by deploy_rubis_cluster; the
+        #: dispatcher hands us the request via set_request so the pick
+        #: decision can be recorded under the request's trace
+        self.tracer = None
+        self.trace_node = ""
+        self._trace_request = None
+
+    # ------------------------------------------------------------------
+    def set_request(self, request) -> None:
+        """Dispatcher hook: the request the next ``choose`` decides for."""
+        self._trace_request = request
+
+    def _trace_pick(self, choice: int) -> None:
+        request, self._trace_request = self._trace_request, None
+        tracer = self.tracer
+        if (tracer is None or not tracer.enabled or request is None
+                or request.trace is None):
+            return
+        # The decision is instantaneous in sim time: a point span.
+        now = tracer.now
+        tracer.record("lb.pick", request.trace, now, now,
+                      node=self.trace_node, component="balancer",
+                      attrs={"choice": choice})
 
     # ------------------------------------------------------------------
     #: network rate (MB/s) treated as a fully-loaded link for scoring
@@ -116,6 +139,7 @@ class LeastLoadedBalancer:
         """
         if not loads:
             self._rr = (self._rr + 1) % self.num_backends
+            self._trace_pick(self._rr)
             return self._rr
         weights = self.server_weights(loads)
         total = sum(weights)
@@ -124,6 +148,7 @@ class LeastLoadedBalancer:
         for i, w in enumerate(weights):
             acc += w
             if pick <= acc:
+                self._trace_pick(i)
                 return i
         return self.num_backends - 1  # pragma: no cover - fp guard
 

@@ -38,6 +38,9 @@ class Request:
     #: as a timeout, not a completion (the revenue-loss case of §1).
     deadline: int = 0
     timed_out: bool = False
+    # -- tracing (None unless the span plane sampled this request) ----------
+    #: root Span of the request's trace, created by the client
+    trace: Any = None
 
     @property
     def response_time(self) -> int:

@@ -28,6 +28,7 @@ import numpy as np
 from repro.server.database import DatabaseStage
 from repro.server.request import Request
 from repro.sim.resources import Resource, Store
+from repro.tracing.span import tracer_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
@@ -109,28 +110,55 @@ class BackendServer:
             request, _nbytes = yield k.wait(self.request_queue.get())
             node.gauges["connections"] = node.gauges.get("connections", 0) + 1
             request.started_at = k.now
+            tracer = tracer_for(node, request.trace)
+            svc = None
+            if tracer is not None:
+                # The queue span is retroactive: both boundaries are
+                # timestamps the request already carries.
+                tracer.record("queue", request.trace,
+                              request.dispatched_at, k.now,
+                              node=node.name, component="httpd")
+                svc = tracer.start_span("service", request.trace,
+                                        node=node.name, component="httpd",
+                                        attrs={"query": request.query})
             # Accept + parse overhead.
             yield k.syscall(2_000)
             try:
                 if request.web_cpu > 0:
+                    t_web = k.now
                     yield k.compute(request.web_cpu, mode="user")
+                    if tracer is not None:
+                        tracer.record("web", svc, t_web, k.now,
+                                      node=node.name, component="httpd")
                 if request.db_cpu > 0:
-                    yield from self.db.execute(k, request)
+                    yield from self.db.execute(k, request, ctx=svc)
                 if request.doc_id is not None:
-                    if self.doc_cache.access(request.doc_id):
+                    t_doc = k.now
+                    hit = self.doc_cache.access(request.doc_id)
+                    if hit:
                         yield k.compute(scfg.static_serve, mode="user")
                     else:
                         with self.disk.request() as disk_req:
                             yield k.wait(disk_req)
                             yield k.sleep(scfg.disk_fetch)
                         yield k.compute(scfg.static_serve, mode="user")
+                    if tracer is not None:
+                        tracer.record("doc", svc, t_doc, k.now,
+                                      node=node.name, component="httpd",
+                                      attrs={"hit": hit})
                 # Send the response straight back to the client node.
                 request.completed_at_backend = k.now  # type: ignore[attr-defined]
                 if request.reply_store is not None and request.reply_node is not None:
+                    t_tx = k.now
                     yield from node.netstack.send(
                         k, request.reply_node, request.reply_store,
                         request, request.response_bytes,
                     )
+                    if tracer is not None:
+                        tracer.record("respond", svc, t_tx, k.now,
+                                      node=node.name, component="httpd")
                 self.served += 1
+                if tracer is not None:
+                    tracer.end(svc)
             finally:
                 node.gauges["connections"] = node.gauges.get("connections", 0) - 1

@@ -31,6 +31,9 @@ class Tracer:
         self.enabled = enabled
         self.records: List[TraceRecord] = []
         self._hooks: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        #: per-category index maintained on emit, so category reads are
+        #: O(matches) instead of scanning every record ever traced
+        self._by_category: Dict[str, List[TraceRecord]] = {}
 
     def emit(self, time: int, category: str, payload: Any = None) -> None:
         """Record a trace point (no-op when disabled)."""
@@ -38,6 +41,7 @@ class Tracer:
             return
         record = TraceRecord(time, category, payload)
         self.records.append(record)
+        self._by_category.setdefault(category, []).append(record)
         for hook in self._hooks.get(category, ()):
             hook(record)
 
@@ -47,7 +51,11 @@ class Tracer:
 
     def by_category(self, category: str) -> List[TraceRecord]:
         """All records with the given category, in time order."""
-        return [r for r in self.records if r.category == category]
+        return list(self._by_category.get(category, ()))
+
+    def categories(self) -> List[str]:
+        """Categories seen so far (sorted)."""
+        return sorted(self._by_category)
 
     def between(self, start: int, end: int) -> List[TraceRecord]:
         """Records with ``start <= time < end``."""
@@ -55,6 +63,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+        self._by_category.clear()
 
     def __len__(self) -> int:
         return len(self.records)

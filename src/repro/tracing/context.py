@@ -1,0 +1,58 @@
+"""Trace-context propagation.
+
+A :class:`TraceContext` is the tiny immutable token that travels with a
+unit of work — stored on a :class:`~repro.server.request.Request` as it
+crosses nodes, or passed down explicit ``ctx=`` parameters into the
+transport layer — so that every span created along the way joins the
+same causal tree. It carries only identifiers (never the span object
+itself): the holder of a context can *parent* new spans under it but
+cannot mutate the spans already recorded, mirroring how W3C
+traceparent / OpenTelemetry contexts work.
+
+Propagation rules (see docs/TRACING.md):
+
+* a **root** context is minted by :meth:`SpanTracer.start_trace`, which
+  also makes the head-based sampling decision — an unsampled trace has
+  *no* context (``None``), so every downstream hook short-circuits on a
+  single ``is None`` check;
+* crossing a node boundary costs nothing: contexts are plain values and
+  the simulator is single-process, so attaching one to a request or a
+  probe is ordinary attribute assignment;
+* any component holding a context may open child spans under it; the
+  child's own context is then the parent for deeper work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identifies a position in one trace: (trace, parent span)."""
+
+    trace_id: int
+    span_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceContext trace={self.trace_id} span={self.span_id}>"
+
+
+#: anything accepted as a parent by SpanTracer.start_span
+ParentLike = Union["TraceContext", "object", None]
+
+
+def ctx_of(span_or_ctx: ParentLike) -> Optional[TraceContext]:
+    """The context under ``span_or_ctx`` (None for unsampled work).
+
+    Accepts a :class:`~repro.tracing.span.Span`, a context, or None, so
+    instrumentation can write ``ctx_of(span)`` without caring whether
+    the span was sampled.
+    """
+    if span_or_ctx is None:
+        return None
+    if isinstance(span_or_ctx, TraceContext):
+        return span_or_ctx
+    context = getattr(span_or_ctx, "context", None)
+    return context() if callable(context) else context

@@ -1,0 +1,143 @@
+"""Trace export: Chrome trace-event (Perfetto) JSON and JSONL.
+
+The Chrome trace-event format is the lowest-common-denominator timeline
+interchange: one JSON object with a ``traceEvents`` list of complete
+(``ph: "X"``) events carrying ``ts``/``dur`` in microseconds plus
+``pid``/``tid`` lanes. Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing`` both open it directly, which turns any simulated
+run into a zoomable timeline: one *process* row per cluster node, one
+*thread* row per component (dispatcher, verbs, httpd, monitor, …).
+
+Everything here is deterministic: spans are emitted in canonical
+(start, span_id) order, dict keys are sorted, and all times derive from
+the simulation clock — two runs with the same seed export byte-identical
+documents (asserted by ``tests/tracing/test_export.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.tracing.span import Span, SpanTracer, spans_in_order
+
+
+def _lanes(spans: List[Span]):
+    """Stable pid/tid assignment: nodes and components in first-seen order."""
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    for span in spans:
+        node = span.node or "?"
+        if node not in pids:
+            pids[node] = len(pids) + 1
+        key = (node, span.component or "main")
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == node]) + 1
+    return pids, tids
+
+
+def to_chrome_trace(tracer: SpanTracer, spans: Optional[Iterable[Span]] = None) -> dict:
+    """Build a Chrome trace-event document from the retained spans.
+
+    ``spans`` restricts the export (e.g. one trace's spans from
+    :meth:`SpanTracer.trace`); default is the whole store.
+    """
+    ordered = spans_in_order(tracer.spans if spans is None else list(spans))
+    pids, tids = _lanes(ordered)
+    events: List[dict] = []
+    for node, pid in pids.items():
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": node},
+        })
+    for (node, component), tid in tids.items():
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pids[node], "tid": tid,
+            "args": {"name": component},
+        })
+    for span in ordered:
+        node = span.node or "?"
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "status": span.status,
+        }
+        args.update(span.attrs)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            # trace-event ts/dur are microseconds; sim time is integer ns
+            "ts": span.start / 1e3,
+            "dur": span.duration / 1e3,
+            "pid": pids[node],
+            "tid": tids[(node, span.component or "main")],
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.tracing",
+            "spans": len(ordered),
+            "dropped": tracer.dropped,
+            "unsampled": tracer.unsampled,
+        },
+    }
+
+
+def chrome_trace_json(tracer: SpanTracer, spans: Optional[Iterable[Span]] = None) -> str:
+    """The Chrome trace document serialised deterministically."""
+    return json.dumps(to_chrome_trace(tracer, spans), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def save_chrome_trace(tracer: SpanTracer, path, spans: Optional[Iterable[Span]] = None) -> int:
+    """Write the Perfetto-loadable JSON to ``path``; returns the event count."""
+    doc = to_chrome_trace(tracer, spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+    return len(doc["traceEvents"])
+
+
+def to_jsonl(tracer: SpanTracer, spans: Optional[Iterable[Span]] = None) -> str:
+    """One span per line — the grep/jq-friendly archival form."""
+    lines = []
+    for span in spans_in_order(tracer.spans if spans is None else list(spans)):
+        lines.append(json.dumps({
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "start": span.start,
+            "end": span.end,
+            "node": span.node,
+            "component": span.component,
+            "status": span.status,
+            "attrs": span.attrs,
+        }, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Schema check used by tests and the CI smoke job.
+
+    Returns a list of problems (empty = valid): every event must carry
+    ``ph``/``pid``/``tid``/``name``, and complete events additionally
+    ``ts``/``dur``.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    for i, ev in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        if ev.get("ph") == "X":
+            for key in ("ts", "dur"):
+                if key not in ev:
+                    problems.append(f"event {i}: complete event missing {key!r}")
+            if "args" in ev and "trace_id" not in ev["args"]:
+                problems.append(f"event {i}: span event missing args.trace_id")
+    return problems

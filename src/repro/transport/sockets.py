@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Tuple
 
 from repro.sim.resources import Store
+from repro.tracing.span import tracer_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
@@ -29,7 +30,7 @@ class SocketEndpoint:
         self.tx_messages = 0
         self.rx_messages = 0
 
-    def send(self, k: "TaskContext", payload: Any, nbytes: int) -> Generator:
+    def send(self, k: "TaskContext", payload: Any, nbytes: int, ctx=None) -> Generator:
         """Send one message to the peer (full TX path on this task)."""
         if self.peer is None:
             raise RuntimeError(f"socket {self.label} is not connected")
@@ -39,18 +40,38 @@ class SocketEndpoint:
                 f"but the calling task runs on {k.node.name}"
             )
         self.tx_messages += 1
+        tracer = tracer_for(self.node, ctx)
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "sock.send", ctx, node=self.node.name, component="socket",
+                attrs={"nbytes": nbytes, "peer": self.peer.node.name})
         yield from self.node.netstack.send(k, self.peer.node, self.peer.rx, payload, nbytes)
+        if tracer is not None:
+            tracer.end(span)
         return None
 
-    def recv(self, k: "TaskContext") -> Generator:
-        """Block until a message arrives; returns the payload."""
+    def recv(self, k: "TaskContext", ctx=None) -> Generator:
+        """Block until a message arrives; returns the payload.
+
+        A traced recv span covers the *blocking wait* too — on the
+        socket-based monitoring paths that wait (reply delayed by remote
+        load) is exactly the effect the paper measures.
+        """
         if k.node is not self.node:
             raise RuntimeError(
                 f"socket {self.label} belongs to {self.node.name}, "
                 f"but the calling task runs on {k.node.name}"
             )
+        tracer = tracer_for(self.node, ctx)
+        span = None
+        if tracer is not None:
+            span = tracer.start_span("sock.recv", ctx, node=self.node.name,
+                                     component="socket")
         payload = yield from self.node.netstack.recv(k, self.rx)
         self.rx_messages += 1
+        if tracer is not None:
+            tracer.end(span)
         return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
 from repro.hw.memory import MemRegion
 from repro.sim.resources import Store
+from repro.tracing.span import STATUS_ERROR, STATUS_OK, tracer_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
@@ -101,11 +102,14 @@ class ProtectionDomain:
     """Per-node registration namespace and rkey table."""
 
     _ATTR = "_verbs_pd"
-    _next_rkey = [0x1000]
 
     def __init__(self, node: "Node") -> None:
         self.node = node
         self.mrs: Dict[int, MemoryRegionHandle] = {}
+        # Per-PD counter: rkeys are only ever looked up through this PD,
+        # and a process-global counter would make same-seed runs allocate
+        # different rkeys (breaking byte-identical trace exports).
+        self._next_rkey = 0x1000
 
     @classmethod
     def for_node(cls, node: "Node") -> "ProtectionDomain":
@@ -123,8 +127,8 @@ class ProtectionDomain:
                          AccessFlags.REMOTE_ATOMIC):
             raise VerbsError("registration needs at least one access flag")
         region.pin()
-        rkey = ProtectionDomain._next_rkey[0]
-        ProtectionDomain._next_rkey[0] += 1
+        rkey = self._next_rkey
+        self._next_rkey += 1
         handle = MemoryRegionHandle(self, region, rkey, access)
         self.mrs[rkey] = handle
         return handle
@@ -174,25 +178,60 @@ class QueuePair:
     # ------------------------------------------------------------------
     # memory semantics
     # ------------------------------------------------------------------
-    def rdma_read(self, k: "TaskContext", rkey: int, nbytes: int) -> Generator:
+    def rdma_read(self, k: "TaskContext", rkey: int, nbytes: int, ctx=None) -> Generator:
         """One-sided read of the remote region ``rkey``.
 
         Returns the :class:`WorkCompletion`; the remote CPU is never
         involved, so the latency is independent of remote load.
+        ``ctx`` optionally parents verb-level spans under a sampled trace.
         """
-        wc_event = self._post_read(rkey, nbytes)
+        wc_event = self._post_read(rkey, nbytes, ctx=ctx)
         yield k.compute(self.local.cfg.net.doorbell_cost, mode="user")
         wc = yield k.wait(wc_event)
         return wc
 
-    def rdma_write(self, k: "TaskContext", rkey: int, value: Any, nbytes: int) -> Generator:
+    def rdma_write(self, k: "TaskContext", rkey: int, value: Any, nbytes: int, ctx=None) -> Generator:
         """One-sided write to the remote region ``rkey``."""
-        wc_event = self._post_write(rkey, value, nbytes)
+        wc_event = self._post_write(rkey, value, nbytes, ctx=ctx)
         yield k.compute(self.local.cfg.net.doorbell_cost, mode="user")
         wc = yield k.wait(wc_event)
         return wc
 
-    def _post_read(self, rkey: int, nbytes: int):
+    def _segments(self, opcode: str, ctx, attrs):
+        """Verb-span plumbing shared by read/write posts.
+
+        Returns ``(verb_span, mark, finish)`` — or ``(None, None, None)``
+        when tracing is off or the trace unsampled. ``mark(name, node,
+        component)`` records one segment child from the previous mark to
+        now; ``finish(wc)`` closes the last segment and the verb span.
+        All bookkeeping happens inside NIC/fabric callbacks at times the
+        simulation produces anyway: zero simulated cost.
+        """
+        tracer = tracer_for(self.local, ctx)
+        if tracer is None:
+            return None, None, None
+        env = self.local.env
+        verb = tracer.start_span(f"rdma.{opcode}", ctx, node=self.local.name,
+                                 component="nic", attrs=attrs)
+        cursor = [env.now]
+
+        def mark(name: str, node: str, component: str) -> None:
+            now = env.now
+            tracer.record(f"rdma.{opcode}.{name}", verb, cursor[0], now,
+                          node=node, component=component)
+            cursor[0] = now
+
+        def finish(wc: WorkCompletion) -> None:
+            status = STATUS_OK if wc.ok else STATUS_ERROR
+            now = env.now
+            tracer.record(f"rdma.{opcode}.completion", verb, cursor[0], now,
+                          node=self.local.name, component="nic", status=status)
+            cursor[0] = now
+            tracer.end(verb, status=status, attrs={"wc": wc.status.value})
+
+        return verb, mark, finish
+
+    def _post_read(self, rkey: int, nbytes: int, ctx=None):
         """Hardware-side read flow; returns an event firing with the WC."""
         env = self.local.env
         cfg = self.local.cfg.net
@@ -203,14 +242,20 @@ class QueuePair:
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
+        _, seg_mark, seg_finish = self._segments(
+            "read", ctx, {"rkey": rkey, "nbytes": nbytes, "target": self.remote.name})
 
         def complete(wc: WorkCompletion) -> None:
             wc.completed_at = env.now
+            if seg_finish is not None:
+                seg_finish(wc)
             # Completion raises a CQ interrupt on the initiator before the
             # waiting task can be woken.
             local_nic.raise_cq_interrupt(lambda: done.succeed(wc))
 
         def at_target() -> None:
+            if seg_mark is not None:
+                seg_mark("at_target", self.remote.name, "fabric")
             pd = ProtectionDomain.for_node(self.remote)
             handle = pd.lookup(rkey)
             if handle is None:
@@ -228,6 +273,8 @@ class QueuePair:
             dma_cost = cfg.nic_dma_service + (nbytes * cfg.nic_dma_per_kb) // 1024
 
             def dma_done() -> None:
+                if seg_mark is not None:
+                    seg_mark("dma", self.remote.name, "nic")
                 # Value is captured at the DMA instant — the essence of
                 # reading "always current" kernel memory.
                 value = handle.region.read()
@@ -237,14 +284,16 @@ class QueuePair:
 
             remote_nic.dma_service(dma_cost, dma_done)
 
+        def wqe_done() -> None:
+            if seg_mark is not None:
+                seg_mark("post", self.local.name, "nic")
+            fabric.transmit(local_nic, remote_nic, cfg.rdma_overhead_bytes, at_target)
+
         # Initiator NIC: fetch WQE, emit request packet.
-        local_nic.dma_service(
-            cfg.nic_wqe_service,
-            lambda: fabric.transmit(local_nic, remote_nic, cfg.rdma_overhead_bytes, at_target),
-        )
+        local_nic.dma_service(cfg.nic_wqe_service, wqe_done)
         return done
 
-    def _post_write(self, rkey: int, value: Any, nbytes: int):
+    def _post_write(self, rkey: int, value: Any, nbytes: int, ctx=None):
         env = self.local.env
         cfg = self.local.cfg.net
         wr_id = QueuePair._next_wr[0]
@@ -254,12 +303,18 @@ class QueuePair:
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
+        _, seg_mark, seg_finish = self._segments(
+            "write", ctx, {"rkey": rkey, "nbytes": nbytes, "target": self.remote.name})
 
         def complete(wc: WorkCompletion) -> None:
             wc.completed_at = env.now
+            if seg_finish is not None:
+                seg_finish(wc)
             local_nic.raise_cq_interrupt(lambda: done.succeed(wc))
 
         def at_target() -> None:
+            if seg_mark is not None:
+                seg_mark("at_target", self.remote.name, "fabric")
             pd = ProtectionDomain.for_node(self.remote)
             handle = pd.lookup(rkey)
             status = WcStatus.SUCCESS
@@ -278,6 +333,8 @@ class QueuePair:
             dma_cost = cfg.nic_dma_service + (nbytes * cfg.nic_dma_per_kb) // 1024
 
             def dma_done() -> None:
+                if seg_mark is not None:
+                    seg_mark("dma", self.remote.name, "nic")
                 assert handle is not None
                 handle.region.write(value)
                 wc = WorkCompletion("write", WcStatus.SUCCESS, wr_id, nbytes=nbytes)
@@ -286,10 +343,12 @@ class QueuePair:
 
             remote_nic.dma_service(dma_cost, dma_done)
 
-        local_nic.dma_service(
-            cfg.nic_wqe_service,
-            lambda: fabric.transmit(local_nic, remote_nic, nbytes + cfg.rdma_overhead_bytes, at_target),
-        )
+        def wqe_done() -> None:
+            if seg_mark is not None:
+                seg_mark("post", self.local.name, "nic")
+            fabric.transmit(local_nic, remote_nic, nbytes + cfg.rdma_overhead_bytes, at_target)
+
+        local_nic.dma_service(cfg.nic_wqe_service, wqe_done)
         return done
 
     # ------------------------------------------------------------------

@@ -172,6 +172,13 @@ class RubisWorkload:
                         return
                     request = self.make_request(clients, reply_store, session=session)
                     request.created_at = k.now
+                    tracer = clients.span_tracer
+                    if tracer is not None and tracer.enabled:
+                        # One trace per request; closed in
+                        # Dispatcher.on_response when the reply lands.
+                        request.trace = tracer.start_trace(
+                            "request", node=clients.name, component="client",
+                            attrs={"rid": request.rid, "query": request.query})
                     yield from clients.netstack.send(
                         k, frontend, inbox, request, self.dispatcher.request_bytes
                     )

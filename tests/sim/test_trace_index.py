@@ -1,0 +1,53 @@
+"""The flat tracer's per-category index: O(matches) reads, coherent state."""
+
+from repro.sim.trace import Tracer
+
+
+def test_by_category_matches_a_full_scan():
+    tr = Tracer(enabled=True)
+    for t in range(100):
+        tr.emit(t, f"cat{t % 3}", {"t": t})
+    for cat in ("cat0", "cat1", "cat2"):
+        indexed = tr.by_category(cat)
+        scanned = [r for r in tr.records if r.category == cat]
+        assert indexed == scanned
+        assert [r.time for r in indexed] == sorted(r.time for r in indexed)
+    assert tr.by_category("unknown") == []
+
+
+def test_by_category_returns_a_copy():
+    tr = Tracer(enabled=True)
+    tr.emit(1, "a")
+    got = tr.by_category("a")
+    got.append("junk")
+    assert len(tr.by_category("a")) == 1
+
+
+def test_categories_sorted_and_disabled_emit_not_indexed():
+    tr = Tracer(enabled=True)
+    tr.emit(1, "zeta")
+    tr.emit(2, "alpha")
+    tr.enabled = False
+    tr.emit(3, "ghost")
+    assert tr.categories() == ["alpha", "zeta"]
+    assert tr.by_category("ghost") == []
+    assert len(tr) == 2
+
+
+def test_clear_resets_the_index():
+    tr = Tracer(enabled=True)
+    tr.emit(1, "a")
+    tr.clear()
+    assert tr.by_category("a") == [] and tr.categories() == []
+    tr.emit(2, "a")
+    assert [r.time for r in tr.by_category("a")] == [2]
+
+
+def test_hooks_still_fire_with_index_maintained():
+    tr = Tracer(enabled=True)
+    seen = []
+    tr.hook("irq", seen.append)
+    tr.emit(5, "irq", "x")
+    tr.emit(6, "sched", "y")
+    assert [r.time for r in seen] == [5]
+    assert len(tr.by_category("irq")) == 1

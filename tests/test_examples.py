@@ -75,6 +75,20 @@ def test_telemetry_dashboard_runs(capsys):
     assert "Alerts raised:" in out
 
 
+def test_request_autopsy_runs(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    run_example("request_autopsy.py", ["rdma-sync", "1", "--out", str(out_path)])
+    out = capsys.readouterr().out
+    assert "slowest request" in out
+    assert "critical path" in out
+    assert "analytic model" in out
+    assert out_path.exists()
+    import json
+
+    from repro.tracing import validate_chrome_trace
+    assert validate_chrome_trace(json.loads(out_path.read_text())) == []
+
+
 def test_run_all_cli_subset(tmp_path, capsys):
     from repro.experiments.run_all import main
 

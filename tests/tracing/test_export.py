@@ -1,0 +1,116 @@
+"""Export tests: Chrome trace-event shape, lanes, JSONL, validation."""
+
+import json
+
+from repro.tracing.export import (
+    chrome_trace_json,
+    save_chrome_trace,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.tracing.span import SpanTracer
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0
+
+
+def populated_tracer():
+    env = FakeEnv()
+    tr = SpanTracer(env, enabled=True)
+    root = tr.start_trace("request", node="client0", component="client",
+                          attrs={"rid": 1})
+    tr.record("dispatch", root, 100, 900, node="frontend", component="dispatcher")
+    tr.record("service", root, 1000, 4000, node="backend0", component="httpd")
+    tr.record("db", root, 1500, 3000, node="backend0", component="db")
+    env.now = 5000
+    tr.end(root)
+    return env, tr
+
+
+def test_chrome_trace_structure():
+    _, tr = populated_tracer()
+    doc = to_chrome_trace(tr)
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 4
+    # One process_name per node, one thread_name per (node, component).
+    proc_names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+    thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert proc_names == {"client0", "frontend", "backend0"}
+    assert thread_names == {"client", "dispatcher", "httpd", "db"}
+    assert doc["otherData"]["spans"] == 4
+
+
+def test_chrome_trace_times_are_microseconds():
+    _, tr = populated_tracer()
+    doc = to_chrome_trace(tr)
+    dispatch = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "dispatch" and e["ph"] == "X")
+    assert dispatch["ts"] == 0.1 and dispatch["dur"] == 0.8  # 100ns/800ns
+    assert dispatch["args"]["trace_id"] == 1
+
+
+def test_lanes_separate_components_within_a_node():
+    _, tr = populated_tracer()
+    doc = to_chrome_trace(tr)
+    spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    httpd, db = spans["service"], spans["db"]
+    assert httpd["pid"] == db["pid"]          # same node
+    assert httpd["tid"] != db["tid"]          # different component lanes
+    assert spans["request"]["pid"] != httpd["pid"]
+
+
+def test_export_is_deterministic_and_validates():
+    _, tr = populated_tracer()
+    text = chrome_trace_json(tr)
+    _, tr2 = populated_tracer()
+    assert text == chrome_trace_json(tr2)
+    problems = validate_chrome_trace(json.loads(text))
+    assert problems == []
+
+
+def test_save_chrome_trace_roundtrip(tmp_path):
+    _, tr = populated_tracer()
+    path = tmp_path / "trace.json"
+    n = save_chrome_trace(tr, path)
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) == n
+    assert validate_chrome_trace(doc) == []
+
+
+def test_export_subset_of_one_trace():
+    env, tr = populated_tracer()
+    other = tr.start_trace("probe", node="frontend", component="monitor")
+    env.now = 6000
+    tr.end(other)
+    doc = to_chrome_trace(tr, spans=tr.trace(1))
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "probe" not in names and "request" in names
+
+
+def test_jsonl_one_line_per_span():
+    _, tr = populated_tracer()
+    lines = to_jsonl(tr).strip().split("\n")
+    assert len(lines) == 4
+    first = json.loads(lines[0])
+    assert first["name"] == "request" and first["parent_id"] is None
+    # Canonical order: sorted by (start, span_id).
+    starts = [json.loads(ln)["start"] for ln in lines]
+    assert starts == sorted(starts)
+
+
+def test_jsonl_empty_store():
+    tr = SpanTracer(FakeEnv(), enabled=True)
+    assert to_jsonl(tr) == ""
+
+
+def test_validate_flags_missing_keys():
+    assert validate_chrome_trace({}) == ["traceEvents missing or empty"]
+    doc = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1}]}
+    problems = validate_chrome_trace(doc)
+    assert any("missing 'name'" in p for p in problems)
+    assert any("missing 'ts'" in p for p in problems)

@@ -1,0 +1,77 @@
+"""SpanMetrics: spans become telemetry samples, percentiles, alerts."""
+
+from repro.analysis.collector import TimeSeries
+from repro.telemetry.alerts import AlertEngine, Severity, ThresholdRule
+from repro.tracing.metrics import SpanMetrics
+from repro.tracing.span import SpanTracer
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0
+
+
+def make_traced(metrics):
+    env = FakeEnv()
+    tr = SpanTracer(env, enabled=True)
+    metrics.attach(tr)
+    return env, tr
+
+
+def test_spans_feed_timeseries_and_digests():
+    series = TimeSeries()
+    metrics = SpanMetrics(series=series)
+    env, tr = make_traced(metrics)
+    root = tr.start_trace("probe:rdma-sync")
+    for start, end in ((0, 100), (100, 300), (300, 400)):
+        tr.record("rdma.read", root, start, end)
+    env.now = 400
+    tr.end(root)
+    assert metrics.observed == 4
+    points = series.get("span.rdma.read")
+    assert [v for _, v in points] == [100.0, 200.0, 100.0]
+    assert [t for t, _ in points] == [100, 300, 400]
+    assert metrics.quantile("rdma.read", 0.5) > 0
+    assert metrics.names() == ["probe:rdma-sync", "rdma.read"]
+
+
+def test_metrics_count_spans_the_bound_drops():
+    metrics = SpanMetrics()
+    env = FakeEnv()
+    tr = SpanTracer(env, enabled=True, max_spans=1)
+    metrics.attach(tr)
+    a, b = tr.start_trace("a"), tr.start_trace("b")
+    env.now = 10
+    tr.end(a)
+    tr.end(b)
+    assert tr.dropped == 1
+    assert metrics.observed == 2  # the end-hook sees dropped spans too
+
+
+def test_quantile_of_unseen_span_is_zero():
+    metrics = SpanMetrics()
+    make_traced(metrics)
+    assert metrics.quantile("nope", 0.99) == 0.0
+    assert metrics.digest("nope") is None
+
+
+def test_backend_attributed_spans_reach_the_alert_engine():
+    engine = AlertEngine(rules=[ThresholdRule(
+        "slow-probe", "span.probe:rdma-sync", fire_above=1000.0,
+        severity=Severity.CRITICAL)])
+    metrics = SpanMetrics(engine=engine)
+    env, tr = make_traced(metrics)
+    fast = tr.start_trace("probe:rdma-sync", attrs={"backend": 0})
+    env.now = 500
+    tr.end(fast)
+    assert not engine.log
+    slow = tr.start_trace("probe:rdma-sync", attrs={"backend": 1})
+    env.now = 5000
+    tr.end(slow)
+    assert engine.log, "slow probe span did not fire the rule"
+    # Spans with no backend attribute are still digested, just not
+    # routed to the per-backend alert engine.
+    anon = tr.start_trace("probe:rdma-sync")
+    env.now = 99999
+    tr.end(anon)
+    assert metrics.observed == 3

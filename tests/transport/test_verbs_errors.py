@@ -1,0 +1,261 @@
+"""Verbs error paths: NAK completions, racing deregistration, CQ order.
+
+The happy paths live in test_verbs.py; this file pins down the failure
+semantics the monitoring schemes (and §6's security argument) rely on:
+every misuse surfaces as a non-SUCCESS :class:`WorkCompletion` — never
+an exception, never a hang — the error NAK travels back over the fabric
+(so erroring is not free), an MR deregistered while a read is in flight
+NAKs exactly like an unknown rkey, and CompletionQueue.wait drains
+completions in FIFO push order.
+"""
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.sim.units import ms, us
+from repro.tracing.span import STATUS_ERROR
+from repro.transport.verbs import (
+    AccessFlags,
+    CompletionQueue,
+    ProtectionDomain,
+    WcStatus,
+    WorkCompletion,
+    connect_qp,
+)
+
+
+def setup_mr(node, name="buf", value=None, access=AccessFlags.REMOTE_READ):
+    region = node.memory.alloc(name, 64, value=value)
+    return ProtectionDomain.for_node(node).register(region, access)
+
+
+def run_task(cluster, node, body, until_ms=50):
+    results = []
+
+    def wrapper(k):
+        value = yield from body(k)
+        results.append(value)
+
+    node.spawn("t", wrapper)
+    cluster.run(ms(until_ms))
+    assert results, "task did not complete"
+    return results[0]
+
+
+# ----------------------------------------------------------------------
+# non-SUCCESS completions
+# ----------------------------------------------------------------------
+def test_rdma_read_of_write_only_mr_naks(cluster2):
+    """REMOTE_READ is required even if the region allows remote writes."""
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_mr(be, value=1, access=AccessFlags.REMOTE_WRITE)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.rdma_read(k, mr.rkey, 64)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.REMOTE_ACCESS_ERROR
+    assert not wc.ok
+    assert wc.value is None
+
+
+def test_rdma_write_invalid_rkey(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.rdma_write(k, 0xDEAD, "x", 32)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.INVALID_RKEY
+
+
+def test_rdma_write_length_error(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_mr(be, value=0,
+                  access=AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.rdma_write(k, mr.rkey, "huge", 4096)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.LENGTH_ERROR
+    assert mr.region.read() == 0  # nothing was applied
+
+
+def test_atomic_on_non_atomic_mr_naks(cluster2):
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_mr(be, value=5,
+                  access=AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE)
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        wc = yield from qp.fetch_add(k, mr.rkey, 1)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.REMOTE_ACCESS_ERROR
+    assert mr.region.read() == 5
+
+
+def test_error_nak_still_costs_a_round_trip(cluster2):
+    """The NAK travels back over the fabric: errors are not instant."""
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    qp, _ = connect_qp(fe, be)
+    latencies = {}
+
+    def body(k):
+        t0 = k.now
+        wc = yield from qp.rdma_read(k, 0xDEAD, 64)
+        latencies["nak"] = k.now - t0
+        return wc
+
+    run_task(cluster2, fe, body)
+    # Doorbell + WQE + request flight + NAK flight + CQ interrupt: the
+    # NAK pays both wire directions even though no DMA happened.
+    assert latencies["nak"] > us(4), latencies
+
+
+# ----------------------------------------------------------------------
+# deregistration racing an in-flight read
+# ----------------------------------------------------------------------
+def test_deregister_during_inflight_read_naks(cluster2):
+    """An MR torn down while the request packet is in flight NAKs.
+
+    The rkey is validated at the *target NIC* when the request arrives,
+    not when it is posted — deregistering after the post but before
+    arrival is indistinguishable from an unknown rkey.
+    """
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_mr(be, value="gone")
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        ev = qp._post_read(mr.rkey, 64)
+        # Still inside the initiator's WQE service window: tear down the
+        # registration before the request can reach the target.
+        mr.deregister()
+        assert not mr.region.pinned
+        wc = yield k.wait(ev)
+        return wc
+
+    wc = run_task(cluster2, fe, body)
+    assert wc.status is WcStatus.INVALID_RKEY
+    assert wc.value is None
+
+
+def test_reregistered_mr_serves_inflight_read_under_new_key_only(cluster2):
+    """After deregister + re-register, only the *new* rkey resolves."""
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_mr(be, value="v1")
+    old_rkey = mr.rkey
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        ev_old = qp._post_read(old_rkey, 64)
+        mr.deregister()
+        new_mr = ProtectionDomain.for_node(be).register(
+            mr.region, AccessFlags.REMOTE_READ)
+        assert new_mr.rkey != old_rkey
+        ev_new = qp._post_read(new_mr.rkey, 64)
+        wc_old = yield k.wait(ev_old)
+        wc_new = yield k.wait(ev_new)
+        return wc_old, wc_new
+
+    wc_old, wc_new = run_task(cluster2, fe, body)
+    assert wc_old.status is WcStatus.INVALID_RKEY
+    assert wc_new.ok and wc_new.value == "v1"
+
+
+# ----------------------------------------------------------------------
+# completion-queue ordering
+# ----------------------------------------------------------------------
+def test_cq_wait_is_fifo(cluster2):
+    """Completions drain in push order, even when pushed same-instant."""
+    fe = cluster2.frontend
+    cq = CompletionQueue(fe, name="fifo-cq")
+    drained = []
+
+    def producer(k):
+        for wr_id in (1, 2, 3):
+            cq.push(WorkCompletion("read", WcStatus.SUCCESS, wr_id))
+        yield k.sleep(us(5))
+        for wr_id in (4, 5):
+            cq.push(WorkCompletion("read", WcStatus.INVALID_RKEY, wr_id))
+
+    def consumer(k):
+        for _ in range(5):
+            wc = yield from cq.wait(k)
+            drained.append(wc)
+
+    fe.spawn("consumer", consumer)
+    fe.spawn("producer", producer)
+    cluster2.run(ms(5))
+    assert [wc.wr_id for wc in drained] == [1, 2, 3, 4, 5]
+    assert [wc.ok for wc in drained] == [True, True, True, False, False]
+    # push() stamps completed_at, preserving time order too.
+    assert drained[0].completed_at <= drained[-1].completed_at
+
+
+def test_cq_wait_interleaves_success_and_error(cluster2):
+    """A NAKed read and a good read on one QP complete in causal order."""
+    fe, be = cluster2.frontend, cluster2.backends[0]
+    mr = setup_mr(be, value="ok")
+    qp, _ = connect_qp(fe, be)
+
+    def body(k):
+        ev_bad = qp._post_read(0xDEAD, 64)
+        ev_good = qp._post_read(mr.rkey, 64)
+        wc_bad = yield k.wait(ev_bad)
+        wc_good = yield k.wait(ev_good)
+        return wc_bad, wc_good
+
+    wc_bad, wc_good = run_task(cluster2, fe, body)
+    assert wc_bad.status is WcStatus.INVALID_RKEY
+    assert wc_good.ok and wc_good.value == "ok"
+    # The NAK skips the DMA + payload flight, so it lands first.
+    assert wc_bad.completed_at < wc_good.completed_at
+
+
+# ----------------------------------------------------------------------
+# error paths under tracing
+# ----------------------------------------------------------------------
+def test_error_completion_closes_span_with_error_status():
+    """A NAKed read's verb span ends STATUS_ERROR and skips the dma leg."""
+    cfg = SimConfig(num_backends=1)
+    cfg.tracing.enabled = True
+    sim = build_cluster(cfg)
+    fe, be = sim.frontend, sim.backends[0]
+    qp, _ = connect_qp(fe, be)
+    root = sim.spans.start_trace("probe-test", node=fe.name, component="test")
+
+    def body(k):
+        wc = yield from qp.rdma_read(k, 0xDEAD, 64, ctx=root)
+        sim.spans.end(root)
+        return wc
+
+    results = []
+
+    def wrapper(k):
+        results.append((yield from body(k)))
+
+    fe.spawn("t", wrapper)
+    sim.run(ms(5))
+    assert results and results[0].status is WcStatus.INVALID_RKEY
+
+    (verb,) = sim.spans.by_name("rdma.read")
+    assert verb.status == STATUS_ERROR
+    assert verb.attrs["wc"] == "invalid-rkey"
+    names = {s.name for s in sim.spans.trace(root.trace_id)}
+    # post and at_target happened; the dma segment never did.
+    assert "rdma.read.post" in names
+    assert "rdma.read.at_target" in names
+    assert "rdma.read.completion" in names
+    assert "rdma.read.dma" not in names
+    segs = [s for s in sim.spans.trace(root.trace_id)
+            if s.name == "rdma.read.completion"]
+    assert segs[0].status == STATUS_ERROR
