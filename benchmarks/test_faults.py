@@ -1,0 +1,120 @@
+"""Benchmark: the chaos matrix — 5 schemes x 5 fault classes.
+
+Runs :mod:`repro.experiments.fault_matrix` at full scale and checks the
+headline robustness claims of the paper (§4) hold under deterministic
+fault injection:
+
+* a **hung** back-end keeps answering RDMA-Sync / e-RDMA-Sync probes
+  with *fresh* data (zero failures, sub-interval staleness) while both
+  socket schemes exceed their bounded probe timeout for the whole
+  window; RDMA-Async survives but serves interval-stale pushes;
+* a **crash** or **partition** fails every scheme during the window and
+  every scheme recovers after it;
+* **verb NAKs** touch only the RDMA schemes (retries + NAK counters),
+  and the retry discipline still lands a majority of probes;
+* the RDMA heartbeat detects the victim and re-admits it on recovery.
+
+Also emits ``results/BENCH_faults.json`` — the machine-readable baseline
+for the fault plane's behavior over time.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.experiments import fault_matrix
+
+RDMA_SYNC = ("rdma-sync", "e-rdma-sync")
+SOCKETS = ("socket-sync", "socket-async")
+
+
+def _cell(result, scheme, fault):
+    return next(c for c in result.tables["cells"]
+                if c["scheme"] == scheme and c["fault"] == fault)
+
+
+def test_fault_matrix(benchmark, record, results_dir):
+    result = run_once(benchmark, lambda: fault_matrix.run(seed=1))
+    cells = result.tables["cells"]
+    table = format_table(
+        ["scheme", "fault", "ok", "fail", "stale(ms)", "attempts",
+         "naks", "detect(ms)", "final"],
+        [[c["scheme"], c["fault"],
+          c["phases"]["during"]["ok"], c["phases"]["during"]["failed"],
+          round(c["phases"]["during"]["max_staleness_ms"], 2),
+          round(c["phases"]["during"]["mean_attempts"] or 0, 2),
+          c["counters"]["naks"],
+          (round(c["heartbeat"]["detected_ms"], 1)
+           if c["heartbeat"]["detected_ms"] is not None else "-"),
+          c["heartbeat"]["final_state"]] for c in cells],
+        title="During-window probe outcomes, 5 schemes x 5 fault classes",
+    )
+    record("fault_matrix", table + "\n\n" + result.notes)
+
+    baseline = {
+        "experiment": result.name,
+        "params": result.params,
+        "series": result.series,
+        "cells": cells,
+    }
+    (results_dir / "BENCH_faults.json").write_text(
+        json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+
+    poll_ms = result.params["poll_interval_ms"]
+    for c in cells:
+        before, during, after = (c["phases"][p]
+                                 for p in ("before", "during", "after"))
+        # Sanity: the fault never bleeds outside its window.
+        assert before["failed"] == 0, c
+        assert after["failed"] == 0, c
+        assert during["queries"] > 0, c
+
+    # Hang: the paper's robustness claim. One-sided reads still see the
+    # victim's (frozen) kernel memory — fresh data, no failures — while
+    # socket probes need the hung CPU and blow their timeout budget.
+    for scheme in RDMA_SYNC:
+        during = _cell(result, scheme, "hang")["phases"]["during"]
+        assert during["failed"] == 0, (scheme, during)
+        assert during["max_staleness_ms"] < 2 * poll_ms, (scheme, during)
+    for scheme in SOCKETS:
+        during = _cell(result, scheme, "hang")["phases"]["during"]
+        assert during["ok"] == 0 and during["failed"] > 0, (scheme, during)
+    async_during = _cell(result, "rdma-async", "hang")["phases"]["during"]
+    assert async_during["failed"] == 0, async_during
+    assert async_during["max_staleness_ms"] > 10 * poll_ms, async_during
+
+    # Crash and partition take the victim off the fabric for everyone.
+    for fault in ("crash", "partition"):
+        for scheme in fault_matrix.SCHEMES:
+            c = _cell(result, scheme, fault)
+            during, after = c["phases"]["during"], c["phases"]["after"]
+            assert during["ok"] == 0 and during["failed"] > 0, (scheme, fault)
+            assert after["ok"] > 0, (scheme, fault)
+
+    # Link degradation slows probes but fails none of them.
+    for scheme in fault_matrix.SCHEMES:
+        c = _cell(result, scheme, "link")
+        during, before = c["phases"]["during"], c["phases"]["before"]
+        assert during["failed"] == 0, (scheme, during)
+        assert during["mean_latency_ms"] > before["mean_latency_ms"], scheme
+
+    # Verb NAKs touch only the RDMA transports; retries absorb most.
+    for scheme in ("rdma-sync", "e-rdma-sync", "rdma-async"):
+        c = _cell(result, scheme, "verb-nak")
+        assert c["counters"]["naks"] > 0, (scheme, c["counters"])
+        assert c["counters"]["retries"] > 0, (scheme, c["counters"])
+        during = c["phases"]["during"]
+        assert during["ok"] > during["failed"], (scheme, during)
+    for scheme in SOCKETS:
+        c = _cell(result, scheme, "verb-nak")
+        assert c["counters"]["naks"] == 0, (scheme, c["counters"])
+        assert c["phases"]["during"]["failed"] == 0, scheme
+
+    # The RDMA heartbeat saw every outage and re-admitted the victim.
+    for fault in ("hang", "crash", "partition"):
+        for scheme in fault_matrix.SCHEMES:
+            hb = _cell(result, scheme, fault)["heartbeat"]
+            assert hb["detected_ms"] is not None, (scheme, fault)
+            assert hb["recovered_ms"] is not None, (scheme, fault)
+            assert hb["final_state"] == "alive", (scheme, fault)

@@ -172,6 +172,16 @@ class MonitorConfig:
     #: paper's short experiment runs want; long-horizon runs set this
     #: and keep full statistics in repro.telemetry instead)
     history_limit: int = 0
+    #: per-probe timeout, ns (0 disables the whole retry machinery and
+    #: keeps every scheme on its historical unbounded-wait code path)
+    probe_timeout: int = 0
+    #: retransmissions after the first attempt before a probe is failed
+    probe_retries: int = 2
+    #: base retry backoff, ns (attempt n sleeps backoff * factor**(n-1))
+    probe_backoff: int = 1 * MS
+    probe_backoff_factor: float = 2.0
+    #: backoff ceiling, ns
+    probe_backoff_max: int = 50 * MS
 
 
 @dataclass
@@ -228,6 +238,16 @@ class SimConfig:
             raise ValueError("monitoring interval must be positive")
         if self.monitor.history_limit < 0:
             raise ValueError("history_limit must be >= 0 (0 = unbounded)")
+        if self.monitor.probe_timeout < 0:
+            raise ValueError("probe_timeout must be >= 0 (0 = disabled)")
+        if self.monitor.probe_retries < 0:
+            raise ValueError("probe_retries must be >= 0")
+        if self.monitor.probe_backoff <= 0:
+            raise ValueError("probe_backoff must be positive")
+        if self.monitor.probe_backoff_factor < 1.0:
+            raise ValueError("probe_backoff_factor must be >= 1")
+        if self.monitor.probe_backoff_max < self.monitor.probe_backoff:
+            raise ValueError("probe_backoff_max must be >= probe_backoff")
         if not 0.0 <= self.tracing.sample_rate <= 1.0:
             raise ValueError("tracing sample_rate must be in [0, 1]")
         if self.tracing.max_spans < 1:

@@ -19,6 +19,7 @@ from repro.experiments import (
     ablations,
     capacity,
     design_space,
+    fault_matrix,
     fig3_latency,
     fig4_granularity,
     fig5_accuracy,
@@ -45,6 +46,7 @@ __all__ = [
     "scalability",
     "ablations",
     "design_space",
+    "fault_matrix",
     "capacity",
     "table1_rubis",
     "telemetry_overhead",

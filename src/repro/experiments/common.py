@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.config import SimConfig
+from repro.faults import FaultPlane, FaultSchedule, parse_schedule
 from repro.hw.cluster import ClusterSim, build_cluster
 from repro.monitoring import FrontendMonitor, MonitoringScheme, create_scheme
+from repro.monitoring.heartbeat import HeartbeatMonitor
 from repro.server.admission import AdmissionController
 from repro.server.dispatcher import Dispatcher
 from repro.server.loadbalancer import LeastLoadedBalancer
@@ -53,6 +55,8 @@ class RubisCluster:
     dispatcher: Dispatcher
     admission: Optional[AdmissionController] = None
     telemetry: Optional[TelemetryPipeline] = None
+    faults: Optional[FaultPlane] = None
+    heartbeat: Optional[HeartbeatMonitor] = None
 
     def run(self, until: int) -> None:
         self.sim.run(until)
@@ -70,6 +74,11 @@ def deploy_rubis_cluster(
     alert_shedding: bool = False,
     with_tracing: bool = False,
     trace_sample: float = 1.0,
+    fault_schedule=None,
+    with_heartbeat: bool = False,
+    heartbeat_interval: int = 50_000_000,
+    heartbeat_timeout: int = 10_000_000,
+    heartbeat_hung_after: int = 2,
 ) -> RubisCluster:
     """Build the standard application stack on a fresh cluster.
 
@@ -84,6 +93,14 @@ def deploy_rubis_cluster(
     ``with_tracing`` enables the causal span plane (see repro.tracing) at
     head-sampling rate ``trace_sample`` — like telemetry, pure observer
     bookkeeping with zero simulated-time cost.
+
+    ``fault_schedule`` (a :class:`~repro.faults.FaultSchedule`, schedule
+    text for :func:`~repro.faults.parse_schedule`, or None) installs the
+    deterministic fault plane; an empty/None schedule leaves runs
+    bit-identical. ``with_heartbeat`` additionally runs the RDMA
+    :class:`~repro.monitoring.heartbeat.HeartbeatMonitor` and gives the
+    dispatcher health-aware failover (quarantine + re-admit on
+    recovery).
     """
     cfg = cfg if cfg is not None else SimConfig()
     if with_tracing:
@@ -107,6 +124,25 @@ def deploy_rubis_cluster(
         telemetry = TelemetryPipeline(rules=telemetry_rules)
         telemetry.attach(monitor)
 
+    faults = None
+    if fault_schedule is not None:
+        if isinstance(fault_schedule, str):
+            fault_schedule = parse_schedule(fault_schedule)
+        elif not isinstance(fault_schedule, FaultSchedule):
+            raise TypeError("fault_schedule must be FaultSchedule, str or None")
+        faults = FaultPlane(sim, fault_schedule).install()
+        if telemetry is not None:
+            telemetry.attach_faults(faults)
+
+    heartbeat = None
+    if with_heartbeat:
+        heartbeat = HeartbeatMonitor(
+            sim, interval=heartbeat_interval, timeout=heartbeat_timeout,
+            hung_after=heartbeat_hung_after,
+        )
+        if telemetry is not None:
+            telemetry.attach_heartbeat(heartbeat)
+
     balancer = LeastLoadedBalancer(
         num_backends=len(servers),
         use_irq_pressure=(scheme_name == "e-rdma-sync"),
@@ -126,6 +162,7 @@ def deploy_rubis_cluster(
         admission.trace_node = sim.frontend.name
     dispatcher = Dispatcher(
         sim.frontend, servers, balancer, monitor=monitor, admission=admission,
+        health=heartbeat,
         telemetry=(telemetry if alert_shedding else None),
     )
     dispatcher.start()
@@ -138,4 +175,6 @@ def deploy_rubis_cluster(
         dispatcher=dispatcher,
         admission=admission,
         telemetry=telemetry,
+        faults=faults,
+        heartbeat=heartbeat,
     )

@@ -1,0 +1,44 @@
+"""Deterministic fault injection and recovery policies.
+
+The plane the ROADMAP's robustness story runs on: declarative fault
+schedules (:mod:`repro.faults.schedule`), a seeded injector driving
+fabric / verb / node / NIC hooks (:mod:`repro.faults.plane`), and the
+timeout/retry/backoff policies the monitoring schemes use to survive
+them (:mod:`repro.faults.retry`). See ``docs/FAULTS.md``.
+"""
+
+from repro.faults.plane import FaultPlane, FaultRecord, LinkVerdict
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    CrashNode,
+    DegradeLink,
+    DegradeNic,
+    FaultEvent,
+    FaultSchedule,
+    HangNode,
+    InvalidateMr,
+    Partition,
+    RecoverNode,
+    VerbFault,
+    parse_schedule,
+    parse_time,
+)
+
+__all__ = [
+    "CrashNode",
+    "DegradeLink",
+    "DegradeNic",
+    "FaultEvent",
+    "FaultPlane",
+    "FaultRecord",
+    "FaultSchedule",
+    "HangNode",
+    "InvalidateMr",
+    "LinkVerdict",
+    "Partition",
+    "RecoverNode",
+    "RetryPolicy",
+    "VerbFault",
+    "parse_schedule",
+    "parse_time",
+]

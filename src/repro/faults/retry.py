@@ -1,0 +1,74 @@
+"""Timeout / retry / exponential-backoff policies for monitoring probes.
+
+The recovery half of the fault plane: a :class:`RetryPolicy` tells a
+monitoring scheme how long to wait for a probe before declaring it lost,
+how many times to re-issue it, and how to space the re-issues
+(exponential backoff with a cap, the RDMAbox-style verb-path retry
+discipline). The default policy is **disabled** (``timeout == 0``):
+schemes then take exactly their historical code path — no extra events,
+no behavioural drift — so installing the fault machinery leaves healthy
+runs bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import MILLISECOND as MS
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a probe reacts to a lost or NAK'd transport operation.
+
+    ``timeout == 0`` disables the policy entirely: probes block forever,
+    as the paper's original schemes do. With a positive timeout a probe
+    that receives no completion (or an RNR NAK) within ``timeout`` ns is
+    retried up to ``retries`` times, sleeping ``backoff_for(attempt)``
+    between attempts; exhausting the budget records a failed query.
+    """
+
+    #: ns to wait for one probe completion; 0 = wait forever (disabled)
+    timeout: int = 0
+    #: re-issues after the first attempt before giving up
+    retries: int = 2
+    #: sleep before the first retry, ns
+    backoff: int = 1 * MS
+    #: multiplier applied per further retry (>= 1)
+    backoff_factor: float = 2.0
+    #: backoff ceiling, ns
+    backoff_max: int = 50 * MS
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise ValueError("timeout must be >= 0 (0 = disabled)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff <= 0:
+            raise ValueError("backoff must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max < self.backoff:
+            raise ValueError("backoff_max must be >= backoff")
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeout > 0
+
+    def backoff_for(self, attempt: int) -> int:
+        """Backoff before retry number ``attempt`` (1-based), ns."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = self.backoff * (self.backoff_factor ** (attempt - 1))
+        return min(int(delay), self.backoff_max)
+
+    @classmethod
+    def from_config(cls, mon) -> "RetryPolicy":
+        """Build from a :class:`~repro.config.MonitorConfig`."""
+        return cls(
+            timeout=mon.probe_timeout,
+            retries=mon.probe_retries,
+            backoff=mon.probe_backoff,
+            backoff_factor=mon.probe_backoff_factor,
+            backoff_max=mon.probe_backoff_max,
+        )

@@ -1,0 +1,348 @@
+"""Declarative fault schedules: what breaks, when, and for how long.
+
+A :class:`FaultSchedule` is an ordered list of fault events, each either
+*point* (applied once at ``at``) or *windowed* (applied at ``at``,
+revoked at ``until``). Schedules can be built programmatically from the
+dataclasses below or parsed from a small text grammar, one fault per
+line::
+
+    at 500ms crash backend0
+    at 500ms hang backend0
+    at 1100ms recover backend0
+    from 500ms to 1100ms degrade-link frontend backend0 latency=20 bw=0.1 loss=0.05
+    from 500ms to 1100ms partition frontend | backend0 backend1
+    from 500ms to 1100ms verb-nak backend0 p=0.5
+    from 500ms to 1100ms degrade-nic backend0 dma=8
+    at 1s invalidate-mr backend0 kern.load
+
+Times accept ``ns``/``us``/``ms``/``s`` suffixes (bare integers are
+nanoseconds). Blank lines and ``#`` comments are ignored. The schedule
+is pure data — the :class:`~repro.faults.plane.FaultPlane` interprets it
+against a built cluster.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.units import MICROSECOND, MILLISECOND, SECOND
+
+_TIME_UNITS = {
+    "ns": 1,
+    "us": MICROSECOND,
+    "ms": MILLISECOND,
+    "s": SECOND,
+}
+
+_TIME_RE = re.compile(r"^(\d+(?:\.\d+)?)(ns|us|ms|s)?$")
+
+
+def parse_time(text: str) -> int:
+    """``"500ms"`` → 500_000_000. Bare integers are nanoseconds."""
+    match = _TIME_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"unparseable time {text!r} (want e.g. 500ms, 2s, 1200)")
+    value, unit = match.groups()
+    scale = _TIME_UNITS[unit] if unit else 1
+    return int(float(value) * scale)
+
+
+@dataclass
+class FaultEvent:
+    """Base fault: applied at ``at``; windowed faults revoke at ``until``."""
+
+    at: int = 0
+    until: Optional[int] = None
+
+    #: grammar keyword, overridden per subclass
+    kind: str = "fault"
+    #: whether the grammar/validator requires an ``until``
+    windowed: bool = False
+
+    def validate(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"{self.kind}: fault time must be >= 0")
+        if self.windowed:
+            if self.until is None:
+                raise ValueError(f"{self.kind}: windowed fault needs an end time")
+            if self.until <= self.at:
+                raise ValueError(f"{self.kind}: window must end after it starts")
+        elif self.until is not None:
+            raise ValueError(f"{self.kind}: point fault cannot take a window")
+
+    def describe(self) -> str:
+        window = f"..{self.until}" if self.until is not None else ""
+        return f"{self.kind}@{self.at}{window}"
+
+
+@dataclass
+class CrashNode(FaultEvent):
+    """Node drops off the fabric (``Node.fail("crashed")``)."""
+
+    node: str = ""
+    kind: str = "crash"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ValueError("crash: node name required")
+
+
+@dataclass
+class HangNode(FaultEvent):
+    """Kernel livelock (``Node.fail("hung")``): NIC alive, CPUs frozen."""
+
+    node: str = ""
+    kind: str = "hang"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ValueError("hang: node name required")
+
+
+@dataclass
+class RecoverNode(FaultEvent):
+    """Bring a failed node back (``Node.recover()``)."""
+
+    node: str = ""
+    kind: str = "recover"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ValueError("recover: node name required")
+
+
+@dataclass
+class DegradeLink(FaultEvent):
+    """Inflate latency / deflate bandwidth / drop packets on one link.
+
+    ``latency_factor`` scales the hop and switch latencies,
+    ``bw_factor`` scales effective bandwidth (serialisation time grows),
+    ``loss`` drops that fraction of packets (drawn from the fault RNG
+    stream). Symmetric by default (both directions of the pair).
+    """
+
+    src: str = ""
+    dst: str = ""
+    latency_factor: float = 1.0
+    bw_factor: float = 1.0
+    loss: float = 0.0
+    symmetric: bool = True
+    kind: str = "degrade-link"
+    windowed: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.src or not self.dst or self.src == self.dst:
+            raise ValueError("degrade-link: two distinct node names required")
+        if self.latency_factor < 1.0:
+            raise ValueError("degrade-link: latency_factor must be >= 1")
+        if not 0.0 < self.bw_factor <= 1.0:
+            raise ValueError("degrade-link: bw_factor must be in (0, 1]")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("degrade-link: loss must be in [0, 1)")
+
+
+@dataclass
+class Partition(FaultEvent):
+    """Drop every packet between two node groups, both directions."""
+
+    group_a: Tuple[str, ...] = ()
+    group_b: Tuple[str, ...] = ()
+    kind: str = "partition"
+    windowed: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.group_a or not self.group_b:
+            raise ValueError("partition: both groups need at least one node")
+        if set(self.group_a) & set(self.group_b):
+            raise ValueError("partition: groups must be disjoint")
+
+
+@dataclass
+class VerbFault(FaultEvent):
+    """NAK fraction ``p`` of RDMA verbs targeting ``node``.
+
+    Each matching verb request reaching the target NIC is rejected with
+    ``status`` (default RNR retry — "receiver not ready, try again")
+    with probability ``p``, drawn from the fault RNG stream.
+    """
+
+    node: str = ""
+    p: float = 1.0
+    opcodes: Tuple[str, ...] = ("read", "write", "atomic")
+    status: str = "rnr-retry"
+    kind: str = "verb-nak"
+    windowed: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ValueError("verb-nak: node name required")
+        if not 0.0 < self.p <= 1.0:
+            raise ValueError("verb-nak: p must be in (0, 1]")
+        if not self.opcodes:
+            raise ValueError("verb-nak: at least one opcode required")
+
+
+@dataclass
+class InvalidateMr(FaultEvent):
+    """Deregister the memory registrations covering ``region`` on ``node``.
+
+    Subsequent RDMA operations against the stale rkey NAK with
+    INVALID_RKEY — the MR-revocation fault class RDMA deployments must
+    survive (lost registrations after an HCA reset).
+    """
+
+    node: str = ""
+    region: str = ""
+    kind: str = "invalidate-mr"
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node or not self.region:
+            raise ValueError("invalidate-mr: node and region names required")
+
+
+@dataclass
+class DegradeNic(FaultEvent):
+    """Slow a NIC's DMA engine by ``dma_factor`` (firmware brown-out)."""
+
+    node: str = ""
+    dma_factor: float = 1.0
+    kind: str = "degrade-nic"
+    windowed: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.node:
+            raise ValueError("degrade-nic: node name required")
+        if self.dma_factor < 1.0:
+            raise ValueError("degrade-nic: dma_factor must be >= 1")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered, validated collection of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        event.validate()
+        self.events.append(event)
+        return self
+
+    def validate(self) -> None:
+        for event in self.events:
+            event.validate()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def horizon(self) -> int:
+        """Time of the last scheduled action (0 when empty)."""
+        times = [e.at for e in self.events]
+        times.extend(e.until for e in self.events if e.until is not None)
+        return max(times, default=0)
+
+    def describe(self) -> str:
+        return "; ".join(e.describe() for e in self.events) or "<empty>"
+
+
+def _parse_kv(tokens: Sequence[str], allowed: dict) -> dict:
+    """Parse trailing ``key=value`` tokens using ``allowed``'s converters."""
+    out = {}
+    for token in tokens:
+        key, sep, raw = token.partition("=")
+        if not sep or key not in allowed:
+            raise ValueError(
+                f"unknown option {token!r} (allowed: {sorted(allowed)})")
+        out[allowed[key][0]] = allowed[key][1](raw)
+    return out
+
+
+def parse_schedule(text: str) -> FaultSchedule:
+    """Parse the line-oriented schedule grammar into a :class:`FaultSchedule`."""
+    schedule = FaultSchedule()
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            schedule.add(_parse_line(line))
+        except ValueError as exc:
+            raise ValueError(f"schedule line {lineno}: {exc}") from None
+    return schedule
+
+
+def _parse_line(line: str) -> FaultEvent:
+    tokens = line.split()
+    if tokens[0] == "at" and len(tokens) >= 3:
+        at, until = parse_time(tokens[1]), None
+        rest = tokens[2:]
+    elif tokens[0] == "from" and len(tokens) >= 5 and tokens[2] == "to":
+        at, until = parse_time(tokens[1]), parse_time(tokens[3])
+        rest = tokens[4:]
+    else:
+        raise ValueError(
+            f"want 'at <time> <fault> ...' or 'from <time> to <time> <fault> ...', got {line!r}")
+    kind, args = rest[0], rest[1:]
+
+    if kind in ("crash", "hang", "recover"):
+        if len(args) != 1:
+            raise ValueError(f"{kind}: exactly one node name expected")
+        cls = {"crash": CrashNode, "hang": HangNode, "recover": RecoverNode}[kind]
+        return cls(at=at, until=until, node=args[0])
+
+    if kind == "degrade-link":
+        if len(args) < 2:
+            raise ValueError("degrade-link: two node names expected")
+        kv = _parse_kv(args[2:], {
+            "latency": ("latency_factor", float),
+            "bw": ("bw_factor", float),
+            "loss": ("loss", float),
+        })
+        return DegradeLink(at=at, until=until, src=args[0], dst=args[1], **kv)
+
+    if kind == "partition":
+        joined = " ".join(args)
+        left, sep, right = joined.partition("|")
+        if not sep:
+            raise ValueError("partition: groups must be separated by '|'")
+        return Partition(at=at, until=until,
+                         group_a=tuple(left.split()), group_b=tuple(right.split()))
+
+    if kind == "verb-nak":
+        if not args:
+            raise ValueError("verb-nak: node name expected")
+        kv = _parse_kv(args[1:], {
+            "p": ("p", float),
+            "opcodes": ("opcodes", lambda raw: tuple(raw.split(","))),
+            "status": ("status", str),
+        })
+        return VerbFault(at=at, until=until, node=args[0], **kv)
+
+    if kind == "invalidate-mr":
+        if len(args) != 2:
+            raise ValueError("invalidate-mr: node and region names expected")
+        return InvalidateMr(at=at, until=until, node=args[0], region=args[1])
+
+    if kind == "degrade-nic":
+        if not args:
+            raise ValueError("degrade-nic: node name expected")
+        kv = _parse_kv(args[1:], {"dma": ("dma_factor", float)})
+        return DegradeNic(at=at, until=until, node=args[0], **kv)
+
+    raise ValueError(f"unknown fault kind {kind!r}")

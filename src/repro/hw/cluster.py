@@ -37,6 +37,8 @@ class ClusterSim:
     clients: Node | None = None
     #: causal span tracer shared by every node (see repro.tracing)
     spans: SpanTracer | None = None
+    #: fault-injection plane, set by FaultPlane.install() (see repro.faults)
+    faults: object | None = None
 
     @property
     def nodes(self) -> List[Node]:

@@ -46,6 +46,9 @@ class Fabric:
         self.cfg = cfg
         self._tx: Dict[str, SwitchPort] = {}
         self._rx: Dict[str, SwitchPort] = {}
+        #: optional :class:`~repro.faults.plane.FaultPlane` consulted per
+        #: packet (duck-typed; None = the hook costs one attribute check)
+        self.faults = None
 
     def attach(self, nic: "Nic") -> None:
         """Register a NIC on the switch."""
@@ -76,10 +79,24 @@ class Fabric:
         if dst.node is not None and not dst.node.alive:
             # Crashed target: the wire carries the packet into the void.
             return self.env.now
+        lat_factor = 1.0
+        if self.faults is not None:
+            verdict = self.faults.on_transmit(src, dst, nbytes)
+            if verdict is not None:
+                if verdict.drop:
+                    # Lost on the wire (loss or partition): no arrival.
+                    return self.env.now
+                lat_factor = verdict.latency_factor
+                bw_factor *= verdict.bw_factor
         net = self.cfg.net
         bw = net.link_bytes_per_ns * bw_factor
         ser = max(1, math.ceil(nbytes / bw))
         now = self.env.now
+
+        hop, switch = net.hop_latency, net.switch_latency
+        if lat_factor != 1.0:
+            hop = int(hop * lat_factor)
+            switch = int(switch * lat_factor)
 
         tx = self._tx[src.name]
         start = max(now, tx.free_at)
@@ -87,14 +104,14 @@ class Fabric:
         tx.bytes_moved += nbytes
         tx.messages += 1
 
-        at_switch = start + ser + net.hop_latency + net.switch_latency
+        at_switch = start + ser + hop + switch
         rx = self._rx[dst.name]
         rx_start = max(at_switch, rx.free_at)
         rx.free_at = rx_start + ser
         rx.bytes_moved += nbytes
         rx.messages += 1
 
-        arrival = rx_start + ser + net.hop_latency
+        arrival = rx_start + ser + hop
         delay = arrival - now
         t = self.env.timeout(delay, priority=EventPriority.HIGH)
         assert t.callbacks is not None
@@ -128,12 +145,23 @@ class Fabric:
         for dst in dsts:
             if dst.name == src.name:
                 continue
+            hop = net.hop_latency
+            dst_at_switch = at_switch
+            if self.faults is not None:
+                verdict = self.faults.on_transmit(src, dst, nbytes)
+                if verdict is not None:
+                    if verdict.drop:
+                        continue  # replicated copy lost on this port only
+                    if verdict.latency_factor != 1.0:
+                        hop = int(hop * verdict.latency_factor)
+                        dst_at_switch = start + ser + hop + int(
+                            net.switch_latency * verdict.latency_factor)
             rx = self._rx[dst.name]
-            rx_start = max(at_switch, rx.free_at)
+            rx_start = max(dst_at_switch, rx.free_at)
             rx.free_at = rx_start + ser
             rx.bytes_moved += nbytes
             rx.messages += 1
-            arrival = rx_start + ser + net.hop_latency
+            arrival = rx_start + ser + hop
             t = self.env.timeout(arrival - now, priority=EventPriority.HIGH)
             assert t.callbacks is not None
             t.callbacks.append(lambda _ev, dst=dst: on_arrival(dst))

@@ -37,6 +37,9 @@ class Nic:
         self.fabric: Optional["Fabric"] = None
         #: DMA engine occupancy (absolute time the engine frees up)
         self._dma_free = 0
+        #: DMA slowdown injected by the fault plane (1.0 = healthy); only
+        #: consulted when != 1.0, preserving exact integer timings
+        self.fault_dma_factor = 1.0
         #: counters
         self.kernel_rx_packets = 0
         self.kernel_tx_packets = 0
@@ -108,6 +111,8 @@ class Nic:
         FIFO semantics: requests queue behind the engine's current work.
         No host CPU is involved.
         """
+        if self.fault_dma_factor != 1.0:
+            duration = int(duration * self.fault_dma_factor)
         now = self.env.now
         start = max(now, self._dma_free)
         self._dma_free = start + duration

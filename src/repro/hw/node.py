@@ -76,6 +76,9 @@ class Node:
         #: failure state: "up", "hung" (kernel livelocked; NIC alive),
         #: or "crashed" (off the fabric entirely)
         self.failure_mode = "up"
+        #: tick-loop generation: bumped by fail()/recover() so a suspended
+        #: pre-failure loop can never resume alongside post-recovery loops
+        self._tick_gen = 0
         self._booted = False
 
     # ------------------------------------------------------------------
@@ -91,7 +94,7 @@ class Node:
         self.memory.alloc_live("kern.load", KERN_LOAD_BYTES, self.loadacct.snapshot)
         self.memory.alloc_live("kern.irq_stat", KERN_IRQSTAT_BYTES, self.irq.irq_stat)
 
-    def _tick_loop(self, cpu_index: int) -> Generator:
+    def _tick_loop(self, cpu_index: int, gen: int = 0) -> Generator:
         tick = self.cfg.cpu.tick
         cost = self.cfg.cpu.timer_irq_cost
 
@@ -100,8 +103,10 @@ class Node:
             if cpu_index == 0:
                 self.loadacct.on_tick()
 
-        while self.failure_mode == "up":
+        while self.failure_mode == "up" and gen == self._tick_gen:
             yield self.env.timeout(tick)
+            if gen != self._tick_gen:
+                return  # superseded by a fail/recover cycle mid-sleep
             self.irq.raise_irq(cpu_index, IrqVector.TIMER, cost, action=on_timer)
 
     # ------------------------------------------------------------------
@@ -125,11 +130,38 @@ class Node:
         if mode not in ("hung", "crashed"):
             raise ValueError(f"unknown failure mode {mode!r}")
         self.failure_mode = mode
+        self._tick_gen += 1  # retire the running tick loops
         if mode == "hung":
             # Freeze the kernel: deschedule everything so nothing advances.
             for cpu in self.sched.cpus:
                 cpu.dispatch_seq += 1  # cancels in-flight burst-end events
                 cpu.current = None
+
+    def recover(self) -> None:
+        """Undo a failure: restart timer ticks and resume frozen tasks.
+
+        The node reboots *warm* — task state, memory registrations and
+        socket buffers survive (the paper's hung-kernel scenario is a
+        livelock, not a power cycle). Tasks that were frozen mid-burst
+        resume from the start of their interrupted burst; the heartbeat
+        monitor re-marks the node ALIVE once its tick counter advances
+        again.
+        """
+        if self.failure_mode == "up":
+            return
+        self.failure_mode = "up"
+        self._tick_gen += 1
+        if self._booted:
+            gen = self._tick_gen
+            for cpu_index in range(self.num_cpus):
+                self.env.process(self._tick_loop(cpu_index, gen),
+                                 name=f"tick:{self.name}:{cpu_index}:g{gen}")
+        # Tasks caught RUNNING at failure time were orphaned (their CPU
+        # slot was cleared without a re-queue); make them runnable and
+        # restart dispatching on every idle CPU.
+        self.sched.requeue_orphans()
+        self.sched.kick()
+        self.tracer.emit(self.env.now, "node.recover", self.name)
 
     # ------------------------------------------------------------------
     def spawn(

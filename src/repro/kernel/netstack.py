@@ -13,7 +13,9 @@ are modelled explicitly for wire costs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Tuple
+from typing import TYPE_CHECKING, Any, Generator, Optional, Tuple
+
+from repro.sim.events import AnyOf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
@@ -62,14 +64,28 @@ class NetStack:
     # ------------------------------------------------------------------
     # receive syscall (runs in the reading task's context)
     # ------------------------------------------------------------------
-    def recv(self, k: "TaskContext", rx_store: "Store") -> Generator:
+    def recv(
+        self, k: "TaskContext", rx_store: "Store", timeout: Optional[int] = None
+    ) -> Generator:
         """Composite syscall: block until a message arrives, return payload.
 
         The wakeup is boosted: packet delivery schedules the blocked
         reader "as early as possible" (paper §3), preempting a running
-        task if necessary.
+        task if necessary. With ``timeout`` set (SO_RCVTIMEO), the call
+        gives up after that many ns and returns ``None`` — the pending
+        read is cancelled so a late packet stays queued for the next
+        ``recv``.
         """
         get_event = rx_store.get()
-        payload, nbytes = yield k.wait(get_event, boost=True)
+        if timeout is None:
+            payload, nbytes = yield k.wait(get_event, boost=True)
+        else:
+            deadline = self.node.env.timeout(timeout)
+            fired = yield k.wait(AnyOf(self.node.env, [get_event, deadline]),
+                                 boost=True)
+            if get_event not in fired:
+                get_event.cancel()
+                return None
+            payload, nbytes = get_event.value
         yield k.syscall(k.copy_cost(nbytes))
         return payload

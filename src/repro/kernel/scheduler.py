@@ -174,6 +174,27 @@ class Scheduler:
         for cpu in self.cpus:
             self._sync_cpu(cpu)
 
+    def requeue_orphans(self) -> None:
+        """Re-queue RUNNING tasks that hold no CPU (recovery path).
+
+        ``Node.fail("hung")`` clears every CPU's current task without a
+        re-queue — the frozen kernel forgets who was on-CPU. On recovery
+        those tasks are still marked RUNNING but own no CPU slot; flip
+        them back to READY so :meth:`kick` can dispatch them.
+        """
+        on_cpu = {cpu.current for cpu in self.cpus if cpu.current is not None}
+        for task in self.tasks:
+            if task.state == TaskState.RUNNING and task not in on_cpu:
+                task.state = TaskState.READY
+                task.on_cpu = -1
+                self._enqueue(task)
+
+    def kick(self) -> None:
+        """Dispatch onto every idle CPU (no-op while the node is failed)."""
+        for cpu in self.cpus:
+            if cpu.current is None:
+                self._schedule(cpu)
+
     def jiffies(self, cpu_index: int) -> dict:
         """Per-CPU time accounting in ns: user/sys/irq/idle."""
         cpu = self.cpus[cpu_index]

@@ -14,8 +14,10 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
+from repro.faults.retry import RetryPolicy
 from repro.monitoring.loadinfo import LoadInfo
-from repro.tracing.span import STATUS_OK
+from repro.sim.events import AnyOf
+from repro.tracing.span import STATUS_ERROR, STATUS_OK
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
@@ -32,6 +34,10 @@ class QueryRecord:
     issued_at: int
     completed_at: int
     info: LoadInfo
+    #: False when the probe exhausted its retry budget (placeholder info)
+    ok: bool = True
+    #: transport attempts the probe took (1 = first try succeeded)
+    attempts: int = 1
 
     @property
     def latency(self) -> int:
@@ -58,6 +64,18 @@ class MonitoringScheme(abc.ABC):
         self.records: List[QueryRecord] = []
         self._stopped = False
         self._deployed = False
+        #: probe timeout/retry discipline (disabled by default — the
+        #: historical unbounded-wait behaviour, bit-identical)
+        self.policy = RetryPolicy.from_config(sim.cfg.monitor)
+        #: fault-recovery counters (all stay 0 on a healthy fabric with
+        #: the policy disabled)
+        self.timeouts = 0
+        self.retries = 0
+        self.naks = 0
+        self.failures = 0
+        self.stale_drops = 0
+        #: last successful report per back-end, for failure placeholders
+        self._last_good: Dict[int, LoadInfo] = {}
 
     # ------------------------------------------------------------------
     def deploy(self) -> None:
@@ -109,15 +127,130 @@ class MonitoringScheme(abc.ABC):
         )
 
     def _record(self, backend_index: int, issued_at: int, info: LoadInfo,
-                span: "Optional[Span]" = None) -> LoadInfo:
+                span: "Optional[Span]" = None, ok: bool = True,
+                attempts: int = 1) -> LoadInfo:
         info.received_at = self.sim.env.now
         self.records.append(
-            QueryRecord(backend_index, issued_at, self.sim.env.now, info)
+            QueryRecord(backend_index, issued_at, self.sim.env.now, info,
+                        ok=ok, attempts=attempts)
         )
+        if ok:
+            self._last_good[backend_index] = info
         if span is not None:
             self.frontend.span_tracer.end(
                 span, status=STATUS_OK, attrs={"staleness": info.staleness})
         return info
+
+    def _record_failure(self, backend_index: int, issued_at: int,
+                        span: "Optional[Span]" = None,
+                        attempts: int = 1) -> LoadInfo:
+        """Record a probe that exhausted its retry budget.
+
+        The placeholder report reuses the last good data timestamp (or 0
+        when there never was one), so the backend's apparent staleness
+        keeps growing for as long as it stays unreachable — exactly what
+        the staleness analyses should see during an outage.
+        """
+        self.failures += 1
+        last = self._last_good.get(backend_index)
+        info = LoadInfo(
+            backend=self.backends[backend_index].name,
+            collected_at=last.collected_at if last is not None else 0,
+        )
+        info.received_at = self.sim.env.now
+        self.records.append(
+            QueryRecord(backend_index, issued_at, self.sim.env.now, info,
+                        ok=False, attempts=attempts)
+        )
+        if span is not None:
+            self.frontend.span_tracer.end(
+                span, status=STATUS_ERROR, attrs={"attempts": attempts})
+        return info
+
+    # ------------------------------------------------------------------
+    # probe transports under the retry policy
+    # ------------------------------------------------------------------
+    def _verb_retry(self, k: "TaskContext", post) -> Generator:
+        """Issue a verb probe under the retry policy.
+
+        ``post()`` posts the work request and returns its completion
+        event. Returns ``(wc, attempts)``; ``wc`` is ``None`` when every
+        attempt timed out, and carries a non-ok status when the final
+        attempt was NAK'd with a non-retryable error. With the policy
+        disabled this is exactly ``QueuePair.rdma_read``'s wait sequence
+        (post, doorbell, unbounded wait) — no extra events.
+        """
+        policy = self.policy
+        net = self.sim.cfg.net
+        if not policy.enabled:
+            wc_event = post()
+            yield k.compute(net.doorbell_cost, mode="user")
+            wc = yield k.wait(wc_event)
+            return wc, 1
+        # Deferred: transport.verbs transitively imports this module.
+        from repro.transport.verbs import WcStatus
+
+        env = self.sim.env
+        attempts = 0
+        while True:
+            attempts += 1
+            wc_event = post()
+            yield k.compute(net.doorbell_cost, mode="user")
+            deadline = env.timeout(policy.timeout)
+            fired = yield k.wait(AnyOf(env, [wc_event, deadline]))
+            if wc_event in fired:
+                wc = wc_event.value
+                if wc.ok or wc.status is not WcStatus.RNR_RETRY:
+                    return wc, attempts
+                # Receiver-not-ready NAK: retryable by definition.
+                self.naks += 1
+            else:
+                self.timeouts += 1
+            if attempts > policy.retries:
+                return None, attempts
+            self.retries += 1
+            yield k.sleep(policy.backoff_for(attempts))
+
+    def _socket_probe(self, k: "TaskContext", end, request_bytes: int,
+                      ctx=None) -> Generator:
+        """Request/reply probe over socket ``end`` under the retry policy.
+
+        Returns ``(info, attempts)``; ``info`` is ``None`` when every
+        attempt timed out. Stale replies left over from a previously
+        timed-out probe are drained (and counted) before each request so
+        a late reply can never be mistaken for the current one.
+        """
+        policy = self.policy
+        if not policy.enabled:
+            yield from end.send(k, "load-req", request_bytes, ctx=ctx)
+            info = yield from end.recv(k, ctx=ctx)
+            return info, 1
+        attempts = 0
+        while True:
+            attempts += 1
+            got, _stale = end.rx.try_get()
+            while got:
+                self.stale_drops += 1
+                got, _stale = end.rx.try_get()
+            yield from end.send(k, "load-req", request_bytes, ctx=ctx)
+            info = yield from end.recv(k, ctx=ctx, timeout=policy.timeout)
+            if info is not None:
+                return info, attempts
+            self.timeouts += 1
+            if attempts > policy.retries:
+                return None, attempts
+            self.retries += 1
+            yield k.sleep(policy.backoff_for(attempts))
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Fault-recovery counters for telemetry and the fault matrix."""
+        return {
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "naks": self.naks,
+            "failures": self.failures,
+            "stale_drops": self.stale_drops,
+        }
 
     def latencies(self) -> List[int]:
         """All recorded query latencies, ns."""

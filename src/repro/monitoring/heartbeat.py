@@ -117,7 +117,13 @@ class HeartbeatMonitor:
                     # No DMA response: the node is off the fabric.
                     self._set_state(i, NodeHealth.DEAD, k.now)
                     continue
-                snapshot = wc_event.value.value
+                wc = wc_event.value
+                if not wc.ok:
+                    # NAK'd probe (injected verb fault): inconclusive —
+                    # the HCA answered, so the node is on the fabric, but
+                    # there is no snapshot to judge liveness by.
+                    continue
+                snapshot = wc.value
                 ticks = self._extract_ticks(snapshot)
                 last = self._last_ticks[i]
                 self._last_ticks[i] = ticks
@@ -142,3 +148,7 @@ class HeartbeatMonitor:
     # ------------------------------------------------------------------
     def healthy_backends(self) -> List[int]:
         return [i for i, s in self.state.items() if s is NodeHealth.ALIVE]
+
+    def quarantined(self) -> List[int]:
+        """Back-ends currently held out of dispatch (HUNG or DEAD)."""
+        return [i for i, s in self.state.items() if s is not NodeHealth.ALIVE]

@@ -71,16 +71,24 @@ class RdmaAsyncScheme(MonitoringScheme):
         issued = k.now
         span = self._probe_span(backend_index)
         mr = self._mrs[backend_index]
-        wc = yield from self._qps[backend_index].rdma_read(k, mr.rkey, mr.nbytes,
-                                                           ctx=span)
+        qp = self._qps[backend_index]
+        wc, attempts = yield from self._verb_retry(
+            k, lambda: qp._post_read(mr.rkey, mr.nbytes, ctx=span))
+        if wc is None or not wc.ok:
+            return self._record_failure(backend_index, issued, span=span,
+                                        attempts=attempts)
         info = wc.value
         if info is None:
             # Buffer not yet filled by the calc thread.
             info = LoadInfo(backend=self.backends[backend_index].name, collected_at=0)
-        return self._record(backend_index, issued, info, span=span)
+        return self._record(backend_index, issued, info, span=span,
+                            attempts=attempts)
 
     def query_all(self, k: "TaskContext") -> Generator:
         """Post all reads, then collect completions (overlapped wire time)."""
+        if self.policy.enabled:
+            out = yield from MonitoringScheme.query_all(self, k)
+            return out
         net = self.sim.cfg.net
         issued = k.now
         spans = [self._probe_span(i) for i in range(len(self.backends))]
@@ -91,6 +99,9 @@ class RdmaAsyncScheme(MonitoringScheme):
         out: Dict[int, LoadInfo] = {}
         for i, ev in enumerate(events):
             wc = yield k.wait(ev)
+            if not wc.ok:
+                out[i] = self._record_failure(i, issued, span=spans[i])
+                continue
             info = wc.value
             if info is None:
                 info = LoadInfo(backend=self.backends[i].name, collected_at=0)

@@ -74,18 +74,33 @@ class RdmaSyncScheme(MonitoringScheme):
         span = self._probe_span(backend_index)
         qp = self._qps[backend_index]
         load_mr = self._load_mrs[backend_index]
-        wc = yield from qp.rdma_read(k, load_mr.rkey, load_mr.nbytes, ctx=span)
+        wc, attempts = yield from self._verb_retry(
+            k, lambda: qp._post_read(load_mr.rkey, load_mr.nbytes, ctx=span))
+        if wc is None or not wc.ok:
+            return self._record_failure(backend_index, issued, span=span,
+                                        attempts=attempts)
         irq = None
         if self.read_irq_stat:
             irq_mr = self._irq_mrs[backend_index]
-            wc_irq = yield from qp.rdma_read(k, irq_mr.rkey, irq_mr.nbytes, ctx=span)
+            wc_irq, irq_attempts = yield from self._verb_retry(
+                k, lambda: qp._post_read(irq_mr.rkey, irq_mr.nbytes, ctx=span))
+            attempts += irq_attempts - 1
+            if wc_irq is None or not wc_irq.ok:
+                return self._record_failure(backend_index, issued, span=span,
+                                            attempts=attempts)
             irq = wc_irq.value
         # Derive load on the *front end* from the raw counters.
         yield k.compute(mon.compose_cost)
         info = self._calcs[backend_index].compute(wc.value, irq)
-        return self._record(backend_index, issued, info, span=span)
+        return self._record(backend_index, issued, info, span=span,
+                            attempts=attempts)
 
     def query_all(self, k: "TaskContext") -> Generator:
+        if self.policy.enabled:
+            # Bounded probes: fall back to sequential per-backend queries
+            # so each one can time out and retry independently.
+            out = yield from MonitoringScheme.query_all(self, k)
+            return out
         net = self.sim.cfg.net
         mon = self.sim.cfg.monitor
         issued = k.now
@@ -104,7 +119,13 @@ class RdmaSyncScheme(MonitoringScheme):
             irq = None
             if self.read_irq_stat:
                 wc_irq = yield k.wait(irq_events[i])
+                if not wc_irq.ok:
+                    out[i] = self._record_failure(i, issued, span=spans[i])
+                    continue
                 irq = wc_irq.value
+            if not wc.ok:
+                out[i] = self._record_failure(i, issued, span=spans[i])
+                continue
             yield k.compute(mon.compose_cost)
             out[i] = self._record(i, issued, self._calcs[i].compute(wc.value, irq),
                                   span=spans[i])

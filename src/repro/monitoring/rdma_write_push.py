@@ -82,7 +82,15 @@ class RdmaWritePushScheme(MonitoringScheme):
                     irq = yield from be.kmod.read_irq_stat(k)
                 yield k.compute(mon.compose_cost)
                 info = calculator.compute(stats, irq)
-                yield from qp_be.rdma_write(k, handle.rkey, info, nbytes, ctx=span)
+                # Under the retry policy a NAK'd/lost push is re-issued
+                # with backoff; an exhausted push is simply skipped (the
+                # front-end buffer goes stale, which staleness analysis
+                # then shows).
+                wc, _attempts = yield from self._verb_retry(
+                    k, lambda: qp_be._post_write(handle.rkey, info, nbytes,
+                                                 ctx=span))
+                if wc is None or not wc.ok:
+                    self.failures += 1
                 if span is not None:
                     tracer.end(span)
                 yield k.sleep(self.interval)

@@ -87,12 +87,19 @@ class SocketAsyncScheme(MonitoringScheme):
         end = self._fe_ends[backend_index]
         issued = k.now
         span = self._probe_span(backend_index)
-        yield from end.send(k, "load-req", mon.request_bytes, ctx=span)
-        info = yield from end.recv(k, ctx=span)
-        return self._record(backend_index, issued, info, span=span)
+        info, attempts = yield from self._socket_probe(
+            k, end, mon.request_bytes, ctx=span)
+        if info is None:
+            return self._record_failure(backend_index, issued, span=span,
+                                        attempts=attempts)
+        return self._record(backend_index, issued, info, span=span,
+                            attempts=attempts)
 
     def query_all(self, k: "TaskContext") -> Generator:
         """Send every request first, then collect replies (select-style)."""
+        if self.policy.enabled:
+            out = yield from MonitoringScheme.query_all(self, k)
+            return out
         mon = self.sim.cfg.monitor
         issued = k.now
         spans = [self._probe_span(i) for i in range(len(self.backends))]

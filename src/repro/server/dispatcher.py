@@ -62,6 +62,7 @@ class Dispatcher:
         self.health = health
         self.telemetry = telemetry
         self.rerouted_by_alert = 0
+        self.rerouted_by_health = 0
         self.num_tasks = num_tasks
         self.request_bytes = request_bytes
         #: client requests land here (the dispatcher's listening socket)
@@ -122,11 +123,14 @@ class Dispatcher:
             if self.health is not None:
                 healthy = self.health.healthy_backends()
                 if healthy and choice not in healthy:
-                    # Re-pick among live servers only.
-                    live_loads = {i: v for i, v in loads.items() if i in healthy}
-                    choice = self.balancer.choose(live_loads)
+                    # Re-pick among live servers only: quarantined
+                    # back-ends are excluded until Node.recover() lets
+                    # the heartbeat re-mark them ALIVE.
+                    quarantined = self.health.quarantined()
+                    choice = self.balancer.choose(loads, exclude=quarantined)
                     if choice not in healthy:
                         choice = healthy[self.forwarded % len(healthy)]
+                    self.rerouted_by_health += 1
             if self.telemetry is not None:
                 shed = self.telemetry.engine.shed_backends()
                 if shed and choice in shed and len(shed) < len(self.servers):

@@ -130,27 +130,46 @@ class LeastLoadedBalancer:
             weights.append(max(self.MIN_WEIGHT, 1.0 - score))
         return weights
 
-    def choose(self, loads: Dict[int, LoadInfo]) -> int:
+    def choose(self, loads: Dict[int, LoadInfo],
+               exclude: Optional[Sequence[int]] = None) -> int:
         """Pick a back-end, weighted by monitored capacity headroom.
 
         With no (or uniformly stale) data every weight ties and the
         spread is uniform; with *wrong* data the proportions are wrong —
         the load the paper's fine-grained monitoring removes.
+
+        ``exclude`` quarantines back-ends (health failover): their weight
+        is zeroed so no request lands there. Excluding *everything* falls
+        back to the full set — a wrong pick beats no pick. The default
+        (no exclusion) draws from the RNG exactly as before, so healthy
+        runs stay bit-identical.
         """
+        excluded = set(exclude) if exclude else set()
+        if len(excluded) >= self.num_backends:
+            excluded = set()
         if not loads:
             self._rr = (self._rr + 1) % self.num_backends
+            while self._rr in excluded:
+                self._rr = (self._rr + 1) % self.num_backends
             self._trace_pick(self._rr)
             return self._rr
         weights = self.server_weights(loads)
+        for i in excluded:
+            if 0 <= i < self.num_backends:
+                weights[i] = 0.0
         total = sum(weights)
         pick = self.rng.random() * total
         acc = 0.0
         for i, w in enumerate(weights):
             acc += w
-            if pick <= acc:
+            if w > 0.0 and pick <= acc:
                 self._trace_pick(i)
                 return i
-        return self.num_backends - 1  # pragma: no cover - fp guard
+        # fp guard: last non-excluded backend
+        for i in range(self.num_backends - 1, -1, -1):  # pragma: no cover
+            if i not in excluded:
+                return i
+        return self.num_backends - 1  # pragma: no cover
 
     def note_assigned(self, backend: int) -> None:
         self.assigned[backend] += 1
@@ -172,9 +191,15 @@ class RoundRobinBalancer:
     def score(self, info: LoadInfo) -> float:  # pragma: no cover - interface parity
         return 0.0
 
-    def choose(self, loads: Dict[int, LoadInfo]) -> int:
+    def choose(self, loads: Dict[int, LoadInfo],
+               exclude: Optional[Sequence[int]] = None) -> int:
         chosen = self._next
-        self._next = (self._next + 1) % self.num_backends
+        if exclude:
+            excluded = set(exclude)
+            if len(excluded) < self.num_backends:
+                while chosen in excluded:
+                    chosen = (chosen + 1) % self.num_backends
+        self._next = (chosen + 1) % self.num_backends
         return chosen
 
     def note_assigned(self, backend: int) -> None:

@@ -27,6 +27,7 @@ from repro.telemetry.alerts import (
     Alert,
     AlertEngine,
     AnomalyRule,
+    FaultRule,
     HeartbeatRule,
     Severity,
     StalenessRule,
@@ -44,6 +45,7 @@ __all__ = [
     "AnomalyEvent",
     "AnomalyRule",
     "EwmaDetector",
+    "FaultRule",
     "HeartbeatRule",
     "MetricRing",
     "P2Quantile",

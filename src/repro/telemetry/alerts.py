@@ -197,6 +197,26 @@ class HeartbeatRule(Rule):
         return False, ""  # never sample-driven
 
 
+class FaultRule(Rule):
+    """Mirrors injected faults from the fault plane as alerts.
+
+    Driven by :meth:`AlertEngine.observe_fault` with
+    :class:`~repro.faults.plane.FaultRecord` events: a fault targeting a
+    specific back-end raises on apply and clears on revoke/recover.
+    Cluster-wide faults (partitions, link mods between non-backends)
+    carry ``backend == -1`` and are logged but never raised per-backend.
+    """
+
+    def __init__(self, name: str = "fault-injected",
+                 severity: Severity = Severity.WARNING,
+                 sheds: bool = False) -> None:
+        super().__init__(name, severity)
+        self.sheds = sheds
+
+    def evaluate(self, backend, time, metrics):
+        return False, ""  # never sample-driven
+
+
 class AlertEngine:
     """Evaluates rules and owns the alert log + active set."""
 
@@ -219,8 +239,8 @@ class AlertEngine:
         """Evaluate every sample-driven rule against one observation."""
         raised: List[Alert] = []
         for rule in self.rules:
-            if isinstance(rule, HeartbeatRule):
-                continue
+            if isinstance(rule, (HeartbeatRule, FaultRule)):
+                continue  # event-driven: observe_health / observe_fault only
             key = (rule.name, backend)
             # Always evaluate: stateful rules (anomaly detectors) must see
             # every sample even while their alert is active.
@@ -259,6 +279,36 @@ class AlertEngine:
                 time=record.time, rule=rule.name, backend=record.backend,
                 severity=rule.severity, metric="heartbeat", value=0.0,
                 message=f"node reported {record.state.value}",
+            )
+            self._active[key] = alert
+            self.log.append(alert)
+            return alert
+        return None
+
+    def observe_fault(self, record) -> Optional[Alert]:
+        """Feed one fault-plane :class:`~repro.faults.plane.FaultRecord`.
+
+        Applying a fault that targets a back-end raises the
+        :class:`FaultRule` alert for it; revoking (or recovering) clears.
+        """
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                continue
+            if record.backend < 0:
+                return None
+            key = (rule.name, record.backend)
+            if not record.active or record.kind == "recover":
+                # Windowed fault revoked, or an explicit recover action
+                # undoing a crash/hang: the condition is gone.
+                if key in self._active:
+                    self._clear(key, record.time)
+                return None
+            if key in self._active:
+                return None  # one alert per backend while any fault holds
+            alert = Alert(
+                time=record.time, rule=rule.name, backend=record.backend,
+                severity=rule.severity, metric="fault", value=0.0,
+                message=f"{record.kind} on {record.target}",
             )
             self._active[key] = alert
             self.log.append(alert)

@@ -24,6 +24,7 @@ from repro.monitoring.loadinfo import LoadInfo
 from repro.telemetry.alerts import (
     AlertEngine,
     AnomalyRule,
+    FaultRule,
     HeartbeatRule,
     Rule,
     Severity,
@@ -54,7 +55,7 @@ def default_rules(
     overload_clear: float = 0.80,
     max_staleness: int = 500_000_000,
 ) -> List[Rule]:
-    """The stock rule set: overload, run-queue anomaly, staleness, heartbeat."""
+    """Stock rules: overload, run-queue anomaly, staleness, heartbeat, fault."""
     return [
         ThresholdRule(
             "overload", metric="cpu_util", fire_above=overload_above,
@@ -66,6 +67,7 @@ def default_rules(
             severity=Severity.WARNING, sheds=False,
         ),
         HeartbeatRule(),
+        FaultRule(),  # inert unless a FaultPlane is attach_faults()'d
     ]
 
 
@@ -114,6 +116,23 @@ class TelemetryPipeline:
 
         heartbeat.observer = observer
         self._heartbeat = heartbeat
+        return self
+
+    def attach_faults(self, plane) -> "TelemetryPipeline":
+        """Surface injected faults as alerts (keeps any existing hook).
+
+        ``plane`` is a :class:`~repro.faults.plane.FaultPlane`; requires a
+        :class:`~repro.telemetry.alerts.FaultRule` in the engine's rule
+        set to actually raise anything.
+        """
+        previous = plane.on_event
+
+        def observer(record) -> None:
+            if previous is not None:
+                previous(record)
+            self.engine.observe_fault(record)
+
+        plane.on_event = observer
         return self
 
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Tuple
 
 from repro.sim.resources import Store
-from repro.tracing.span import tracer_for
+from repro.tracing.span import STATUS_ERROR, tracer_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
@@ -51,12 +51,13 @@ class SocketEndpoint:
             tracer.end(span)
         return None
 
-    def recv(self, k: "TaskContext", ctx=None) -> Generator:
+    def recv(self, k: "TaskContext", ctx=None, timeout=None) -> Generator:
         """Block until a message arrives; returns the payload.
 
         A traced recv span covers the *blocking wait* too — on the
         socket-based monitoring paths that wait (reply delayed by remote
-        load) is exactly the effect the paper measures.
+        load) is exactly the effect the paper measures. With ``timeout``
+        (ns) the wait is bounded and a miss returns ``None``.
         """
         if k.node is not self.node:
             raise RuntimeError(
@@ -68,7 +69,12 @@ class SocketEndpoint:
         if tracer is not None:
             span = tracer.start_span("sock.recv", ctx, node=self.node.name,
                                      component="socket")
-        payload = yield from self.node.netstack.recv(k, self.rx)
+        payload = yield from self.node.netstack.recv(k, self.rx, timeout=timeout)
+        if payload is None:
+            if tracer is not None:
+                tracer.end(span, status=STATUS_ERROR,
+                           attrs={"timeout_ns": timeout})
+            return None
         self.rx_messages += 1
         if tracer is not None:
             tracer.end(span)

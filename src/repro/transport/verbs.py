@@ -59,6 +59,9 @@ class WcStatus(enum.Enum):
     REMOTE_ACCESS_ERROR = "remote-access-error"
     INVALID_RKEY = "invalid-rkey"
     LENGTH_ERROR = "length-error"
+    #: receiver-not-ready NAK: transient, the initiator should back off
+    #: and retry (injected by the fault plane's verb faults)
+    RNR_RETRY = "rnr-retry"
 
 
 @dataclass
@@ -256,6 +259,13 @@ class QueuePair:
         def at_target() -> None:
             if seg_mark is not None:
                 seg_mark("at_target", self.remote.name, "fabric")
+            faults = getattr(fabric, "faults", None)
+            if faults is not None:
+                nak = faults.on_verb(self.local, self.remote, "read")
+                if nak is not None:
+                    fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
+                                    lambda: complete(WorkCompletion("read", nak, wr_id)))
+                    return
             pd = ProtectionDomain.for_node(self.remote)
             handle = pd.lookup(rkey)
             if handle is None:
@@ -315,6 +325,13 @@ class QueuePair:
         def at_target() -> None:
             if seg_mark is not None:
                 seg_mark("at_target", self.remote.name, "fabric")
+            faults = getattr(fabric, "faults", None)
+            if faults is not None:
+                nak = faults.on_verb(self.local, self.remote, "write")
+                if nak is not None:
+                    fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
+                                    lambda: complete(WorkCompletion("write", nak, wr_id)))
+                    return
             pd = ProtectionDomain.for_node(self.remote)
             handle = pd.lookup(rkey)
             status = WcStatus.SUCCESS
@@ -394,6 +411,12 @@ class QueuePair:
                                                           lambda: complete(wc)))
 
         def at_target() -> None:
+            faults = getattr(fabric, "faults", None)
+            if faults is not None:
+                nak = faults.on_verb(self.local, self.remote, "atomic")
+                if nak is not None:
+                    respond(WorkCompletion(op, nak, wr_id))
+                    return
             pd = ProtectionDomain.for_node(self.remote)
             handle = pd.lookup(rkey)
             if handle is None:

@@ -1,0 +1,114 @@
+"""Chaos conformance: 5 schemes x 5 fault classes, one cell per test.
+
+Each cell drives :func:`repro.experiments.fault_matrix.run_cell` with a
+shortened fault window and asserts the scheme-class behaviour the paper
+predicts (§4): one-sided RDMA probes survive a hung back-end with fresh
+data, socket probes need the remote CPU and blow their retry budget,
+everything fails through a crash or partition and recovers afterwards,
+link degradation slows but never fails, and verb NAKs touch only the
+RDMA transports.
+"""
+
+import pytest
+
+from repro.experiments.fault_matrix import FAULT_KINDS, SCHEMES, run_cell
+from repro.sim.units import ms
+
+FAULT_AT = ms(200)
+FAULT_UNTIL = ms(500)
+DURATION = ms(700)
+
+RDMA_SYNC = ("rdma-sync", "e-rdma-sync")
+RDMA_ALL = ("rdma-sync", "e-rdma-sync", "rdma-async")
+SOCKETS = ("socket-sync", "socket-async")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """All 25 cells, computed once for the module."""
+    return {
+        (scheme, fault): run_cell(scheme, fault, fault_at=FAULT_AT,
+                                  fault_until=FAULT_UNTIL, duration=DURATION)
+        for fault in FAULT_KINDS for scheme in SCHEMES
+    }
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("fault", FAULT_KINDS)
+def test_fault_confined_to_window(matrix, scheme, fault):
+    cell = matrix[(scheme, fault)]
+    before, during, after = (cell["phases"][p]
+                             for p in ("before", "during", "after"))
+    assert before["queries"] > 0 and before["failed"] == 0, before
+    assert during["queries"] > 0, during
+    assert after["queries"] > 0 and after["failed"] == 0, after
+
+
+@pytest.mark.parametrize("scheme", RDMA_SYNC)
+def test_hang_rdma_sync_stays_fresh(matrix, scheme):
+    """The paper's robustness claim: DMA reads don't need the remote CPU."""
+    during = matrix[(scheme, "hang")]["phases"]["during"]
+    assert during["failed"] == 0, during
+    assert during["max_staleness_ms"] < 20, during  # < 2 poll intervals
+
+
+@pytest.mark.parametrize("scheme", SOCKETS)
+def test_hang_sockets_blow_their_budget(matrix, scheme):
+    cell = matrix[(scheme, "hang")]
+    during = cell["phases"]["during"]
+    assert during["ok"] == 0 and during["failed"] > 0, during
+    assert cell["counters"]["timeouts"] > 0, cell["counters"]
+    assert cell["counters"]["failures"] > 0, cell["counters"]
+
+
+def test_hang_rdma_async_survives_but_stale(matrix):
+    """Reads of the push buffer still work; the hung pusher stops pushing."""
+    during = matrix[("rdma-async", "hang")]["phases"]["during"]
+    assert during["failed"] == 0, during
+    assert during["max_staleness_ms"] > 100, during
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("fault", ["crash", "partition"])
+def test_crash_and_partition_fail_everyone(matrix, scheme, fault):
+    cell = matrix[(scheme, fault)]
+    during, after = cell["phases"]["during"], cell["phases"]["after"]
+    assert during["ok"] == 0 and during["failed"] > 0, (fault, during)
+    assert after["ok"] > 0, (fault, after)
+    # The retry discipline was exercised, not bypassed.
+    assert cell["counters"]["retries"] > 0, cell["counters"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_link_degradation_slows_but_never_fails(matrix, scheme):
+    cell = matrix[(scheme, "link")]
+    before, during = cell["phases"]["before"], cell["phases"]["during"]
+    assert during["failed"] == 0, during
+    assert during["mean_latency_ms"] > before["mean_latency_ms"], cell
+
+
+@pytest.mark.parametrize("scheme", RDMA_ALL)
+def test_verb_naks_hit_rdma_schemes(matrix, scheme):
+    cell = matrix[(scheme, "verb-nak")]
+    assert cell["counters"]["naks"] > 0, cell["counters"]
+    assert cell["counters"]["retries"] > 0, cell["counters"]
+    during = cell["phases"]["during"]
+    # p=0.5 with 2 retries: the discipline lands a clear majority.
+    assert during["ok"] > during["failed"], during
+
+
+@pytest.mark.parametrize("scheme", SOCKETS)
+def test_verb_naks_spare_socket_schemes(matrix, scheme):
+    cell = matrix[(scheme, "verb-nak")]
+    assert cell["counters"]["naks"] == 0, cell["counters"]
+    assert cell["phases"]["during"]["failed"] == 0, cell
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("fault", ["hang", "crash", "partition"])
+def test_heartbeat_detects_and_readmits(matrix, scheme, fault):
+    hb = matrix[(scheme, fault)]["heartbeat"]
+    assert hb["detected_ms"] is not None, hb
+    assert FAULT_AT / ms(1) <= hb["detected_ms"] < FAULT_UNTIL / ms(1), hb
+    assert hb["recovered_ms"] is not None, hb
+    assert hb["final_state"] == "alive", hb

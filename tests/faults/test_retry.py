@@ -1,0 +1,77 @@
+"""Tests for the probe retry policy and its config plumbing."""
+
+import pytest
+
+from repro.config import MonitorConfig, SimConfig
+from repro.faults.retry import RetryPolicy
+from repro.sim.units import ms
+
+
+def test_default_policy_disabled():
+    policy = RetryPolicy()
+    assert not policy.enabled
+    assert policy.timeout == 0
+
+
+def test_enabled_policy_backoff_progression():
+    policy = RetryPolicy(timeout=ms(2), retries=4, backoff=ms(1),
+                         backoff_factor=2.0, backoff_max=ms(3))
+    assert policy.enabled
+    assert policy.backoff_for(1) == ms(1)
+    assert policy.backoff_for(2) == ms(2)
+    assert policy.backoff_for(3) == ms(3)  # capped
+    assert policy.backoff_for(4) == ms(3)  # stays capped
+
+
+def test_backoff_factor_one_is_constant():
+    policy = RetryPolicy(timeout=ms(2), backoff=ms(5), backoff_factor=1.0,
+                         backoff_max=ms(50))
+    assert policy.backoff_for(1) == policy.backoff_for(7) == ms(5)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"timeout": -1},
+    {"retries": -1},
+    {"backoff": 0},
+    {"backoff_factor": 0.5},
+    {"backoff": ms(10), "backoff_max": ms(5)},
+])
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_backoff_for_is_one_based():
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_for(0)
+
+
+def test_from_config_roundtrip():
+    mon = MonitorConfig(probe_timeout=ms(3), probe_retries=5,
+                        probe_backoff=ms(2), probe_backoff_factor=3.0,
+                        probe_backoff_max=ms(20))
+    policy = RetryPolicy.from_config(mon)
+    assert policy.timeout == ms(3)
+    assert policy.retries == 5
+    assert policy.backoff == ms(2)
+    assert policy.backoff_factor == 3.0
+    assert policy.backoff_max == ms(20)
+
+
+def test_config_default_is_disabled_policy():
+    policy = RetryPolicy.from_config(SimConfig().monitor)
+    assert not policy.enabled
+
+
+@pytest.mark.parametrize("field,value", [
+    ("probe_timeout", -1),
+    ("probe_retries", -1),
+    ("probe_backoff", 0),
+    ("probe_backoff_factor", 0.9),
+    ("probe_backoff_max", 1),  # below probe_backoff default
+])
+def test_monitor_config_validates_probe_knobs(field, value):
+    cfg = SimConfig()
+    setattr(cfg.monitor, field, value)
+    with pytest.raises(ValueError):
+        cfg.validate()

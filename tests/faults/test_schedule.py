@@ -1,0 +1,132 @@
+"""Tests for the fault-schedule grammar and dataclasses."""
+
+import pytest
+
+from repro.faults.schedule import (
+    CrashNode,
+    DegradeLink,
+    DegradeNic,
+    FaultSchedule,
+    HangNode,
+    InvalidateMr,
+    Partition,
+    RecoverNode,
+    VerbFault,
+    parse_schedule,
+    parse_time,
+)
+from repro.sim.units import ms, seconds, us
+
+
+def test_parse_time_units():
+    assert parse_time("500ms") == ms(500)
+    assert parse_time("2s") == seconds(2)
+    assert parse_time("10us") == us(10)
+    assert parse_time("1200ns") == 1200
+    assert parse_time("1200") == 1200  # bare = ns
+    assert parse_time("1.5ms") == ms(1) + us(500)
+
+
+@pytest.mark.parametrize("bad", ["", "ms", "-5ms", "5 ms", "1.2.3s", "fast"])
+def test_parse_time_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_time(bad)
+
+
+def test_parse_point_faults():
+    sched = parse_schedule(
+        "at 500ms crash backend0\n"
+        "at 500ms hang backend1\n"
+        "at 1100ms recover backend0\n"
+        "at 1s invalidate-mr backend0 kern.load\n"
+    )
+    kinds = [type(e) for e in sched]
+    assert kinds == [CrashNode, HangNode, RecoverNode, InvalidateMr]
+    crash = sched.events[0]
+    assert crash.node == "backend0"
+    assert crash.at == ms(500)
+    assert crash.until is None
+    mr = sched.events[3]
+    assert (mr.node, mr.region) == ("backend0", "kern.load")
+
+
+def test_parse_windowed_faults():
+    sched = parse_schedule(
+        "from 500ms to 1100ms degrade-link frontend backend0 "
+        "latency=20 bw=0.1 loss=0.05\n"
+        "from 500ms to 1100ms partition frontend | backend0 backend1\n"
+        "from 500ms to 1100ms verb-nak backend0 p=0.5 opcodes=read,write\n"
+        "from 500ms to 1100ms degrade-nic backend0 dma=8\n"
+    )
+    link, part, verb, nic = sched.events
+    assert isinstance(link, DegradeLink)
+    assert (link.src, link.dst) == ("frontend", "backend0")
+    assert link.latency_factor == 20 and link.bw_factor == 0.1
+    assert link.loss == 0.05
+    assert link.at == ms(500) and link.until == ms(1100)
+    assert isinstance(part, Partition)
+    assert part.group_a == ("frontend",)
+    assert part.group_b == ("backend0", "backend1")
+    assert isinstance(verb, VerbFault)
+    assert verb.p == 0.5 and verb.opcodes == ("read", "write")
+    assert verb.status == "rnr-retry"  # default
+    assert isinstance(nic, DegradeNic)
+    assert nic.dma_factor == 8
+
+
+def test_comments_and_blank_lines_ignored():
+    sched = parse_schedule(
+        "# preamble\n"
+        "\n"
+        "at 1ms crash backend0  # trailing comment\n"
+    )
+    assert len(sched) == 1
+
+
+def test_line_numbers_in_errors():
+    with pytest.raises(ValueError, match="line 2"):
+        parse_schedule("at 1ms crash backend0\nat 2ms explode backend0")
+
+
+@pytest.mark.parametrize("line", [
+    "crash backend0",                            # missing at/from
+    "at 5ms crash",                              # missing node
+    "at 5ms crash a b",                          # too many nodes
+    "from 5ms to 2ms partition a | b",           # window ends early
+    "from 5ms to 9ms crash backend0",            # point fault with window
+    "at 5ms degrade-link a b latency=2",         # windowed without window
+    "from 5ms to 9ms degrade-link a a",          # identical endpoints
+    "from 5ms to 9ms degrade-link a b speed=2",  # unknown option
+    "from 5ms to 9ms degrade-link a b latency=0.5",
+    "from 5ms to 9ms degrade-link a b bw=0",
+    "from 5ms to 9ms degrade-link a b loss=1.0",
+    "from 5ms to 9ms partition a b",             # no | separator
+    "from 5ms to 9ms partition a | a",           # overlapping groups
+    "from 5ms to 9ms partition | a",             # empty group
+    "from 5ms to 9ms verb-nak a p=0",
+    "from 5ms to 9ms verb-nak a p=1.5",
+    "from 5ms to 9ms degrade-nic a dma=0.5",
+    "at 5ms invalidate-mr backend0",             # missing region
+])
+def test_grammar_rejects(line):
+    with pytest.raises(ValueError):
+        parse_schedule(line)
+
+
+def test_programmatic_schedule_validates_on_add():
+    sched = FaultSchedule()
+    sched.add(CrashNode(at=ms(5), node="backend0"))
+    with pytest.raises(ValueError):
+        sched.add(CrashNode(at=-1, node="backend0"))
+    assert len(sched) == 1
+
+
+def test_horizon_and_describe():
+    assert FaultSchedule().horizon() == 0
+    assert FaultSchedule().describe() == "<empty>"
+    assert FaultSchedule().empty
+    sched = parse_schedule(
+        "at 100ms crash backend0\nfrom 50ms to 900ms verb-nak backend1 p=1.0")
+    assert sched.horizon() == ms(900)
+    assert "crash@" in sched.describe()
+    assert not sched.empty

@@ -1,0 +1,50 @@
+"""Fault plane -> telemetry: injected faults surface as alerts."""
+
+from repro.config import SimConfig
+from repro.experiments.common import deploy_rubis_cluster
+from repro.sim.units import ms
+from repro.telemetry import FaultRule, Severity, default_rules
+
+
+def test_default_rules_include_an_inert_fault_rule():
+    rules = default_rules()
+    fault_rules = [r for r in rules if isinstance(r, FaultRule)]
+    assert len(fault_rules) == 1
+    # Never sample-driven: evaluating it on metrics can't fire.
+    assert fault_rules[0].evaluate(0, 0, {"cpu_util": 1.0}) == (False, "")
+
+
+def test_deployed_fault_schedule_raises_and_clears_alerts():
+    cfg = SimConfig(num_backends=2, master_seed=5)
+    app = deploy_rubis_cluster(
+        cfg, scheme_name="rdma-sync", poll_interval=ms(20),
+        with_telemetry=True,
+        fault_schedule=(
+            "at 100ms hang backend0\n"
+            "at 300ms recover backend0\n"
+            "from 400ms to 600ms verb-nak backend1 p=0.5\n"
+        ),
+    )
+    app.run(ms(700))
+    log = [a for a in app.telemetry.engine.log if a.rule == "fault-injected"]
+    # Raise on apply, clear on recover/revoke, per targeted backend.
+    assert [(a.backend, a.cleared) for a in log] == [
+        (0, False), (0, True), (1, False), (1, True)]
+    raised = [a for a in log if not a.cleared]
+    assert all(a.severity is Severity.WARNING for a in raised)
+    assert "hang" in raised[0].message and "verb-nak" in raised[1].message
+    cleared = [a for a in log if a.cleared]
+    assert cleared[0].time >= ms(300) and cleared[1].time >= ms(600)
+    assert app.telemetry.engine.active_alerts() == []
+
+
+def test_cluster_wide_partition_never_raises_per_backend():
+    cfg = SimConfig(num_backends=2, master_seed=5)
+    app = deploy_rubis_cluster(
+        cfg, scheme_name="rdma-sync", poll_interval=ms(20),
+        with_telemetry=True,
+        fault_schedule="from 100ms to 300ms partition frontend | backend0 backend1",
+    )
+    app.run(ms(400))
+    assert app.sim.faults.stats()["applied"] == 1
+    assert [a for a in app.telemetry.engine.log if a.rule == "fault-injected"] == []

@@ -110,6 +110,46 @@ def test_heartbeat_distinguishes_hang_from_crash(cluster2):
     assert hb.healthy_backends() == []
 
 
+def test_recover_restores_packet_flow(cluster2):
+    """Node.recover() undoes both failure modes (regression: it used to
+    not exist, so a failed node could never rejoin the cluster)."""
+    be = cluster2.backends[0]
+    be.fail("crashed")
+    cluster2.run(ms(10))
+    be.recover()
+    progress = []
+
+    def worker(k):
+        while True:
+            yield k.compute(us(500))
+            progress.append(k.now)
+
+    be.spawn("worker", worker)
+    cluster2.run(ms(50))
+    assert progress  # CPUs schedule again
+    # Recovering a healthy node is a harmless no-op.
+    events_before = cluster2.env.processed_events
+    cluster2.frontend.recover()
+    cluster2.run(cluster2.env.now + ms(1))
+    assert cluster2.frontend.failure_mode == "up"
+    assert cluster2.env.processed_events > events_before  # still ticking
+
+
+def test_heartbeat_readmits_after_recover(cluster2):
+    hb = HeartbeatMonitor(cluster2, interval=ms(20), hung_after=2)
+    cluster2.run(ms(100))
+    cluster2.backends[0].fail("hung")
+    cluster2.run(ms(500))
+    assert hb.state[0] is NodeHealth.HUNG
+    assert hb.quarantined() == [0]
+    cluster2.backends[0].recover()
+    cluster2.run(ms(1000))
+    assert hb.state[0] is NodeHealth.ALIVE
+    assert hb.quarantined() == []
+    states = [t.state for t in hb.transitions if t.backend == 0]
+    assert states == [NodeHealth.HUNG, NodeHealth.ALIVE]
+
+
 def test_heartbeat_validation(cluster2):
     with pytest.raises(ValueError):
         HeartbeatMonitor(cluster2, interval=0)

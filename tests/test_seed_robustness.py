@@ -59,6 +59,25 @@ def test_socket_latency_load_dependent_under_any_seed(seed):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_hang_robustness_ordering_under_any_seed(seed):
+    """RDMA survives a hung back-end, sockets don't — under any seed."""
+    from repro.experiments.fault_matrix import run_cell
+
+    rdma = run_cell("rdma-sync", "hang", seed=seed, fault_at=ms(200),
+                    fault_until=ms(500), duration=ms(700))
+    sock = run_cell("socket-sync", "hang", seed=seed, fault_at=ms(200),
+                    fault_until=ms(500), duration=ms(700))
+    rdma_during = rdma["phases"]["during"]
+    sock_during = sock["phases"]["during"]
+    assert rdma_during["failed"] == 0, rdma_during
+    assert rdma_during["max_staleness_ms"] < 20, rdma_during
+    assert sock_during["ok"] == 0 and sock_during["failed"] > 0, sock_during
+    # And the heartbeat diagnosed the hang under both seeds.
+    assert rdma["heartbeat"]["detected_ms"] is not None
+    assert rdma["heartbeat"]["final_state"] == "alive"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_rubis_scheme_ordering_under_any_seed(seed):
     """rdma-sync ≥ socket-async on throughput at saturation, any seed."""
     tputs = {}
