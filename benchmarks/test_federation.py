@@ -1,0 +1,77 @@
+"""Benchmark: flat vs federated monitoring fabric at production scale.
+
+Runs :mod:`repro.experiments.federation_scale` (N = 8 … 512, 1 ms poll
+period) and checks the headline scaling claim of the federation plane:
+
+* the flat front-end's RDMA-read round grows ~linearly with N and
+  overruns the poll period at N=256, while
+* the two-level fabric's worst tier (leaf shard round or root
+  aggregation round) stays within half the period — sustained
+  fine-grained monitoring with headroom — and its merged per-node
+  view stays ~one period fresh end-to-end.
+
+Also emits ``results/BENCH_federation.json`` — the machine-readable
+baseline for the federated fabric's round times over cluster size.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import federation_scale
+
+#: guard band: the worst federated tier must stay within half the period
+GUARD_BAND = 0.5
+
+
+def test_federation_scale(benchmark, record, results_dir):
+    result = run_once(benchmark, lambda: federation_scale.run())
+    record("federation", format_series(
+        "backends", result.xs, result.series,
+        title="Federation — flat vs two-level fabric (1 ms period)",
+    ) + "\n\n" + result.notes)
+
+    baseline = {
+        "experiment": result.name,
+        "params": result.params,
+        "xs": result.xs,
+        "series": result.series,
+    }
+    (results_dir / "BENCH_federation.json").write_text(
+        json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+
+    interval_us = result.params["interval"] / 1000.0
+    sizes = list(result.xs)
+    flat = result.series["flat_round_us"]
+    leaf = result.series["fed_leaf_round_us"]
+    root = result.series["fed_root_round_us"]
+
+    # Flat rounds grow monotonically with N ...
+    assert all(b > a for a, b in zip(flat, flat[1:])), flat
+    # ... and by N=256 the flat poller can no longer hold the period.
+    i256 = sizes.index(256)
+    assert flat[i256] > interval_us, (flat[i256], interval_us)
+    assert result.series["flat_overrun"][i256] == 1.0
+
+    # The federated fabric sustains the period with headroom at every
+    # size — worst tier within the guard band, zero overrun rounds.
+    for i, n in enumerate(sizes):
+        worst = max(leaf[i], root[i])
+        assert worst <= GUARD_BAND * interval_us, (n, worst, interval_us)
+        assert result.series["fed_overrun"][i] == 0.0, n
+
+    # Both tiers scale ~sqrt(N): across the whole sweep (64x in N) each
+    # tier's round may grow at most ~sqrt(64)=8x (plus slack for the
+    # fixed per-round floor), while the flat round grows near-linearly.
+    size_ratio = sizes[-1] / sizes[0]
+    sqrt_budget = 1.5 * size_ratio ** 0.5
+    assert leaf[-1] / leaf[0] < sqrt_budget, (leaf, sqrt_budget)
+    assert root[-1] / root[0] < sqrt_budget, (root, sqrt_budget)
+    assert flat[-1] / flat[0] > 0.5 * size_ratio, (flat, size_ratio)
+
+    # End-to-end freshness: the merged view's p95 staleness stays within
+    # two periods (collection -> leaf publish -> root read).
+    for i, n in enumerate(sizes):
+        p95_us = result.series["fed_staleness_p95_ms"][i] * 1000.0
+        assert p95_us < 2 * interval_us, (n, p95_us)

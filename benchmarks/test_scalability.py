@@ -18,6 +18,8 @@ def test_scalability(benchmark, record):
         {
             "socket poll round (µs)": result.series["socket_round_us"],
             "rdma poll round (µs)": result.series["rdma_round_us"],
+            "federated root round (µs)": result.series["fed_root_round_us"],
+            "gmetad round (µs)": result.series["gmetad_round_us"],
         },
         title="Poll-round time vs cluster size (log y)",
         log_y=True,
@@ -39,3 +41,9 @@ def test_scalability(benchmark, record):
     assert fe_irq[-1] > 1.5 * fe_irq[0]
     # RDMA polling costs the back-ends nothing, ever.
     assert all(v == 0.0 for v in result.series["rdma_backend_monitor_cpu_pct"])
+    # The federated fabric grows slower than the flat RDMA round and is
+    # just as free for the back-ends; gmetad pays gmond CPU everywhere.
+    fed_root = result.series["fed_root_round_us"]
+    assert fed_root[-1] / fed_root[0] < rdma[-1] / rdma[0]
+    assert all(v == 0.0 for v in result.series["fed_backend_monitor_cpu_pct"])
+    assert all(v > 0.0 for v in result.series["gmetad_backend_monitor_cpu_pct"])

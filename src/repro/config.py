@@ -185,6 +185,44 @@ class MonitorConfig:
 
 
 @dataclass
+class FederationConfig:
+    """Hierarchical sharded monitoring (see :mod:`repro.federation`).
+
+    Default-off: with ``enabled=False`` nothing in the federation
+    package is constructed and every historical run stays byte-identical
+    (property-tested, like the faults plane).
+    """
+
+    #: master switch for the two-level monitoring fabric
+    enabled: bool = False
+    #: number of shards (leaf monitors); 0 = auto, ceil(sqrt(N))
+    num_shards: int = 0
+    #: scheme each leaf runs over its shard (any registered name)
+    scheme: str = "rdma-sync"
+    #: leaf poll period over shard members; 0 = cfg.monitor.interval
+    leaf_interval: int = 0
+    #: root aggregation period (RDMA-reads every leaf snapshot MR);
+    #: 0 = the leaf interval
+    root_interval: int = 0
+    #: exported snapshot MR sizing: fixed header + per-node record
+    snapshot_base_bytes: int = 64
+    snapshot_bytes_per_node: int = 96
+    #: per-metric merge-digest compression at the leaves (the merged
+    #: global rank error is bounded by 2 x 3/compression — FEDERATION.md)
+    digest_compression: int = 64
+    #: re-split shards over the surviving members when the fault plane /
+    #: heartbeat quarantines a back-end (False: quarantine only shrinks
+    #: the afflicted shard's polled set)
+    rebalance_on_quarantine: bool = True
+    #: leaf CPU to fold a shard round into the mergeable snapshot
+    merge_cost: int = 3 * US
+    #: leaf CPU to serialise + write the snapshot into its exported MR
+    publish_cost: int = 1 * US
+    #: root CPU to merge one shard snapshot into the global view
+    root_merge_cost: int = 2 * US
+
+
+@dataclass
 class TracingConfig:
     """Causal span-tracing parameters (see :mod:`repro.tracing`)."""
 
@@ -215,6 +253,7 @@ class SimConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    federation: FederationConfig = field(default_factory=FederationConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
         """Shallow functional update of top-level fields."""
@@ -252,6 +291,19 @@ class SimConfig:
             raise ValueError("tracing sample_rate must be in [0, 1]")
         if self.tracing.max_spans < 1:
             raise ValueError("tracing max_spans must be >= 1")
+        fed = self.federation
+        if fed.num_shards < 0:
+            raise ValueError("federation num_shards must be >= 0 (0 = auto)")
+        if fed.num_shards > self.num_backends:
+            raise ValueError("federation num_shards must not exceed num_backends")
+        if fed.leaf_interval < 0 or fed.root_interval < 0:
+            raise ValueError("federation intervals must be >= 0 (0 = default)")
+        if fed.snapshot_base_bytes <= 0 or fed.snapshot_bytes_per_node <= 0:
+            raise ValueError("federation snapshot sizes must be positive")
+        if fed.digest_compression < 8:
+            raise ValueError("federation digest_compression must be >= 8")
+        if min(fed.merge_cost, fed.publish_cost, fed.root_merge_cost) < 0:
+            raise ValueError("federation costs must be >= 0")
 
 
 #: default polling interval alias used across experiments
@@ -260,6 +312,7 @@ DEFAULT_POLL_INTERVAL = 50 * MS
 __all__ = [
     "CpuConfig",
     "DEFAULT_POLL_INTERVAL",
+    "FederationConfig",
     "IrqConfig",
     "MonitorConfig",
     "NetConfig",

@@ -15,12 +15,13 @@ from typing import Dict, List, Optional
 
 from repro.config import SimConfig
 from repro.faults import FaultPlane, FaultSchedule, parse_schedule
+from repro.federation import Federation, deploy_federation
 from repro.hw.cluster import ClusterSim, build_cluster
 from repro.monitoring import FrontendMonitor, MonitoringScheme, create_scheme
 from repro.monitoring.heartbeat import HeartbeatMonitor
 from repro.server.admission import AdmissionController
 from repro.server.dispatcher import Dispatcher
-from repro.server.loadbalancer import LeastLoadedBalancer
+from repro.server.loadbalancer import LeastLoadedBalancer, TwoLevelBalancer
 from repro.server.webserver import BackendServer
 from repro.telemetry.pipeline import TelemetryPipeline
 
@@ -57,6 +58,7 @@ class RubisCluster:
     telemetry: Optional[TelemetryPipeline] = None
     faults: Optional[FaultPlane] = None
     heartbeat: Optional[HeartbeatMonitor] = None
+    federation: Optional[Federation] = None
 
     def run(self, until: int) -> None:
         self.sim.run(until)
@@ -101,6 +103,12 @@ def deploy_rubis_cluster(
     :class:`~repro.monitoring.heartbeat.HeartbeatMonitor` and gives the
     dispatcher health-aware failover (quarantine + re-admit on
     recovery).
+
+    When ``cfg.federation.enabled`` the two-level monitoring fabric is
+    deployed (see :mod:`repro.federation`): the flat front-end poller is
+    built but left idle, the dispatcher consults the federated root's
+    merged view, and routing goes through the shard-then-node
+    :class:`~repro.server.loadbalancer.TwoLevelBalancer`.
     """
     cfg = cfg if cfg is not None else SimConfig()
     if with_tracing:
@@ -115,9 +123,14 @@ def deploy_rubis_cluster(
     for server in servers:
         server.start()
 
+    federated = cfg.federation.enabled
     scheme = create_scheme(scheme_name, sim, interval=poll_interval)
     monitor = FrontendMonitor(scheme)
-    monitor.start()
+    if not federated:
+        # With federation on, the flat front-end poller stays idle (its
+        # O(N) fan-out is exactly what the two-level fabric replaces);
+        # the deployed scheme remains available for direct queries.
+        monitor.start()
 
     telemetry = None
     if with_telemetry or alert_shedding:
@@ -143,11 +156,25 @@ def deploy_rubis_cluster(
         if telemetry is not None:
             telemetry.attach_heartbeat(heartbeat)
 
-    balancer = LeastLoadedBalancer(
-        num_backends=len(servers),
-        use_irq_pressure=(scheme_name == "e-rdma-sync"),
-        rng=sim.rng.stream("loadbalancer"),
-    )
+    federation = None
+    if federated:
+        federation = deploy_federation(sim, scheme_name=scheme_name,
+                                       heartbeat=heartbeat)
+        if telemetry is not None:
+            telemetry.attach_federation(federation)
+
+    if federation is not None:
+        balancer = TwoLevelBalancer(
+            federation.topology,
+            use_irq_pressure=(scheme_name == "e-rdma-sync"),
+            rng=sim.rng.stream("loadbalancer"),
+        )
+    else:
+        balancer = LeastLoadedBalancer(
+            num_backends=len(servers),
+            use_irq_pressure=(scheme_name == "e-rdma-sync"),
+            rng=sim.rng.stream("loadbalancer"),
+        )
     balancer.tracer = sim.spans
     balancer.trace_node = sim.frontend.name
     admission = None
@@ -161,7 +188,9 @@ def deploy_rubis_cluster(
         admission.tracer = sim.spans
         admission.trace_node = sim.frontend.name
     dispatcher = Dispatcher(
-        sim.frontend, servers, balancer, monitor=monitor, admission=admission,
+        sim.frontend, servers, balancer,
+        monitor=(federation.root if federation is not None else monitor),
+        admission=admission,
         health=heartbeat,
         telemetry=(telemetry if alert_shedding else None),
     )
@@ -177,4 +206,5 @@ def deploy_rubis_cluster(
         telemetry=telemetry,
         faults=faults,
         heartbeat=heartbeat,
+        federation=federation,
     )

@@ -18,6 +18,7 @@ import time
 
 from repro.analysis.report import format_series, format_table
 from repro.experiments import (
+    federation_scale,
     fig3_latency,
     fig4_granularity,
     fig5_accuracy,
@@ -79,9 +80,14 @@ RUNNERS = {
                              granularities_ms=(64, 256, 1024, 4096) if full else (64, 1024)),
         "granularity_ms", "Figure 9 — throughput vs granularity (rps)"),
     "scalability": lambda full: _render_series(
-        scalability.run(sizes=(2, 4, 8, 16) if full else (2, 8),
+        scalability.run(sizes=scalability.DEFAULT_SIZES if full else (2, 8),
                         duration=(3 if full else 2) * SECOND),
         "backends", "Scalability — monitoring fabric vs cluster size"),
+    "federation": lambda full: _render_series(
+        federation_scale.run(
+            sizes=federation_scale.DEFAULT_SIZES if full else (8, 32),
+            duration=(250 if full else 120) * MILLISECOND),
+        "backends", "Federation — flat vs two-level monitoring fabric"),
 }
 
 

@@ -138,6 +138,26 @@ class FaultPlane:
         self._backend_index = {be.name: i for i, be in enumerate(sim.backends)}
 
     # ------------------------------------------------------------------
+    def subscribe(self, fn: Callable[[FaultRecord], None]) -> "FaultPlane":
+        """Add an ``on_event`` listener, preserving any existing one.
+
+        The multi-consumer form of the hook: telemetry, the federation
+        topology's quarantine driver and experiment probes can all
+        listen without clobbering each other (same chaining discipline
+        as the telemetry pipeline's ``attach`` helpers).
+        """
+        previous = self.on_event
+        if previous is None:
+            self.on_event = fn
+        else:
+            def chained(record: FaultRecord) -> None:
+                previous(record)
+                fn(record)
+
+            self.on_event = chained
+        return self
+
+    # ------------------------------------------------------------------
     def install(self) -> "FaultPlane":
         """Hook into the fabric; start the driver iff faults are scheduled."""
         if self._installed:

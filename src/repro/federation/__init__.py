@@ -1,0 +1,41 @@
+"""repro.federation — hierarchical sharded monitoring fabric.
+
+Scales the paper's single front-end monitor past its 8-node testbed:
+a deterministic sharding layer (:mod:`~repro.federation.topology`),
+per-shard leaf monitors with batched RDMA fan-out
+(:mod:`~repro.federation.leaf`), mergeable epoch snapshots
+(:mod:`~repro.federation.snapshot`), and a root aggregator that
+RDMA-reads each leaf's exported snapshot region
+(:mod:`~repro.federation.aggregator`). Default-off via
+``cfg.federation.enabled`` — see docs/FEDERATION.md.
+"""
+
+from repro.federation.aggregator import (
+    FederatedMonitor,
+    Federation,
+    deploy_federation,
+)
+from repro.federation.leaf import LeafMonitor, ShardView
+from repro.federation.snapshot import (
+    SNAPSHOT_METRICS,
+    ShardSnapshot,
+    merge_digest_states,
+    pack_info,
+    unpack_info,
+)
+from repro.federation.topology import ShardTopology, auto_shard_count
+
+__all__ = [
+    "SNAPSHOT_METRICS",
+    "FederatedMonitor",
+    "Federation",
+    "LeafMonitor",
+    "ShardSnapshot",
+    "ShardTopology",
+    "ShardView",
+    "auto_shard_count",
+    "deploy_federation",
+    "merge_digest_states",
+    "pack_info",
+    "unpack_info",
+]

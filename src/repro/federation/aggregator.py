@@ -1,0 +1,271 @@
+"""The aggregation tier: root monitor + federation deployer.
+
+The :class:`FederatedMonitor` runs on the front-end and RDMA-reads each
+leaf's exported snapshot region every root period — the paper's
+one-sided principle applied recursively: no leaf CPU is involved in
+answering, so the root's round time is NIC + fabric only, over
+``num_shards`` reads instead of N. Merged shard views land in
+``latest`` (keyed by global back-end index), which duck-types the
+:class:`~repro.monitoring.frontend.FrontendMonitor` cache the
+dispatcher and balancers already consult.
+
+:func:`deploy_federation` builds the whole fabric on an existing
+cluster: leaf nodes attached to the fabric, one
+:class:`~repro.federation.leaf.LeafMonitor` per shard, the root, and
+the quarantine wiring (fault plane + heartbeat → topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.federation.leaf import LeafMonitor
+from repro.federation.snapshot import ShardSnapshot, merge_digest_states
+from repro.federation.topology import ShardTopology
+from repro.hw.node import Node
+from repro.monitoring.loadinfo import LoadInfo
+from repro.monitoring.registry import scheme_class
+from repro.telemetry.digest import StreamingDigest
+from repro.transport.verbs import connect_qp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+    from repro.kernel.task import Task
+
+
+class FederatedMonitor:
+    """Root aggregator: one-sided reads of every leaf's snapshot MR."""
+
+    def __init__(
+        self,
+        sim: "ClusterSim",
+        topology: ShardTopology,
+        leaves: List[LeafMonitor],
+        interval: Optional[int] = None,
+        name: str = "fed-root",
+    ) -> None:
+        if not leaves:
+            raise ValueError("federated monitor needs at least one leaf")
+        fed = sim.cfg.federation
+        self.sim = sim
+        self.topology = topology
+        self.leaves = leaves
+        self.frontend = sim.frontend
+        if interval is None:
+            interval = (fed.root_interval or fed.leaf_interval
+                        or sim.cfg.monitor.interval)
+        if interval <= 0:
+            raise ValueError("root interval must be positive")
+        self.interval = interval
+        self.name = name
+        self._qps = [connect_qp(sim.frontend, leaf.node)[0] for leaf in leaves]
+        #: the merged global view — FrontendMonitor-cache compatible
+        self.latest: Dict[int, LoadInfo] = {}
+        #: freshest snapshot + leaf epoch per shard
+        self.shard_snapshots: Dict[int, ShardSnapshot] = {}
+        self.shard_epochs: Dict[int, int] = {}
+        #: merged global per-metric digests (rebuilt each root round)
+        self.digests: Dict[str, StreamingDigest] = {}
+        #: root merge-round counter (the global view's epoch stamp)
+        self.epoch = 0
+        self.polls = 0
+        #: per-round wall time (fan-out reads + merges), ns
+        self.rounds: List[int] = []
+        self.read_failures = 0
+        #: fired once per merge round with ``(epoch, latest)`` — the
+        #: telemetry shard-rollup hook (chain, don't replace)
+        self.round_observer = None
+        self._stopped = False
+        self._task: Optional["Task"] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Task":
+        if self._task is not None:
+            raise RuntimeError("federated monitor already started")
+        self._task = self.frontend.spawn(self.name, self._body)
+        return self._task
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # FrontendMonitor cache parity --------------------------------------
+    def load_of(self, backend_index: int) -> Optional[LoadInfo]:
+        return self.latest.get(backend_index)
+
+    def snapshot(self) -> Dict[int, LoadInfo]:
+        return dict(self.latest)
+
+    # ------------------------------------------------------------------
+    def _body(self, k):
+        net = self.sim.cfg.net
+        fed = self.sim.cfg.federation
+        spans = self.sim.spans
+        while not self._stopped:
+            t0 = k.now
+            span = None
+            if spans is not None and spans.enabled:
+                span = spans.start_trace(
+                    "fed.aggregate", node=self.frontend.name,
+                    component="federation", attrs={"shards": len(self.leaves)})
+            # Batched fan-out, like a leaf's shard round: post every
+            # snapshot read, ring the doorbell once, then drain.
+            events = [
+                qp._post_read(leaf.mr.rkey, leaf.mr.nbytes, ctx=span)
+                for qp, leaf in zip(self._qps, self.leaves)
+            ]
+            yield k.compute(net.doorbell_cost)
+            snaps: List[ShardSnapshot] = []
+            for ev in events:
+                wc = yield k.wait(ev)
+                if wc.ok:
+                    # Re-stamp delivery with the root's read instant so
+                    # staleness accumulates across both hops.
+                    snaps.append(ShardSnapshot.unpack(wc.value, received_at=k.now))
+                else:
+                    self.read_failures += 1
+            for snap in snaps:
+                yield k.compute(fed.root_merge_cost)
+                self.shard_snapshots[snap.shard] = snap
+                self.shard_epochs[snap.shard] = snap.epoch
+                for g, info in snap.nodes.items():
+                    self.latest[g] = info
+            # Quarantined members linger in old snapshots; keep the
+            # serving view to what the topology considers routable.
+            for b in list(self.latest):
+                if b in self.topology.quarantined:
+                    del self.latest[b]
+            self._rebuild_digests()
+            self.epoch += 1
+            self.polls += 1
+            self.rounds.append(k.now - t0)
+            if span is not None:
+                spans.end(span, attrs={"epoch": self.epoch,
+                                       "merged": len(snaps)})
+            if self.round_observer is not None:
+                self.round_observer(self.epoch, dict(self.latest))
+            yield k.sleep(self.interval)
+
+    def _rebuild_digests(self) -> None:
+        states: Dict[str, list] = {}
+        for snap in self.shard_snapshots.values():
+            for metric, state in snap.digests.items():
+                states.setdefault(metric, []).append(state)
+        self.digests = {
+            metric: merged
+            for metric, sts in states.items()
+            if (merged := merge_digest_states(sts)) is not None
+        }
+
+    # ------------------------------------------------------------------
+    def max_epoch_lag(self) -> int:
+        """Largest gap between any two shard epochs in the merged view."""
+        if not self.shard_epochs:
+            return 0
+        return max(self.shard_epochs.values()) - min(self.shard_epochs.values())
+
+
+@dataclass
+class Federation:
+    """Handles for one deployed two-level monitoring fabric."""
+
+    sim: "ClusterSim"
+    topology: ShardTopology
+    leaves: List[LeafMonitor]
+    root: FederatedMonitor
+    leaf_nodes: List[Node] = field(default_factory=list)
+
+    def stop(self) -> None:
+        for leaf in self.leaves:
+            leaf.stop()
+        self.root.stop()
+
+    # quarantine wiring -------------------------------------------------
+    def on_fault(self, record) -> None:
+        """Fault-plane listener: crash/hang quarantines, recover releases."""
+        if record.backend < 0 or record.kind not in ("crash", "hang", "recover"):
+            return
+        if record.kind in ("crash", "hang") and record.active:
+            self.topology.quarantine(record.backend)
+        else:
+            self.topology.release(record.backend)
+
+    def on_health(self, record) -> None:
+        """Heartbeat listener: HUNG/DEAD quarantines, ALIVE releases."""
+        from repro.monitoring.heartbeat import NodeHealth
+
+        if record.state is NodeHealth.ALIVE:
+            self.topology.release(record.backend)
+        else:
+            self.topology.quarantine(record.backend)
+
+    def attach_faults(self, plane) -> "Federation":
+        """Subscribe quarantine handling to a fault plane."""
+        plane.subscribe(self.on_fault)
+        return self
+
+    def attach_heartbeat(self, heartbeat) -> "Federation":
+        """Chain quarantine handling onto a heartbeat monitor."""
+        previous = heartbeat.observer
+
+        def observer(record) -> None:
+            if previous is not None:
+                previous(record)
+            self.on_health(record)
+
+        heartbeat.observer = observer
+        return self
+
+
+def deploy_federation(
+    sim: "ClusterSim",
+    scheme_name: Optional[str] = None,
+    heartbeat=None,
+    num_shards: Optional[int] = None,
+) -> Federation:
+    """Build the two-level monitoring fabric on a built cluster.
+
+    Creates one leaf node per shard (attached to the same fabric,
+    booted, span-traced), deploys a :class:`LeafMonitor` per shard and
+    the root :class:`FederatedMonitor`, starts everything, and — when a
+    fault plane is already installed or a heartbeat monitor is passed —
+    wires quarantine-driven rebalancing. Install the fault plane
+    *before* calling this (or use :meth:`Federation.attach_faults`).
+    """
+    fed = sim.cfg.federation
+    name = scheme_name if scheme_name is not None else fed.scheme
+    cls = scheme_class(name)
+    # Rebalancing migrates members between shards, which only a scheme
+    # deployable over the whole cluster without per-member back-end
+    # state can follow; others pin the static assignment.
+    can_rebalance = (fed.rebalance_on_quarantine and cls.one_sided
+                     and cls.backend_threads == 0)
+    topology = ShardTopology(
+        len(sim.backends),
+        num_shards if num_shards is not None else fed.num_shards,
+        rebalance_on_quarantine=can_rebalance,
+    )
+    leaf_nodes: List[Node] = []
+    base_index = sim.cfg.num_backends + 2  # after frontend/backends/clients
+    for j in range(topology.num_shards):
+        node = Node(sim.env, sim.cfg, f"leaf{j}", base_index + j, tracer=sim.tracer)
+        sim.fabric.attach(node.nic)
+        node.span_tracer = sim.spans
+        node.boot()
+        leaf_nodes.append(node)
+    leaves = [
+        LeafMonitor(sim, topology, j, leaf_nodes[j], scheme_name=name)
+        for j in range(topology.num_shards)
+    ]
+    root = FederatedMonitor(sim, topology, leaves)
+    for leaf in leaves:
+        leaf.start()
+    root.start()
+    federation = Federation(sim=sim, topology=topology, leaves=leaves,
+                            root=root, leaf_nodes=leaf_nodes)
+    faults = getattr(sim, "faults", None)
+    if faults is not None:
+        federation.attach_faults(faults)
+    if heartbeat is not None:
+        federation.attach_heartbeat(heartbeat)
+    return federation

@@ -35,6 +35,9 @@ class Gmetad:
         self.interval = interval
         self.store = MetricStore()
         self.polls = 0
+        #: per-poll wall time (request → parsed response), ns — the
+        #: hierarchical-baseline series the scalability sweep plots
+        self.round_times: List[int] = []
         self._stopped = False
         # One persistent connection to the first gmond's node (the
         # "data source" in gmetad.conf).
@@ -67,9 +70,11 @@ class Gmetad:
 
     def _poller_body(self, k):
         while not self._stopped:
+            t0 = k.now
             yield from self._fe_end.send(k, "dump", self.REQUEST_BYTES)
             snapshot = yield from self._fe_end.recv(k)
             for record in snapshot:
                 self.store.update(record)
             self.polls += 1
+            self.round_times.append(k.now - t0)
             yield k.sleep(self.interval)

@@ -105,6 +105,19 @@ class MonitoringScheme(abc.ABC):
             out[i] = yield from self.query(k, i)
         return out
 
+    def query_many(self, k: "TaskContext", indices) -> Generator:
+        """Poll a subset of back-ends; returns {index: LoadInfo}.
+
+        The federation leaf monitors poll per-shard subsets through
+        this. Default: sequential queries, like :meth:`query_all`.
+        Schemes whose transport can batch a fan-out (RDMA-Sync posts
+        every WQE then rings one doorbell) override it.
+        """
+        out: Dict[int, LoadInfo] = {}
+        for i in indices:
+            out[i] = yield from self.query(k, i)
+        return out
+
     def stop(self) -> None:
         """Ask back-end threads (if any) to exit at their next wakeup."""
         self._stopped = True

@@ -41,6 +41,12 @@ class FrontendMonitor:
         if self.interval <= 0:
             raise ValueError("poll interval must be positive")
         self.observer = observer
+        #: fired once per completed poll round with ``(epoch, infos)`` —
+        #: the federation / telemetry shard-rollup hook (chain, don't
+        #: replace, like ``observer``)
+        self.round_observer: Optional[Callable[[int, Dict[int, LoadInfo]], None]] = None
+        #: monotonic poll-round counter (stamps mergeable snapshots)
+        self.epoch = 0
         self.name = name
         if history_limit is None:
             history_limit = getattr(self.sim.cfg.monitor, "history_limit", 0)
@@ -76,6 +82,9 @@ class FrontendMonitor:
             self.polls += 1
             for i, info in infos.items():
                 self._record(i, info)
+            self.epoch += 1
+            if self.round_observer is not None:
+                self.round_observer(self.epoch, infos)
             yield k.sleep(self.interval)
 
     def _record(self, i: int, info: LoadInfo) -> None:

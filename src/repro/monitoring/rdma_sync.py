@@ -95,6 +95,55 @@ class RdmaSyncScheme(MonitoringScheme):
         return self._record(backend_index, issued, info, span=span,
                             attempts=attempts)
 
+    def query_many(self, k: "TaskContext", indices) -> Generator:
+        """Batched shard fan-out: post every WQE, ring ONE doorbell.
+
+        The federation leaf path. Unlike :meth:`query_all` (which pays
+        a doorbell per back-end, the historical front-end behaviour,
+        kept byte-identical), a leaf posts the whole shard's read WQEs
+        to its send queues and rings the doorbell once — the HCA then
+        fetches and services them without further CPU help, so a shard
+        round costs one doorbell + overlapped wire time.
+        """
+        indices = list(indices)
+        if self.policy.enabled or not indices:
+            out = yield from MonitoringScheme.query_many(self, k, indices)
+            return out
+        net = self.sim.cfg.net
+        mon = self.sim.cfg.monitor
+        issued = k.now
+        spans = {i: self._probe_span(i) for i in indices}
+        load_events = [
+            self._qps[i]._post_read(self._load_mrs[i].rkey,
+                                    self._load_mrs[i].nbytes, ctx=spans[i])
+            for i in indices
+        ]
+        irq_events = {}
+        if self.read_irq_stat:
+            irq_events = {
+                i: self._qps[i]._post_read(self._irq_mrs[i].rkey,
+                                           self._irq_mrs[i].nbytes, ctx=spans[i])
+                for i in indices
+            }
+        yield k.compute(net.doorbell_cost)
+        out: Dict[int, LoadInfo] = {}
+        for i, ev in zip(indices, load_events):
+            wc = yield k.wait(ev)
+            irq = None
+            if self.read_irq_stat:
+                wc_irq = yield k.wait(irq_events[i])
+                if not wc_irq.ok:
+                    out[i] = self._record_failure(i, issued, span=spans[i])
+                    continue
+                irq = wc_irq.value
+            if not wc.ok:
+                out[i] = self._record_failure(i, issued, span=spans[i])
+                continue
+            yield k.compute(mon.compose_cost)
+            out[i] = self._record(i, issued, self._calcs[i].compute(wc.value, irq),
+                                  span=spans[i])
+        return out
+
     def query_all(self, k: "TaskContext") -> Generator:
         if self.policy.enabled:
             # Bounded probes: fall back to sequential per-backend queries

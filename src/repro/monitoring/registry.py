@@ -37,6 +37,21 @@ CORE_SCHEME_NAMES = SCHEME_NAMES[:4]
 ALL_SCHEME_NAMES = [*SCHEME_NAMES, "rdma-write-push"]
 
 
+def scheme_class(name: str) -> Type[MonitoringScheme]:
+    """The registered class for a scheme name (no instantiation).
+
+    Lets deployers inspect class traits (``one_sided``,
+    ``backend_threads``) before building — the federation uses this to
+    decide how widely a leaf's scheme can safely be deployed.
+    """
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(_SCHEMES)}"
+        ) from None
+
+
 def create_scheme(
     name: str,
     sim: "ClusterSim",

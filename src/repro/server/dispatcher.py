@@ -69,6 +69,9 @@ class Dispatcher:
         self.inbox: Store = Store(frontend.env, name="dispatcher-inbox")
         self.stats = RequestStats()
         self.forwarded = 0
+        #: monitoring-view epoch the latest routing decision consulted
+        #: (None until a federated / epoch-stamped monitor reports)
+        self.last_view_epoch: Optional[int] = None
         self._tasks: List["Task"] = []
         self._stopped = False
 
@@ -86,8 +89,18 @@ class Dispatcher:
 
     # ------------------------------------------------------------------
     def _loads(self) -> Dict[int, "object"]:
+        """The monitoring cache consulted for the next decision.
+
+        Duck-typed: a flat :class:`FrontendMonitor` and a federated
+        :class:`~repro.federation.aggregator.FederatedMonitor` both
+        expose ``latest`` (global back-end index → LoadInfo) and an
+        ``epoch`` stamp, which is recorded for view-age diagnostics.
+        """
         if self.monitor is None:
             return {}
+        epoch = getattr(self.monitor, "epoch", None)
+        if epoch is not None:
+            self.last_view_epoch = epoch
         return self.monitor.latest
 
     def _body(self, k):

@@ -179,6 +179,76 @@ class LeastLoadedBalancer:
             self.assigned[backend] = max(0, self.assigned[backend] - 1)
 
 
+class TwoLevelBalancer(LeastLoadedBalancer):
+    """Shard-then-node selection over a federated monitoring view.
+
+    Stage 1 picks a shard in proportion to its *aggregate* headroom
+    (the sum of its members' headroom weights); stage 2 picks a node
+    within the shard in proportion to individual headroom. The product
+    of the two proportional draws preserves the flat balancer's
+    marginal distribution over nodes, while the decision consults the
+    current :class:`~repro.federation.topology.ShardTopology` — so
+    quarantine-driven rebalances immediately reshape routing.
+    """
+
+    def __init__(
+        self,
+        topology,
+        weights: Optional[LoadWeights] = None,
+        use_irq_pressure: bool = False,
+        rng=None,
+    ) -> None:
+        super().__init__(topology.num_backends, weights=weights,
+                         use_irq_pressure=use_irq_pressure, rng=rng)
+        self.topology = topology
+        #: stage-1 pick counts per shard (diagnostics)
+        self.shard_picks: List[int] = [0] * topology.num_shards
+
+    def choose(self, loads: Dict[int, LoadInfo],
+               exclude: Optional[Sequence[int]] = None) -> int:
+        excluded = set(exclude) if exclude else set()
+        if len(excluded) >= self.num_backends:
+            excluded = set()
+        if not loads:
+            return super().choose(loads, exclude)
+        weights = self.server_weights(loads)
+        for i in excluded:
+            if 0 <= i < self.num_backends:
+                weights[i] = 0.0
+        shard_members = [
+            [g for g in self.topology.members(j) if weights[g] > 0.0]
+            for j in range(self.topology.num_shards)
+        ]
+        shard_weights = [
+            sum(weights[g] for g in members) for members in shard_members
+        ]
+        total = sum(shard_weights)
+        if total <= 0.0:
+            # every routable member excluded/empty: flat fallback
+            return super().choose(loads, exclude)
+        pick = self.rng.random() * total
+        shard = self.topology.num_shards - 1
+        acc = 0.0
+        for j, w in enumerate(shard_weights):
+            acc += w
+            if w > 0.0 and pick <= acc:
+                shard = j
+                break
+        self.shard_picks[shard] += 1
+        members = shard_members[shard]
+        subtotal = sum(weights[g] for g in members)
+        pick = self.rng.random() * subtotal
+        acc = 0.0
+        for g in members:
+            acc += weights[g]
+            if pick <= acc:
+                self._trace_pick(g)
+                return g
+        choice = members[-1]  # pragma: no cover - fp guard
+        self._trace_pick(choice)
+        return choice
+
+
 class RoundRobinBalancer:
     """Monitoring-free baseline: strict rotation."""
 

@@ -136,6 +136,44 @@ class QuantileDigest:
                 new_wts.append(w)
         self._vals, self._wts = new_vals, new_wts
 
+    def merge(self, other: "QuantileDigest") -> "QuantileDigest":
+        """Fold ``other``'s centroids into this digest (in place).
+
+        Each incoming centroid is inserted at its sorted position with
+        its weight intact, then the usual compaction cap applies. A
+        single merge therefore adds at most one compaction's worth of
+        rank error on top of each input's own bound: a two-level
+        merge (shards → global) stays within ``2 · 3/compression`` of
+        the exact combined-stream quantiles (see docs/FEDERATION.md).
+        """
+        for v, w in zip(other._vals, other._wts):
+            i = bisect.bisect_left(self._vals, v)
+            self._vals.insert(i, v)
+            self._wts.insert(i, w)
+        self.count += other.count
+        if len(self._vals) > 2 * self.compression:
+            self._compact()
+        return self
+
+    def to_state(self) -> tuple:
+        """All-immutable snapshot, cheap to ship through a DMA'd buffer.
+
+        Nested tuples of numbers deep-copy by identity, so packing a
+        digest into a registered memory region costs O(centroids) once
+        at publish time and nothing at read time.
+        """
+        return (self.compression, self.count,
+                tuple(self._vals), tuple(self._wts))
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "QuantileDigest":
+        compression, count, vals, wts = state
+        qd = cls(compression)
+        qd.count = count
+        qd._vals = list(vals)
+        qd._wts = list(wts)
+        return qd
+
     def quantile(self, q: float) -> float:
         """Value at quantile ``q`` (midpoint-rank interpolation)."""
         if not 0.0 <= q <= 1.0:
@@ -187,6 +225,40 @@ class StreamingDigest:
         self.lo = min(self.lo, x)
         self.hi = max(self.hi, x)
         self._qd.update(x)
+
+    def merge(self, other: "StreamingDigest") -> "StreamingDigest":
+        """Fold ``other`` into this digest (parallel Welford combine).
+
+        Count/mean/m2 combine exactly (Chan et al.); min/max are exact;
+        quantiles inherit :meth:`QuantileDigest.merge`'s bound.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.mean, self._m2 = other.mean, other._m2
+        else:
+            total = self.count + other.count
+            delta = other.mean - self.mean
+            self.mean += delta * other.count / total
+            self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count += other.count
+        self.lo = min(self.lo, other.lo)
+        self.hi = max(self.hi, other.hi)
+        self._qd.merge(other._qd)
+        return self
+
+    def to_state(self) -> tuple:
+        """All-immutable snapshot (see :meth:`QuantileDigest.to_state`)."""
+        return (self.count, self.mean, self.lo, self.hi, self._m2,
+                self._qd.to_state())
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "StreamingDigest":
+        count, mean, lo, hi, m2, qd_state = state
+        sd = cls(qd_state[0])
+        sd.count, sd.mean, sd.lo, sd.hi, sd._m2 = count, mean, lo, hi, m2
+        sd._qd = QuantileDigest.from_state(qd_state)
+        return sd
 
     def quantile(self, q: float) -> float:
         return self._qd.quantile(q)

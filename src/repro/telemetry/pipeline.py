@@ -135,6 +135,53 @@ class TelemetryPipeline:
         plane.on_event = observer
         return self
 
+    def attach_federation(self, federation) -> "TelemetryPipeline":
+        """Shard-level rollups + alerts from a federated root view.
+
+        Chains onto the root monitor's ``round_observer`` (keeps any
+        existing hook). Each merge round feeds per-shard aggregates —
+        mean cpu_util / runq_load, max staleness, routable member count
+        — into rings and digests keyed ``s<j>.<metric>``, and evaluates
+        the sample-driven alert rules per shard. Shard alerts are keyed
+        ``backend = -(shard + 1)``: negative ids keep them disjoint
+        from per-back-end alerts and mean shedding policies (which
+        match non-negative back-end indices) never act on them.
+        """
+        root = federation.root
+        topology = federation.topology
+        previous = root.round_observer
+
+        def observer(epoch: int, latest) -> None:
+            if previous is not None:
+                previous(epoch, latest)
+            self.observe_shards(topology, root, latest)
+
+        root.round_observer = observer
+        return self
+
+    def observe_shards(self, topology, root, latest) -> None:
+        """Ingest one merged root round as per-shard aggregate samples."""
+        now = root.sim.env.now
+        for j in range(topology.num_shards):
+            members = [g for g in topology.members(j) if g in latest]
+            if not members:
+                continue
+            infos = [latest[g] for g in members]
+            sample = {
+                "cpu_util": sum(i.cpu_util for i in infos) / len(infos),
+                "runq_load": sum(i.runq_load for i in infos) / len(infos),
+                "staleness": float(max(i.staleness for i in infos)),
+                "members": float(len(members)),
+            }
+            for metric, value in sample.items():
+                key = f"s{j}.{metric}"
+                self.store.add(key, now, value)
+                digest = self._digests.get(key)
+                if digest is None:
+                    digest = self._digests[key] = StreamingDigest(self.compression)
+                digest.update(value)
+            self.engine.observe(-(j + 1), now, sample)
+
     # ------------------------------------------------------------------
     def observe(self, backend: int, info: LoadInfo) -> None:
         """Ingest one delivered load report (the observer body)."""
@@ -165,7 +212,8 @@ class TelemetryPipeline:
         seen = set()
         for key in self._digests:
             prefix, _, _ = key.partition(".")
-            seen.add(int(prefix[1:]))
+            if prefix.startswith("b"):  # shard rollups use s<j>.<metric>
+                seen.add(int(prefix[1:]))
         return sorted(seen)
 
     def memory_bound(self) -> int:

@@ -291,6 +291,10 @@ class SpanTracer:
     def by_name(self, name: str) -> List[Span]:
         return [s for s in self.spans if s.name == name]
 
+    def by_component(self, component: str) -> List[Span]:
+        """Retained spans of one component (e.g. ``"federation"``)."""
+        return [s for s in self.spans if s.component == component]
+
     def roots(self) -> List[Span]:
         """Retained root spans (one per fully-retained trace)."""
         return [s for s in self.spans if s.parent_id is None]

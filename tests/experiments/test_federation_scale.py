@@ -1,0 +1,21 @@
+"""Quick-shape test for the federation scaling experiment."""
+
+from repro.experiments import federation_scale
+from repro.sim.units import ms
+
+
+def test_federation_scale_shapes():
+    result = federation_scale.run(sizes=(8, 32), duration=ms(80))
+    assert result.xs == [8, 32]
+    for key in ("flat_round_us", "fed_leaf_round_us", "fed_root_round_us",
+                "fed_shards", "fed_staleness_p95_ms",
+                "flat_overrun", "fed_overrun"):
+        assert len(result.series[key]) == 2, key
+    flat, leaf, root = (result.series[k] for k in
+                        ("flat_round_us", "fed_leaf_round_us", "fed_root_round_us"))
+    # Flat fan-out grows with N; the federated tiers stay well under it.
+    assert flat[1] > flat[0]
+    assert max(leaf[1], root[1]) < flat[1]
+    assert result.series["fed_shards"] == [3.0, 6.0]
+    # At these sizes nobody overruns a 1 ms period yet.
+    assert result.series["fed_overrun"] == [0.0, 0.0]

@@ -1,0 +1,81 @@
+"""ShardTopology: partitioning, determinism, quarantine-driven rebalance."""
+
+import pytest
+
+from repro.federation import ShardTopology, auto_shard_count
+
+
+def test_auto_shard_count_is_ceil_sqrt():
+    assert auto_shard_count(1) == 1
+    assert auto_shard_count(2) == 2
+    assert auto_shard_count(4) == 2
+    assert auto_shard_count(8) == 3
+    assert auto_shard_count(9) == 3
+    assert auto_shard_count(16) == 4
+    assert auto_shard_count(17) == 5
+    assert auto_shard_count(256) == 16
+    assert auto_shard_count(512) == 23
+
+
+@pytest.mark.parametrize("n,shards", [(8, 3), (16, 4), (7, 0), (64, 8), (5, 5)])
+def test_partition_covers_every_backend_exactly_once(n, shards):
+    topo = ShardTopology(n, num_shards=shards)
+    seen = []
+    for j in range(topo.num_shards):
+        members = topo.members(j)
+        assert members == sorted(members)
+        seen.extend(members)
+    assert sorted(seen) == list(range(n))
+    for g in range(n):
+        assert g in topo.members(topo.shard_of(g))
+
+
+def test_partition_is_deterministic_and_near_even():
+    a = ShardTopology(37, num_shards=6)
+    b = ShardTopology(37, num_shards=6)
+    assert a.static_assignment == b.static_assignment
+    sizes = [len(a.members(j)) for j in range(6)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == 37
+
+
+def test_quarantine_removes_member_and_rebalances():
+    topo = ShardTopology(8, num_shards=3, rebalance_on_quarantine=True)
+    victim = topo.members(0)[0]
+    gen0 = topo.generation
+    assert topo.quarantine(victim) is True
+    assert topo.quarantine(victim) is False  # idempotent
+    assert topo.generation == gen0 + 1
+    assert topo.rebalances == 1
+    active = [g for j in range(3) for g in topo.members(j)]
+    assert victim not in active
+    assert sorted(active) == sorted(set(range(8)) - {victim})
+    sizes = [len(topo.members(j)) for j in range(3)]
+    assert max(sizes) - min(sizes) <= 1
+
+    assert topo.release(victim) is True
+    assert topo.release(victim) is False
+    active = sorted(g for j in range(3) for g in topo.members(j))
+    assert active == list(range(8))
+    assert topo.generation == gen0 + 2
+
+
+def test_no_rebalance_when_disabled():
+    topo = ShardTopology(8, num_shards=3, rebalance_on_quarantine=False)
+    victim = topo.members(0)[0]
+    shard_sizes = [len(topo.members(j)) for j in range(3)]
+    topo.quarantine(victim)
+    # membership shrinks in place; no re-split across shards
+    assert topo.generation == 0
+    assert topo.rebalances == 0
+    assert len(topo.members(0)) == shard_sizes[0] - 1
+    assert [len(topo.members(j)) for j in range(1, 3)] == shard_sizes[1:]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ShardTopology(0)
+    with pytest.raises(ValueError):
+        ShardTopology(4, num_shards=5)
+    with pytest.raises(ValueError):
+        ShardTopology(4, num_shards=-1)

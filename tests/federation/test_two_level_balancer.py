@@ -1,0 +1,77 @@
+"""TwoLevelBalancer: shard-then-node picks over a federated view."""
+
+import numpy as np
+
+from repro.federation import ShardTopology
+from repro.monitoring.loadinfo import LoadInfo
+from repro.server.loadbalancer import LeastLoadedBalancer, TwoLevelBalancer
+
+
+def _info(cpu):
+    return LoadInfo(
+        backend="b", collected_at=0, received_at=0, nr_threads=10,
+        nr_running=1, runq_load=0.0, cpu_util=cpu, busy_cpus=0,
+        loadavg1=0.0, mem_util=0.0, net_rate_mbps=0.0, gauges={},
+    )
+
+
+def _rng(seed=1):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def test_picks_are_valid_and_respect_exclusion():
+    topo = ShardTopology(8, num_shards=3)
+    lb = TwoLevelBalancer(topo, rng=_rng())
+    loads = {i: _info(0.3) for i in range(8)}
+    for _ in range(200):
+        assert 0 <= lb.choose(loads) < 8
+    for _ in range(200):
+        assert lb.choose(loads, exclude=[0, 1, 2]) not in (0, 1, 2)
+    assert sum(lb.shard_picks) >= 200
+
+
+def test_no_loads_falls_back_to_round_robin():
+    topo = ShardTopology(6, num_shards=2)
+    lb = TwoLevelBalancer(topo, rng=_rng())
+    picks = [lb.choose({}) for _ in range(12)]
+    assert sorted(set(picks)) == list(range(6))  # rotation covers everyone
+
+
+def test_proportions_favor_the_unloaded_shard():
+    topo = ShardTopology(8, num_shards=2)  # shards {0..3} and {4..7}
+    lb = TwoLevelBalancer(topo, rng=_rng())
+    loads = {i: _info(0.9 if i < 4 else 0.05) for i in range(8)}
+    n = 4000
+    picks = [lb.choose(loads) for _ in range(n)]
+    hot = sum(1 for p in picks if p < 4)
+    # Stage-1 shares track aggregate headroom exactly: compare against
+    # the balancer's own weights rather than a hand-waved ratio.
+    weights = lb.server_weights(loads)
+    expected_hot = sum(weights[:4]) / sum(weights)
+    assert abs(hot / n - expected_hot) < 0.03
+    assert lb.shard_picks[1] > lb.shard_picks[0] > 0
+
+
+def test_marginal_distribution_matches_flat_balancer():
+    """Shard-then-node proportional draws preserve the flat balancer's
+    per-node marginal: pick shares agree within sampling noise."""
+    topo = ShardTopology(6, num_shards=3)
+    loads = {i: _info(0.1 + 0.12 * i) for i in range(6)}
+    flat = LeastLoadedBalancer(6, rng=_rng(7))
+    two = TwoLevelBalancer(topo, rng=_rng(11))
+    n = 6000
+    flat_counts = np.bincount([flat.choose(loads) for _ in range(n)], minlength=6)
+    two_counts = np.bincount([two.choose(loads) for _ in range(n)], minlength=6)
+    assert np.abs(flat_counts / n - two_counts / n).max() < 0.03
+
+
+def test_quarantine_rebalance_reshapes_routing():
+    topo = ShardTopology(4, num_shards=2)
+    lb = TwoLevelBalancer(topo, rng=_rng())
+    loads = {i: _info(0.2) for i in range(4)}
+    topo.quarantine(0)
+    # 0 is quarantined but may still carry a (stale) load entry: the
+    # balancer only routes to current topology members.
+    picks = {lb.choose(loads) for _ in range(300)}
+    assert 0 not in picks
+    assert picks == {1, 2, 3}
