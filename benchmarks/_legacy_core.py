@@ -1,0 +1,578 @@
+"""The PRE-overhaul discrete-event core, verbatim, for A/B benchmarking.
+
+This module is the engine/events/process trio exactly as it stood
+before the hot-path overhaul (commit 7d81002 — tuple-heap engine,
+un-slotted high-churn events, per-call f-string names), concatenated
+into one importable module so :mod:`benchmarks.test_perf_core` can time
+old and new cores side by side in the same process. Internal
+cross-module imports are removed (everything is one namespace here);
+nothing else is changed.
+
+Do not fix, optimise, or otherwise improve this file: its only value is
+being the frozen baseline the >=2x acceptance criterion is measured
+against.
+"""
+
+# ruff: noqa
+from __future__ import annotations
+
+
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Environment
+
+
+class EventPriority(enum.IntEnum):
+    """Scheduling priority for simultaneous events (lower fires first).
+
+    ``URGENT`` is reserved for engine-internal bookkeeping (e.g. process
+    resumption after an interrupt) so that user-visible causality is
+    preserved; ``HIGH`` models hardware events (interrupt assertion)
+    that must beat ordinary software timeouts scheduled for the same
+    instant.
+    """
+
+    URGENT = 0
+    HIGH = 1
+    NORMAL = 2
+    LOW = 3
+
+
+class _Pending:
+    """Sentinel for an event value that has not been set yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<pending>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Lifecycle::
+
+        created -> triggered (value/exception set, queued) -> processed
+
+    ``succeed``/``fail`` move the event to *triggered*; the engine pops it
+    from the queue and runs its callbacks, at which point it is
+    *processed*. Waiting on an already-processed event resumes the waiter
+    immediately (at the current time, URGENT priority).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused", "name")
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        #: callbacks run when the event is processed; each receives the event
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine won't re-raise it."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = EventPriority.NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = EventPriority.NORMAL) -> "Event":
+        """Trigger the event with an exception delivered to all waiters."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- engine hook --------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks; called exactly once by the engine."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        state = "processed" if self._processed else ("triggered" if self.triggered else "pending")
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: int,
+        value: Any = None,
+        priority: int = EventPriority.NORMAL,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env, name=f"Timeout({delay})")
+        self.delay = int(delay)
+        self._ok = True
+        self._value = value
+        env._enqueue(self, priority, delay=self.delay)
+
+
+class ConditionValue:
+    """Mapping-like view of the events that fired in a condition.
+
+    Preserves the order in which the condition's constituent events were
+    given, exposing only those that are processed.
+    """
+
+    def __init__(self, events: List[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def todict(self) -> dict:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event over a fixed list of sub-events.
+
+    ``evaluate`` decides when the condition is met; :class:`AllOf` and
+    :class:`AnyOf` are the standard instantiations. A failed sub-event
+    fails the whole condition immediately.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: List[Event],
+    ) -> None:
+        super().__init__(env, name=evaluate.__name__)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        return ConditionValue([e for e in self._events if e.processed])
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Fires when every sub-event has fired."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Fires when the first sub-event fires."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)
+
+
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class _InterruptMarker(Event):
+    """Internal carrier event delivering an interrupt to a process."""
+
+    __slots__ = ()
+
+
+class Process(Event):
+    """A running simulation process (also an event: fires on completion)."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        #: event this process is currently waiting on (None while running)
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current time, after any
+        # events already queued for this instant at URGENT priority.
+        init = Event(env, name=f"init:{self.name}")
+        assert init.callbacks is not None
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        env._enqueue(init, EventPriority.URGENT)
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """Event the process is waiting for (``None`` if running/finished)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into this process as soon as possible."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        marker = _InterruptMarker(self.env, name=f"interrupt:{self.name}")
+        assert marker.callbacks is not None
+        marker.callbacks.append(self._resume)
+        marker.fail(Interrupt(cause), priority=EventPriority.URGENT)
+        marker.defuse()
+
+    # -- engine plumbing ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        # If we were waiting on a regular event, detach from it (relevant
+        # for interrupts: the original target may fire later and must not
+        # resume us again).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                # Mark the failure as handled; if the process doesn't catch
+                # it, we will fail the process event below instead.
+                event.defuse()
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value, priority=EventPriority.URGENT)
+            return
+        except BaseException as exc:
+            env._active_process = None
+
+            if isinstance(exc, StopSimulation):
+                raise
+            self.fail(exc, priority=EventPriority.URGENT)
+            return
+        env._active_process = None
+
+        if not isinstance(result, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {result!r}; processes must "
+                "yield Event instances"
+            )
+        if result.env is not env:
+            raise ValueError("yielded an event from a different environment")
+
+        if result.processed:
+            # Already done: resume at the current instant, urgently.
+            relay = Event(env, name=f"relay:{self.name}")
+            assert relay.callbacks is not None
+            relay.callbacks.append(self._resume)
+            relay._ok = result._ok
+            relay._value = result._value
+            if not result._ok:
+                result.defuse()
+            env._enqueue(relay, EventPriority.URGENT)
+            self._target = None
+        else:
+            assert result.callbacks is not None
+            result.callbacks.append(self._resume)
+            self._target = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else ("waiting" if self._target else "active")
+        return f"<Process {self.name} {state}>"
+
+
+
+from heapq import heappop, heappush
+from typing import Any, Generator, List, Optional, Tuple
+
+
+
+class SimulationError(Exception):
+    """Raised for structural misuse of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised inside a process to stop the whole simulation immediately."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(Exception):
+    """Internal: the event queue ran dry."""
+
+
+class Environment:
+    """A simulation environment: clock, event queue, process factory.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the nanosecond clock.
+
+    Notes
+    -----
+    The queue is a binary heap of ``(time, priority, sequence, event)``
+    tuples. ``sequence`` increases monotonically with each scheduling
+    operation, so simultaneous same-priority events fire in the exact
+    order they were scheduled — the keystone of reproducibility.
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now: int = int(initial_time)
+        self._queue: List[Tuple[int, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        #: number of events processed so far (diagnostics / tests)
+        self.processed_events: int = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories -----------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a new untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None, priority: int = EventPriority.NORMAL) -> Timeout:
+        """Create an event that fires ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value=value, priority=priority)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, event: Event, priority: int, delay: int = 0) -> None:
+        """Schedule a triggered event for processing ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, int(priority), self._seq, event))
+
+    def peek(self) -> int:
+        """Time of the next scheduled event, or a sentinel max if none."""
+        if not self._queue:
+            return 2**63 - 1
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next event. Raises :class:`EmptySchedule` if none."""
+        try:
+            when, _prio, _seq, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        assert when >= self._now, "event queue went backwards"
+        self._now = when
+        self.processed_events += 1
+        event._process()
+        # An un-handled failure propagates out of the run loop unless some
+        # waiter defused it (e.g. a process that caught the exception).
+        if not event.ok and not event.defused:
+            exc = event.value
+            raise exc
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * an ``int`` — run until that absolute time (clock lands exactly
+          on it);
+        * an :class:`Event` — run until that event is processed, returning
+          its value.
+        """
+        stop_event: Optional[Event] = None
+        horizon: Optional[int] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            horizon = int(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"until={horizon} is in the past (now={self._now})"
+                )
+
+        try:
+            while True:
+                if stop_event is not None and stop_event.processed:
+                    if not stop_event.ok:
+                        raise stop_event.value
+                    return stop_event.value
+                if horizon is not None and self.peek() > horizon:
+                    self._now = horizon
+                    return None
+                try:
+                    self.step()
+                except EmptySchedule:
+                    if stop_event is not None and not stop_event.processed:
+                        raise SimulationError(
+                            f"run() until-event {stop_event!r} can never fire: "
+                            "event queue is empty"
+                        ) from None
+                    if horizon is not None:
+                        self._now = horizon
+                    return None
+        except StopSimulation as stop:
+            return stop.value
+
+    def run_until_quiet(self, max_time: int) -> None:
+        """Run until nothing is scheduled before ``max_time``; clamp clock."""
+        while self._queue and self.peek() <= max_time:
+            self.step()
+        self._now = max(self._now, max_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment t={self._now} queued={len(self._queue)}>"

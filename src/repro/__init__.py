@@ -11,4 +11,13 @@ See ``examples/quickstart.py`` for a complete runnable tour, and
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+
+def __getattr__(name):
+    # Lazy: keep `import repro` light; the builder pulls in the full stack.
+    if name == "ClusterBuilder":
+        from repro.api import ClusterBuilder
+        return ClusterBuilder
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = ["ClusterBuilder", "__version__"]

@@ -1,0 +1,263 @@
+"""The front-door API: a fluent builder for a fully-wired cluster.
+
+:class:`ClusterBuilder` is the one way to assemble the application
+stack — booted cluster, back-end web servers, a monitoring scheme with
+its front-end poller, the load balancer (extended scoring iff the
+scheme is e-RDMA-Sync), and the dispatcher — plus any of the optional
+planes (admission control, telemetry, alert shedding, span tracing,
+fault injection, heartbeat failover, hierarchical federation)::
+
+    from repro.api import ClusterBuilder
+
+    cluster = (
+        ClusterBuilder(cfg)
+        .scheme("rdma-sync", interval=20 * MS)
+        .with_telemetry()
+        .with_faults("at 2s crash backend3")
+        .build()
+    )
+    cluster.run(until=10 * S)
+
+Each ``with_*`` method returns the builder, so a deployment reads as a
+single expression naming exactly the planes it enables; everything not
+named stays off and the run is byte-identical to the minimal stack
+(property-tested). ``build()`` may be called once; it returns the same
+:class:`~repro.experiments.common.RubisCluster` handle the legacy
+helper returned.
+
+The legacy ``repro.experiments.common.deploy_rubis_cluster`` /
+``repro.federation.deploy_federation`` entry points remain as thin
+shims over this builder and produce fingerprint-identical clusters
+(also property-tested), but new code should use the builder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SimConfig
+from repro.faults import FaultPlane, FaultSchedule, parse_schedule
+from repro.federation import deploy_federation
+from repro.hw.cluster import build_cluster
+from repro.monitoring import FrontendMonitor, create_scheme
+from repro.monitoring.heartbeat import HeartbeatMonitor
+from repro.server.admission import AdmissionController
+from repro.server.dispatcher import Dispatcher
+from repro.server.loadbalancer import LeastLoadedBalancer, TwoLevelBalancer
+from repro.server.webserver import BackendServer
+
+__all__ = ["ClusterBuilder"]
+
+
+class ClusterBuilder:
+    """Fluent assembly of a monitored cluster (see module docstring)."""
+
+    def __init__(self, cfg: Optional[SimConfig] = None) -> None:
+        self._cfg = cfg if cfg is not None else SimConfig()
+        self._scheme_name = "rdma-sync"
+        self._interval: Optional[int] = None
+        self._scheme_kwargs: dict = {}
+        self._workers: Optional[int] = None
+        self._admission = False
+        self._admission_max_score = 0.85
+        self._telemetry = False
+        self._telemetry_rules = None
+        self._alert_shedding = False
+        self._fault_schedule: Optional[FaultSchedule] = None
+        self._heartbeat = False
+        self._heartbeat_interval = 50_000_000
+        self._heartbeat_timeout = 10_000_000
+        self._heartbeat_hung_after = 2
+        self._built = False
+
+    # -- knobs ----------------------------------------------------------
+    def scheme(self, name: str, *, interval: Optional[int] = None,
+               **kwargs) -> "ClusterBuilder":
+        """Choose the monitoring scheme (default ``rdma-sync``).
+
+        ``interval`` overrides ``cfg.monitor.interval`` for the scheme's
+        probe loop; extra keywords are forwarded to the scheme
+        constructor via :func:`~repro.monitoring.registry.create_scheme`
+        (which rejects unknown ones by name).
+        """
+        self._scheme_name = name
+        self._interval = interval
+        self._scheme_kwargs = kwargs
+        return self
+
+    def workers(self, n: int) -> "ClusterBuilder":
+        """Web-server worker processes per back-end (default from cfg)."""
+        self._workers = n
+        return self
+
+    def with_admission(self, *, max_score: float = 0.85) -> "ClusterBuilder":
+        """Reject requests when every back-end scores above ``max_score``."""
+        self._admission = True
+        self._admission_max_score = max_score
+        return self
+
+    def with_telemetry(self, *, rules=None) -> "ClusterBuilder":
+        """Attach the bounded telemetry pipeline to the front-end monitor."""
+        self._telemetry = True
+        self._telemetry_rules = rules
+        return self
+
+    def with_alert_shedding(self) -> "ClusterBuilder":
+        """Route around critically-alerted back-ends (implies telemetry)."""
+        self._alert_shedding = True
+        return self
+
+    def with_tracing(self, *, sample: float = 1.0) -> "ClusterBuilder":
+        """Enable the causal span plane at head-sampling rate ``sample``."""
+        self._cfg.tracing.enabled = True
+        self._cfg.tracing.sample_rate = sample
+        return self
+
+    def with_faults(self, schedule) -> "ClusterBuilder":
+        """Install the deterministic fault plane.
+
+        ``schedule`` is a :class:`~repro.faults.FaultSchedule` or
+        schedule text for :func:`~repro.faults.parse_schedule`.
+        """
+        if isinstance(schedule, str):
+            schedule = parse_schedule(schedule)
+        elif not isinstance(schedule, FaultSchedule):
+            raise TypeError("with_faults() takes a FaultSchedule or schedule text")
+        self._fault_schedule = schedule
+        return self
+
+    def with_heartbeat(self, *, interval: int = 50_000_000,
+                       timeout: int = 10_000_000,
+                       hung_after: int = 2) -> "ClusterBuilder":
+        """Run the RDMA heartbeat monitor and health-aware failover."""
+        self._heartbeat = True
+        self._heartbeat_interval = interval
+        self._heartbeat_timeout = timeout
+        self._heartbeat_hung_after = hung_after
+        return self
+
+    def with_federation(self, *, num_shards: int = 0,
+                        leaf_interval: int = 0,
+                        root_interval: int = 0) -> "ClusterBuilder":
+        """Deploy the two-level sharded monitoring fabric.
+
+        Equivalent to setting ``cfg.federation.enabled`` (plus the given
+        knobs) before building: leaves poll their shard with the chosen
+        scheme, the root merges leaf snapshots, the dispatcher routes
+        through the shard-then-node balancer, and the flat front-end
+        poller stays idle.
+        """
+        fed = self._cfg.federation
+        fed.enabled = True
+        fed.num_shards = num_shards
+        fed.leaf_interval = leaf_interval
+        fed.root_interval = root_interval
+        return self
+
+    # -- assembly -------------------------------------------------------
+    def build(self):
+        """Wire everything up and return the :class:`RubisCluster` handle."""
+        if self._built:
+            raise RuntimeError("ClusterBuilder.build() may only be called once")
+        self._built = True
+        # Deferred: common.py's legacy shim imports this module.
+        from repro.experiments.common import RubisCluster
+        from repro.telemetry.pipeline import TelemetryPipeline
+
+        cfg = self._cfg
+        scheme_name = self._scheme_name
+        sim = build_cluster(cfg)
+
+        servers = [
+            BackendServer(be, sim.rng.stream(f"db:{be.name}"),
+                          workers=self._workers)
+            for be in sim.backends
+        ]
+        for server in servers:
+            server.start()
+
+        federated = cfg.federation.enabled
+        scheme = create_scheme(scheme_name, sim, interval=self._interval,
+                               **self._scheme_kwargs)
+        monitor = FrontendMonitor(scheme)
+        if not federated:
+            # With federation on, the flat front-end poller stays idle
+            # (its O(N) fan-out is exactly what the two-level fabric
+            # replaces); the deployed scheme remains available for
+            # direct queries.
+            monitor.start()
+
+        telemetry = None
+        if self._telemetry or self._alert_shedding:
+            telemetry = TelemetryPipeline(rules=self._telemetry_rules)
+            telemetry.attach(monitor)
+
+        faults = None
+        if self._fault_schedule is not None:
+            faults = FaultPlane(sim, self._fault_schedule).install()
+            if telemetry is not None:
+                telemetry.attach_faults(faults)
+
+        heartbeat = None
+        if self._heartbeat:
+            heartbeat = HeartbeatMonitor(
+                sim, interval=self._heartbeat_interval,
+                timeout=self._heartbeat_timeout,
+                hung_after=self._heartbeat_hung_after,
+            )
+            if telemetry is not None:
+                telemetry.attach_heartbeat(heartbeat)
+
+        federation = None
+        if federated:
+            federation = deploy_federation(sim, scheme_name=scheme_name,
+                                           heartbeat=heartbeat)
+            if telemetry is not None:
+                telemetry.attach_federation(federation)
+
+        if federation is not None:
+            balancer = TwoLevelBalancer(
+                federation.topology,
+                use_irq_pressure=(scheme_name == "e-rdma-sync"),
+                rng=sim.rng.stream("loadbalancer"),
+            )
+        else:
+            balancer = LeastLoadedBalancer(
+                num_backends=len(servers),
+                use_irq_pressure=(scheme_name == "e-rdma-sync"),
+                rng=sim.rng.stream("loadbalancer"),
+            )
+        balancer.tracer = sim.spans
+        balancer.trace_node = sim.frontend.name
+        admission = None
+        if self._admission:
+            admission = AdmissionController(
+                num_backends=len(servers),
+                max_score=self._admission_max_score,
+                balancer=balancer,
+                alert_engine=(telemetry.engine
+                              if self._alert_shedding and telemetry else None),
+            )
+            admission.tracer = sim.spans
+            admission.trace_node = sim.frontend.name
+        dispatcher = Dispatcher(
+            sim.frontend, servers, balancer,
+            monitor=(federation.root if federation is not None else monitor),
+            admission=admission,
+            health=heartbeat,
+            telemetry=(telemetry if self._alert_shedding else None),
+        )
+        dispatcher.start()
+        return RubisCluster(
+            sim=sim,
+            servers=servers,
+            scheme=scheme,
+            monitor=monitor,
+            balancer=balancer,
+            dispatcher=dispatcher,
+            admission=admission,
+            telemetry=telemetry,
+            faults=faults,
+            heartbeat=heartbeat,
+            federation=federation,
+        )

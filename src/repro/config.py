@@ -15,12 +15,53 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from difflib import get_close_matches
 
 from repro.sim.units import MICROSECOND as US
 from repro.sim.units import MILLISECOND as MS
 from repro.sim.units import SECOND as S
 
 
+def _unknown_key_error(cls, name: str) -> str:
+    matches = get_close_matches(name, cls.__dataclass_fields__, n=1, cutoff=0.6)
+    hint = f" — did you mean {matches[0]!r}?" if matches else ""
+    return (
+        f"unknown config key {cls.__name__}.{name}{hint} "
+        f"(valid keys: {', '.join(sorted(cls.__dataclass_fields__))})"
+    )
+
+
+def audited(cls):
+    """Schema-audit a config dataclass: unknown keys raise, with a hint.
+
+    A mistyped knob (``cfg.monitor.intervall = ...``, or
+    ``MonitorConfig(intervall=...)``) used to be silently accepted as a
+    stray attribute / swallowed as a bare TypeError, leaving the real
+    knob at its default and the experiment subtly wrong. With the
+    audit, both construction and assignment of a name that is not a
+    declared field raise immediately with a did-you-mean suggestion.
+    """
+    orig_init = cls.__init__
+    fields = cls.__dataclass_fields__
+
+    def __init__(self, *args, **kwargs):
+        for key in kwargs:
+            if key not in fields:
+                raise TypeError(_unknown_key_error(cls, key))
+        orig_init(self, *args, **kwargs)
+
+    def __setattr__(self, name, value):
+        if name not in fields:
+            raise AttributeError(_unknown_key_error(cls, name))
+        object.__setattr__(self, name, value)
+
+    __init__.__wrapped__ = orig_init
+    cls.__init__ = __init__
+    cls.__setattr__ = __setattr__
+    return cls
+
+
+@audited
 @dataclass
 class CpuConfig:
     """Per-node CPU and scheduler parameters (Linux-2.4 flavoured)."""
@@ -54,6 +95,7 @@ class CpuConfig:
     kernel_nonpreemptible: bool = True
 
 
+@audited
 @dataclass
 class IrqConfig:
     """Interrupt and softirq costs."""
@@ -74,6 +116,7 @@ class IrqConfig:
     cq_irq_cost: int = 2 * US
 
 
+@audited
 @dataclass
 class SyscallConfig:
     """Kernel entry and /proc costs."""
@@ -93,6 +136,7 @@ class SyscallConfig:
     copy_per_kb: int = 300
 
 
+@audited
 @dataclass
 class NetConfig:
     """Fabric, IPoIB (sockets) and verbs (RDMA) parameters."""
@@ -135,6 +179,7 @@ class NetConfig:
     channel_recv_cost: int = 5 * US
 
 
+@audited
 @dataclass
 class ServerConfig:
     """Web-server / RUBiS / workload-side parameters."""
@@ -154,6 +199,7 @@ class ServerConfig:
     static_serve: int = 400 * US
 
 
+@audited
 @dataclass
 class MonitorConfig:
     """Monitoring-scheme parameters."""
@@ -184,6 +230,7 @@ class MonitorConfig:
     probe_backoff_max: int = 50 * MS
 
 
+@audited
 @dataclass
 class FederationConfig:
     """Hierarchical sharded monitoring (see :mod:`repro.federation`).
@@ -222,6 +269,7 @@ class FederationConfig:
     root_merge_cost: int = 2 * US
 
 
+@audited
 @dataclass
 class TracingConfig:
     """Causal span-tracing parameters (see :mod:`repro.tracing`)."""
@@ -236,6 +284,30 @@ class TracingConfig:
     max_spans: int = 65536
 
 
+@audited
+@dataclass
+class ProfileConfig:
+    """Opt-in cProfile instrumentation (see :mod:`repro.profiling`).
+
+    Default-off: with ``enabled=False`` the run loop takes the ordinary
+    uninstrumented path and pays a single attribute check. When on, each
+    profiled phase (deploy, run) is wrapped in its own ``cProfile``
+    session and a per-phase hotspot table is printed (and optionally
+    dumped as ``.pstats`` files for ``snakeviz``/``pstats`` digging).
+    Profiling never perturbs simulated time — only wall-clock.
+    """
+
+    #: master switch
+    enabled: bool = False
+    #: rows per hotspot table
+    top: int = 15
+    #: pstats sort key ("tottime", "cumulative", "calls", ...)
+    sort: str = "tottime"
+    #: directory for raw .pstats dumps ("" = don't dump)
+    dump_dir: str = ""
+
+
+@audited
 @dataclass
 class SimConfig:
     """Top-level simulation configuration."""
@@ -254,6 +326,7 @@ class SimConfig:
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
     federation: FederationConfig = field(default_factory=FederationConfig)
+    profile: ProfileConfig = field(default_factory=ProfileConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
         """Shallow functional update of top-level fields."""
@@ -304,6 +377,11 @@ class SimConfig:
             raise ValueError("federation digest_compression must be >= 8")
         if min(fed.merge_cost, fed.publish_cost, fed.root_merge_cost) < 0:
             raise ValueError("federation costs must be >= 0")
+        if self.profile.top < 1:
+            raise ValueError("profile.top must be >= 1")
+        if self.profile.sort not in (
+                "tottime", "cumulative", "calls", "ncalls", "time", "pcalls"):
+            raise ValueError(f"unknown profile.sort {self.profile.sort!r}")
 
 
 #: default polling interval alias used across experiments
@@ -316,6 +394,7 @@ __all__ = [
     "IrqConfig",
     "MonitorConfig",
     "NetConfig",
+    "ProfileConfig",
     "ServerConfig",
     "SimConfig",
     "SyscallConfig",

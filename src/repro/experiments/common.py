@@ -14,14 +14,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.config import SimConfig
-from repro.faults import FaultPlane, FaultSchedule, parse_schedule
-from repro.federation import Federation, deploy_federation
-from repro.hw.cluster import ClusterSim, build_cluster
-from repro.monitoring import FrontendMonitor, MonitoringScheme, create_scheme
+from repro.faults import FaultPlane, FaultSchedule
+from repro.federation import Federation
+from repro.hw.cluster import ClusterSim
+from repro.monitoring import FrontendMonitor, MonitoringScheme
 from repro.monitoring.heartbeat import HeartbeatMonitor
 from repro.server.admission import AdmissionController
 from repro.server.dispatcher import Dispatcher
-from repro.server.loadbalancer import LeastLoadedBalancer, TwoLevelBalancer
+from repro.server.loadbalancer import LeastLoadedBalancer
 from repro.server.webserver import BackendServer
 from repro.telemetry.pipeline import TelemetryPipeline
 
@@ -109,102 +109,33 @@ def deploy_rubis_cluster(
     built but left idle, the dispatcher consults the federated root's
     merged view, and routing goes through the shard-then-node
     :class:`~repro.server.loadbalancer.TwoLevelBalancer`.
+
+    .. deprecated::
+        This helper is a compatibility shim over
+        :class:`repro.api.ClusterBuilder`, which new code should use
+        directly. The two produce fingerprint-identical clusters
+        (property-tested).
     """
-    cfg = cfg if cfg is not None else SimConfig()
-    if with_tracing:
-        cfg.tracing.enabled = True
-        cfg.tracing.sample_rate = trace_sample
-    sim = build_cluster(cfg)
+    from repro.api import ClusterBuilder  # deferred: api imports this module
 
-    servers = [
-        BackendServer(be, sim.rng.stream(f"db:{be.name}"), workers=workers)
-        for be in sim.backends
-    ]
-    for server in servers:
-        server.start()
-
-    federated = cfg.federation.enabled
-    scheme = create_scheme(scheme_name, sim, interval=poll_interval)
-    monitor = FrontendMonitor(scheme)
-    if not federated:
-        # With federation on, the flat front-end poller stays idle (its
-        # O(N) fan-out is exactly what the two-level fabric replaces);
-        # the deployed scheme remains available for direct queries.
-        monitor.start()
-
-    telemetry = None
-    if with_telemetry or alert_shedding:
-        telemetry = TelemetryPipeline(rules=telemetry_rules)
-        telemetry.attach(monitor)
-
-    faults = None
-    if fault_schedule is not None:
-        if isinstance(fault_schedule, str):
-            fault_schedule = parse_schedule(fault_schedule)
-        elif not isinstance(fault_schedule, FaultSchedule):
-            raise TypeError("fault_schedule must be FaultSchedule, str or None")
-        faults = FaultPlane(sim, fault_schedule).install()
-        if telemetry is not None:
-            telemetry.attach_faults(faults)
-
-    heartbeat = None
-    if with_heartbeat:
-        heartbeat = HeartbeatMonitor(
-            sim, interval=heartbeat_interval, timeout=heartbeat_timeout,
-            hung_after=heartbeat_hung_after,
-        )
-        if telemetry is not None:
-            telemetry.attach_heartbeat(heartbeat)
-
-    federation = None
-    if federated:
-        federation = deploy_federation(sim, scheme_name=scheme_name,
-                                       heartbeat=heartbeat)
-        if telemetry is not None:
-            telemetry.attach_federation(federation)
-
-    if federation is not None:
-        balancer = TwoLevelBalancer(
-            federation.topology,
-            use_irq_pressure=(scheme_name == "e-rdma-sync"),
-            rng=sim.rng.stream("loadbalancer"),
-        )
-    else:
-        balancer = LeastLoadedBalancer(
-            num_backends=len(servers),
-            use_irq_pressure=(scheme_name == "e-rdma-sync"),
-            rng=sim.rng.stream("loadbalancer"),
-        )
-    balancer.tracer = sim.spans
-    balancer.trace_node = sim.frontend.name
-    admission = None
+    builder = ClusterBuilder(cfg)
+    builder.scheme(scheme_name, interval=poll_interval)
+    if workers is not None:
+        builder.workers(workers)
     if with_admission:
-        admission = AdmissionController(
-            num_backends=len(servers),
-            max_score=admission_max_score,
-            balancer=balancer,
-            alert_engine=(telemetry.engine if alert_shedding and telemetry else None),
-        )
-        admission.tracer = sim.spans
-        admission.trace_node = sim.frontend.name
-    dispatcher = Dispatcher(
-        sim.frontend, servers, balancer,
-        monitor=(federation.root if federation is not None else monitor),
-        admission=admission,
-        health=heartbeat,
-        telemetry=(telemetry if alert_shedding else None),
-    )
-    dispatcher.start()
-    return RubisCluster(
-        sim=sim,
-        servers=servers,
-        scheme=scheme,
-        monitor=monitor,
-        balancer=balancer,
-        dispatcher=dispatcher,
-        admission=admission,
-        telemetry=telemetry,
-        faults=faults,
-        heartbeat=heartbeat,
-        federation=federation,
-    )
+        builder.with_admission(max_score=admission_max_score)
+    if with_telemetry or alert_shedding:
+        builder.with_telemetry(rules=telemetry_rules)
+    if alert_shedding:
+        builder.with_alert_shedding()
+    if with_tracing:
+        builder.with_tracing(sample=trace_sample)
+    if fault_schedule is not None:
+        if not isinstance(fault_schedule, (str, FaultSchedule)):
+            raise TypeError("fault_schedule must be FaultSchedule, str or None")
+        builder.with_faults(fault_schedule)
+    if with_heartbeat:
+        builder.with_heartbeat(interval=heartbeat_interval,
+                               timeout=heartbeat_timeout,
+                               hung_after=heartbeat_hung_after)
+    return builder.build()

@@ -20,6 +20,7 @@ from repro.analysis.report import format_series, format_table
 from repro.experiments import (
     federation_scale,
     fig3_latency,
+    perf_core,
     fig4_granularity,
     fig5_accuracy,
     fig6_interrupts,
@@ -88,6 +89,9 @@ RUNNERS = {
             sizes=federation_scale.DEFAULT_SIZES if full else (8, 32),
             duration=(250 if full else 120) * MILLISECOND),
         "backends", "Federation — flat vs two-level monitoring fabric"),
+    "perf_core": lambda full: (lambda r: _render_series(
+        r, "backends", "Simulator wall-clock (current core)") + "\n" + r.notes)(
+        perf_core.run(sizes=perf_core.DEFAULT_SIZES if full else (64, 128))),
 }
 
 

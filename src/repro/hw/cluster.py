@@ -54,9 +54,26 @@ class ClusterSim:
                 return node
         raise KeyError(f"no node named {name!r}")
 
+    #: monotonically increasing run-phase counter (names profile phases)
+    _run_count: int = 0
+
     def run(self, until: int) -> None:
-        """Advance the simulation to absolute time ``until``."""
-        self.env.run(until=until)
+        """Advance the simulation to absolute time ``until``.
+
+        With ``cfg.profile.enabled`` the advance is wrapped in its own
+        cProfile session and a hotspot table for phase ``run<N>`` is
+        printed on completion (see :mod:`repro.profiling`). Simulated
+        time and event ordering are unaffected.
+        """
+        pcfg = self.cfg.profile
+        if not pcfg.enabled:
+            self.env.run(until=until)
+            return
+        from repro.profiling import profile_phase
+
+        self._run_count += 1
+        with profile_phase(pcfg, f"run{self._run_count}:t={until}"):
+            self.env.run(until=until)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ClusterSim backends={len(self.backends)} t={self.env.now}>"

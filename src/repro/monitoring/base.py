@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.tracing.span import Span
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryRecord:
     """One completed monitoring query (front-end view)."""
 
@@ -44,8 +44,33 @@ class QueryRecord:
         return self.completed_at - self.issued_at
 
 
+def make_read_post(qp, mr):
+    """Prebuilt, untraced RDMA-read post closure for one (QP, MR) pair.
+
+    The RDMA schemes build one of these per back-end at deploy time and
+    reuse it on every unsampled probe, so the steady-state polling loop
+    allocates no per-query closure — the per-call lambda survives only
+    on the (rare) traced path, which needs the fresh span context.
+    """
+    rkey = mr.rkey
+    nbytes = mr.nbytes
+    post_read = qp._post_read
+
+    def post():
+        return post_read(rkey, nbytes)
+
+    return post
+
+
 class MonitoringScheme(abc.ABC):
-    """Base class for the five schemes."""
+    """Base class for the five schemes.
+
+    Constructor contract (normalized across every scheme): positional
+    ``sim`` only; everything else — ``interval``, ``with_irq_detail`` —
+    is keyword-only, so :func:`repro.monitoring.registry.create_scheme`
+    can forward arbitrary keyword options and reject unknown ones with
+    a per-scheme error.
+    """
 
     #: registry name, e.g. "rdma-sync"
     name: str = "abstract"
@@ -54,7 +79,7 @@ class MonitoringScheme(abc.ABC):
     #: monitoring threads the scheme runs on each back-end
     backend_threads: int = 0
 
-    def __init__(self, sim: "ClusterSim", interval: Optional[int] = None) -> None:
+    def __init__(self, sim: "ClusterSim", *, interval: Optional[int] = None) -> None:
         self.sim = sim
         self.frontend: "Node" = sim.frontend
         self.backends: List["Node"] = list(sim.backends)

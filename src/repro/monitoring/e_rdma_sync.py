@@ -21,5 +21,7 @@ class ExtendedRdmaSyncScheme(RdmaSyncScheme):
     name = "e-rdma-sync"
     read_irq_stat = True
 
-    def __init__(self, sim, interval=None, with_irq_detail: bool = True) -> None:
-        super().__init__(sim, interval, with_irq_detail=True)
+    def __init__(self, sim, *, interval=None, with_irq_detail: bool = True) -> None:
+        # irq detail is this scheme's whole point: force it on even if a
+        # caller passes with_irq_detail=False.
+        super().__init__(sim, interval=interval, with_irq_detail=True)

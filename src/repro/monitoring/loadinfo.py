@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadInfo:
     """One load report for one back-end node."""
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
-from repro.monitoring.base import MonitoringScheme
+from repro.monitoring.base import MonitoringScheme, make_read_post
 from repro.monitoring.loadinfo import LoadCalculator, LoadInfo
 from repro.transport.verbs import (
     AccessFlags,
@@ -33,11 +33,13 @@ class RdmaAsyncScheme(MonitoringScheme):
     one_sided = True
     backend_threads = 1
 
-    def __init__(self, sim, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
-        super().__init__(sim, interval)
+    def __init__(self, sim, *, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
+        super().__init__(sim, interval=interval)
         self.with_irq_detail = with_irq_detail
         self._qps: List[QueuePair] = []
         self._mrs: List[MemoryRegionHandle] = []
+        #: prebuilt untraced post closures (steady-state probe cache)
+        self._posts: List = []
 
     def _deploy(self) -> None:
         mon = self.sim.cfg.monitor
@@ -48,6 +50,7 @@ class RdmaAsyncScheme(MonitoringScheme):
             self._mrs.append(pd.register(region, AccessFlags.REMOTE_READ))
             qp_fe, _qp_be = connect_qp(self.frontend, be)
             self._qps.append(qp_fe)
+            self._posts.append(make_read_post(qp_fe, self._mrs[-1]))
             be.spawn(f"mon-calc:{be.name}", self._calc_body(be, region), nice=0)
 
     def _calc_body(self, be, region):
@@ -70,10 +73,13 @@ class RdmaAsyncScheme(MonitoringScheme):
     def query(self, k: "TaskContext", backend_index: int) -> Generator:
         issued = k.now
         span = self._probe_span(backend_index)
-        mr = self._mrs[backend_index]
-        qp = self._qps[backend_index]
-        wc, attempts = yield from self._verb_retry(
-            k, lambda: qp._post_read(mr.rkey, mr.nbytes, ctx=span))
+        if span is None:
+            post = self._posts[backend_index]
+        else:
+            mr = self._mrs[backend_index]
+            qp = self._qps[backend_index]
+            post = lambda: qp._post_read(mr.rkey, mr.nbytes, ctx=span)
+        wc, attempts = yield from self._verb_retry(k, post)
         if wc is None or not wc.ok:
             return self._record_failure(backend_index, issued, span=span,
                                         attempts=attempts)

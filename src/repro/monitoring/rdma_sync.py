@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
-from repro.monitoring.base import MonitoringScheme
+from repro.monitoring.base import MonitoringScheme, make_read_post
 from repro.monitoring.loadinfo import LoadCalculator, LoadInfo
 from repro.transport.verbs import (
     AccessFlags,
@@ -43,8 +43,8 @@ class RdmaSyncScheme(MonitoringScheme):
     #: whether queries additionally fetch irq_stat
     read_irq_stat = False
 
-    def __init__(self, sim, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
-        super().__init__(sim, interval)
+    def __init__(self, sim, *, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
+        super().__init__(sim, interval=interval)
         if with_irq_detail:
             self.read_irq_stat = True
         self._qps: List[QueuePair] = []
@@ -52,6 +52,9 @@ class RdmaSyncScheme(MonitoringScheme):
         self._irq_mrs: List[MemoryRegionHandle] = []
         #: front-end side calculators (jiffy differencing happens here)
         self._calcs: List[LoadCalculator] = []
+        #: prebuilt untraced post closures (steady-state probe cache)
+        self._load_posts: List = []
+        self._irq_posts: List = []
 
     def _deploy(self) -> None:
         for be in self.backends:
@@ -66,24 +69,33 @@ class RdmaSyncScheme(MonitoringScheme):
             qp_fe, _ = connect_qp(self.frontend, be)
             self._qps.append(qp_fe)
             self._calcs.append(LoadCalculator(be.name))
+            self._load_posts.append(make_read_post(qp_fe, self._load_mrs[-1]))
+            self._irq_posts.append(make_read_post(qp_fe, self._irq_mrs[-1]))
 
     # ------------------------------------------------------------------
     def query(self, k: "TaskContext", backend_index: int) -> Generator:
         mon = self.sim.cfg.monitor
         issued = k.now
         span = self._probe_span(backend_index)
-        qp = self._qps[backend_index]
-        load_mr = self._load_mrs[backend_index]
-        wc, attempts = yield from self._verb_retry(
-            k, lambda: qp._post_read(load_mr.rkey, load_mr.nbytes, ctx=span))
+        if span is None:
+            post = self._load_posts[backend_index]
+        else:
+            qp = self._qps[backend_index]
+            load_mr = self._load_mrs[backend_index]
+            post = lambda: qp._post_read(load_mr.rkey, load_mr.nbytes, ctx=span)
+        wc, attempts = yield from self._verb_retry(k, post)
         if wc is None or not wc.ok:
             return self._record_failure(backend_index, issued, span=span,
                                         attempts=attempts)
         irq = None
         if self.read_irq_stat:
-            irq_mr = self._irq_mrs[backend_index]
-            wc_irq, irq_attempts = yield from self._verb_retry(
-                k, lambda: qp._post_read(irq_mr.rkey, irq_mr.nbytes, ctx=span))
+            if span is None:
+                irq_post = self._irq_posts[backend_index]
+            else:
+                qp = self._qps[backend_index]
+                irq_mr = self._irq_mrs[backend_index]
+                irq_post = lambda: qp._post_read(irq_mr.rkey, irq_mr.nbytes, ctx=span)
+            wc_irq, irq_attempts = yield from self._verb_retry(k, irq_post)
             attempts += irq_attempts - 1
             if wc_irq is None or not wc_irq.ok:
                 return self._record_failure(backend_index, issued, span=span,

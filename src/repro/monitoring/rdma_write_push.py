@@ -42,8 +42,8 @@ class RdmaWritePushScheme(MonitoringScheme):
     one_sided = True
     backend_threads = 1
 
-    def __init__(self, sim, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
-        super().__init__(sim, interval)
+    def __init__(self, sim, *, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
+        super().__init__(sim, interval=interval)
         self.with_irq_detail = with_irq_detail
         #: front-end regions, one per back-end (the push targets)
         self._regions: List = []

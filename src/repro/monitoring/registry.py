@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import TYPE_CHECKING, Optional, Type
 
 from repro.monitoring.base import MonitoringScheme
@@ -52,21 +53,44 @@ def scheme_class(name: str) -> Type[MonitoringScheme]:
         ) from None
 
 
+def scheme_options(name: str) -> list:
+    """The keyword options a scheme's constructor accepts (sorted)."""
+    cls = scheme_class(name)
+    params = inspect.signature(cls.__init__).parameters
+    return sorted(p for p in params if p not in ("self", "sim"))
+
+
 def create_scheme(
     name: str,
     sim: "ClusterSim",
+    *,
     interval: Optional[int] = None,
-    with_irq_detail: bool = False,
     deploy: bool = True,
+    **kwargs,
 ) -> MonitoringScheme:
-    """Instantiate (and by default deploy) a scheme by its paper name."""
+    """Instantiate (and by default deploy) a scheme by its paper name.
+
+    All scheme constructors share the normalized keyword-only signature
+    ``cls(sim, *, interval=None, with_irq_detail=False)``; extra keyword
+    arguments are forwarded verbatim. Unknown keywords are rejected here
+    with an error naming the scheme and listing what it does accept.
+    """
     try:
         cls = _SCHEMES[name]
     except KeyError:
         raise ValueError(
             f"unknown scheme {name!r}; choose from {sorted(_SCHEMES)}"
         ) from None
-    scheme = cls(sim, interval=interval, with_irq_detail=with_irq_detail)
+    params = inspect.signature(cls.__init__).parameters
+    unknown = sorted(k for k in kwargs if k not in params)
+    if unknown:
+        valid = sorted(p for p in params if p not in ("self", "sim"))
+        raise TypeError(
+            f"scheme {name!r} ({cls.__name__}) got unknown keyword "
+            f"argument(s) {', '.join(map(repr, unknown))}; "
+            f"it accepts: {', '.join(valid)}"
+        )
+    scheme = cls(sim, interval=interval, **kwargs)
     if deploy:
         scheme.deploy()
     return scheme

@@ -33,8 +33,8 @@ class SocketAsyncScheme(MonitoringScheme):
     one_sided = False
     backend_threads = 2
 
-    def __init__(self, sim, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
-        super().__init__(sim, interval)
+    def __init__(self, sim, *, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
+        super().__init__(sim, interval=interval)
         self.with_irq_detail = with_irq_detail
         #: front-end side endpoints, one per back-end
         self._fe_ends: List[SocketEndpoint] = []

@@ -27,8 +27,8 @@ class SocketSyncScheme(MonitoringScheme):
     one_sided = False
     backend_threads = 1
 
-    def __init__(self, sim, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
-        super().__init__(sim, interval)
+    def __init__(self, sim, *, interval: Optional[int] = None, with_irq_detail: bool = False) -> None:
+        super().__init__(sim, interval=interval)
         self.with_irq_detail = with_irq_detail
         self._fe_ends: List[SocketEndpoint] = []
 

@@ -3,12 +3,33 @@
 :class:`Environment` owns the clock and the event queue and drives the
 simulation. It is deliberately minimal: all domain behaviour (CPUs,
 NICs, kernels) is built as processes and events on top of it.
+
+Performance notes
+-----------------
+This module is the hottest code in the repository — every simulated
+nanosecond flows through it — so it trades a little uniformity for
+speed in three deliberate ways:
+
+* The queue holds **mutable list entries** ``[time, priority, seq,
+  event]`` (the :mod:`repro.sim.pqueue` convention) instead of tuples.
+  Each scheduled event carries its entry in ``event._entry``, which
+  makes :meth:`Environment.cancel` a single O(1) slot write — no
+  tombstone scans, no re-heapify. Dead entries are discarded when they
+  surface at the heap top, each exactly once.
+* :meth:`run` inlines the pop/dispatch loop per ``until`` mode rather
+  than calling :meth:`step`, binding the queue and ``heappop`` to
+  locals and reading event state through slots directly. ``step`` and
+  ``peek`` remain for incremental driving and tests.
+* Sequence numbers stay globally monotonic and unique, so heap
+  comparison never reaches the event slot and dispatch order is a pure
+  function of ``(time, priority, seq)`` — byte-identical to the
+  historical tuple heap for any same-seed run.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Generator, List, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
 from repro.sim.process import Process
@@ -40,19 +61,23 @@ class Environment:
 
     Notes
     -----
-    The queue is a binary heap of ``(time, priority, sequence, event)``
-    tuples. ``sequence`` increases monotonically with each scheduling
+    The queue is a binary heap of ``[time, priority, sequence, event]``
+    entries. ``sequence`` increases monotonically with each scheduling
     operation, so simultaneous same-priority events fire in the exact
     order they were scheduled — the keystone of reproducibility.
+    Cancelled entries have their event slot set to ``None`` and are
+    dropped when they reach the heap top.
     """
 
     def __init__(self, initial_time: int = 0) -> None:
         self._now: int = int(initial_time)
-        self._queue: List[Tuple[int, int, int, Event]] = []
+        self._queue: List[list] = []
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         #: number of events processed so far (diagnostics / tests)
         self.processed_events: int = 0
+        #: number of scheduled events cancelled before dispatch
+        self.cancelled_events: int = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -89,30 +114,55 @@ class Environment:
         """Schedule a triggered event for processing ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heappush(self._queue, (self._now + delay, int(priority), self._seq, event))
+        self._seq = seq = self._seq + 1
+        event._entry = entry = [self._now + delay, priority, seq, event]
+        heappush(self._queue, entry)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a scheduled event before it dispatches. O(1).
+
+        Returns True if the event was pending dispatch (its callbacks
+        will now never run and it will never count as processed), False
+        if it was not scheduled — never triggered, already processed, or
+        already cancelled. Does not touch the heap: the dead entry is
+        discarded when it surfaces at the top.
+        """
+        entry = event._entry
+        if entry is None:
+            return False
+        entry[3] = None
+        event._entry = None
+        self.cancelled_events += 1
+        return True
 
     def peek(self) -> int:
         """Time of the next scheduled event, or a sentinel max if none."""
-        if not self._queue:
-            return 2**63 - 1
-        return self._queue[0][0]
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3] is not None:
+                return head[0]
+            heappop(queue)
+        return 2**63 - 1
 
     def step(self) -> None:
         """Process the next event. Raises :class:`EmptySchedule` if none."""
-        try:
-            when, _prio, _seq, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
-        assert when >= self._now, "event queue went backwards"
-        self._now = when
-        self.processed_events += 1
-        event._process()
-        # An un-handled failure propagates out of the run loop unless some
-        # waiter defused it (e.g. a process that caught the exception).
-        if not event.ok and not event.defused:
-            exc = event.value
-            raise exc
+        queue = self._queue
+        while queue:
+            entry = heappop(queue)
+            event = entry[3]
+            if event is not None:
+                event._entry = None
+                self._now = entry[0]
+                self.processed_events += 1
+                event._process()
+                # An un-handled failure propagates out of the run loop
+                # unless some waiter defused it (e.g. a process that
+                # caught the exception).
+                if not event._ok and not event._defused:
+                    raise event._value
+                return
+        raise EmptySchedule()
 
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run the simulation.
@@ -125,45 +175,115 @@ class Environment:
         * an :class:`Event` — run until that event is processed, returning
           its value.
         """
-        stop_event: Optional[Event] = None
-        horizon: Optional[int] = None
+        if until is None:
+            return self._run_drain()
         if isinstance(until, Event):
-            stop_event = until
-        elif until is not None:
-            horizon = int(until)
-            if horizon < self._now:
-                raise SimulationError(
-                    f"until={horizon} is in the past (now={self._now})"
-                )
+            return self._run_until_event(until)
+        horizon = int(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"until={horizon} is in the past (now={self._now})"
+            )
+        return self._run_until_time(horizon)
 
+    def _run_drain(self) -> Any:
+        """run(None): drain the queue completely."""
+        queue = self._queue
+        pop = heappop
+        processed = self.processed_events
         try:
-            while True:
-                if stop_event is not None and stop_event.processed:
-                    if not stop_event.ok:
-                        raise stop_event.value
-                    return stop_event.value
-                if horizon is not None and self.peek() > horizon:
-                    self._now = horizon
-                    return None
-                try:
-                    self.step()
-                except EmptySchedule:
-                    if stop_event is not None and not stop_event.processed:
-                        raise SimulationError(
-                            f"run() until-event {stop_event!r} can never fire: "
-                            "event queue is empty"
-                        ) from None
-                    if horizon is not None:
-                        self._now = horizon
-                    return None
+            while queue:
+                entry = pop(queue)
+                event = entry[3]
+                if event is None:
+                    continue
+                event._entry = None
+                self._now = entry[0]
+                processed += 1
+                self.processed_events = processed
+                event._process()
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
+        except StopSimulation as stop:
+            return stop.value
+
+    def _run_until_event(self, stop_event: Event) -> Any:
+        """run(event): dispatch until ``stop_event`` is processed."""
+        queue = self._queue
+        pop = heappop
+        try:
+            while not stop_event._processed:
+                while queue:
+                    entry = pop(queue)
+                    event = entry[3]
+                    if event is not None:
+                        break
+                else:
+                    raise SimulationError(
+                        f"run() until-event {stop_event!r} can never fire: "
+                        "event queue is empty"
+                    )
+                event._entry = None
+                self._now = entry[0]
+                self.processed_events += 1
+                event._process()
+                if not event._ok and not event._defused:
+                    raise event._value
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        except StopSimulation as stop:
+            return stop.value
+
+    def _run_until_time(self, horizon: int) -> Any:
+        """run(int): dispatch everything at or before ``horizon``."""
+        queue = self._queue
+        pop = heappop
+        processed = self.processed_events
+        try:
+            while queue:
+                head = queue[0]
+                event = head[3]
+                if event is None:
+                    pop(queue)
+                    continue
+                if head[0] > horizon:
+                    break
+                pop(queue)
+                event._entry = None
+                self._now = head[0]
+                processed += 1
+                self.processed_events = processed
+                event._process()
+                if not event._ok and not event._defused:
+                    raise event._value
+            self._now = horizon
+            return None
         except StopSimulation as stop:
             return stop.value
 
     def run_until_quiet(self, max_time: int) -> None:
         """Run until nothing is scheduled before ``max_time``; clamp clock."""
-        while self._queue and self.peek() <= max_time:
-            self.step()
-        self._now = max(self._now, max_time)
+        queue = self._queue
+        pop = heappop
+        while queue:
+            head = queue[0]
+            event = head[3]
+            if event is None:
+                pop(queue)
+                continue
+            if head[0] > max_time:
+                break
+            pop(queue)
+            event._entry = None
+            self._now = head[0]
+            self.processed_events += 1
+            event._process()
+            if not event._ok and not event._defused:
+                raise event._value
+        if self._now < max_time:
+            self._now = max_time
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Environment t={self._now} queued={len(self._queue)}>"

@@ -14,6 +14,7 @@ in the kernel ever depends on hash ordering or wall-clock time.
 from __future__ import annotations
 
 import enum
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -61,7 +62,7 @@ class Event:
     immediately (at the current time, URGENT priority).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused", "name")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused", "_entry", "name")
 
     def __init__(self, env: "Environment", name: str = "") -> None:
         self.env = env
@@ -72,6 +73,8 @@ class Event:
         self._ok: bool = True
         self._processed = False
         self._defused = False
+        #: live queue entry while scheduled (see repro.sim.pqueue)
+        self._entry: Optional[list] = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -99,6 +102,15 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so the engine won't re-raise it."""
         self._defused = True
+
+    def cancel(self) -> bool:
+        """Cancel this event's pending dispatch, if any. O(1).
+
+        Delegates to :meth:`~repro.sim.engine.Environment.cancel`: True
+        iff the event was triggered but not yet dispatched; its
+        callbacks will then never run.
+        """
+        return self.env.cancel(self)
 
     @property
     def defused(self) -> bool:
@@ -148,7 +160,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Timeouts are by far the most-allocated event type (every simulated
+    latency is one), so ``__init__`` is hand-flattened: fields are set
+    inline instead of chaining ``Event.__init__``, the name stays empty
+    (``__repr__`` reconstructs the label from ``delay``), and the queue
+    entry is built and pushed directly rather than via
+    ``Environment._enqueue``. The entry layout and sequence numbering
+    are identical, so scheduling order is unchanged.
+    """
 
     __slots__ = ("delay",)
 
@@ -161,11 +182,27 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env, name=f"Timeout({delay})")
-        self.delay = int(delay)
-        self._ok = True
+        delay = int(delay)
+        self.env = env
+        self.name = ""
+        self.callbacks = []
         self._value = value
-        env._enqueue(self, priority, delay=self.delay)
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        self._entry = entry = [env._now + delay, priority, seq, self]
+        heappush(env._queue, entry)
+
+    @property
+    def triggered(self) -> bool:
+        """A timeout is triggered at construction."""
+        return True
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else "triggered"
+        return f"<Timeout({self.delay}) {state} at {id(self):#x}>"
 
 
 class ConditionValue:

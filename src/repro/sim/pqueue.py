@@ -1,0 +1,101 @@
+"""Indexed binary heap with O(1) cancellation.
+
+The engine's historical pain points were two: arbitrary removal from a
+``heapq`` either re-heapified the whole queue (``resources.py``) or left
+the entry to be scanned around forever, and a heap of immutable tuples
+gives a cancelled entry no way to drop its payload reference.
+
+The structure here fixes both with one convention, shared by
+:class:`~repro.sim.engine.Environment` (which inlines it for speed) and
+:class:`IndexedHeap` (the reusable wrapper used by
+:class:`~repro.sim.resources.Resource`):
+
+* a queue entry is a **mutable list** ``[*key, item]`` whose key fields
+  are compared element-wise by ``heapq``'s C implementation, exactly
+  like the old tuples;
+* the entry itself is the **index**: the owner stores it on the item
+  (``event._entry``, ``request._qentry``), so cancellation needs no
+  lookup — it is one list-slot write, ``entry[-1] = None``, which both
+  marks the entry dead and releases the payload immediately;
+* ``pop``/``peek`` discard dead entries as they surface. Each cancelled
+  entry is popped **exactly once** (amortised ``O(log n)``, paid by the
+  pop that finds it) — there is no scan, no ``heapify``, and no
+  tombstone ever inspected twice.
+
+Keys must be unique (both users include a monotonic sequence number), so
+comparison never reaches the payload slot and pop order is a pure
+function of the keys — which is why swapping this structure in cannot
+reorder any event and keeps same-seed runs byte-identical.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Sequence
+
+
+class IndexedHeap:
+    """A min-heap of ``[*key, item]`` entries with O(1) cancellation.
+
+    ``push`` returns the entry, which is the cancellation handle; the
+    caller keeps it wherever is convenient (typically on the item).
+    ``len()`` and truthiness reflect only *live* entries.
+    """
+
+    __slots__ = ("_heap", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[list] = []
+        self._live: int = 0
+
+    def push(self, key: Sequence, item: Any) -> list:
+        """Insert ``item`` under ``key`` (unique); returns the entry."""
+        entry = [*key, item]
+        heappush(self._heap, entry)
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: list) -> bool:
+        """Kill ``entry`` in O(1). True if it was still live."""
+        if entry[-1] is None:
+            return False
+        entry[-1] = None
+        self._live -= 1
+        return True
+
+    def pop(self) -> Any:
+        """Remove and return the smallest live item.
+
+        Dead entries surfacing at the top are discarded on the way —
+        each exactly once. Raises :class:`IndexError` when empty.
+        """
+        heap = self._heap
+        while heap:
+            item = heappop(heap)[-1]
+            if item is not None:
+                self._live -= 1
+                return item
+        raise IndexError("pop from empty IndexedHeap")
+
+    def peek_key(self) -> Optional[tuple]:
+        """Key of the smallest live entry, or None when empty."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[-1] is not None:
+                return tuple(head[:-1])
+            heappop(heap)
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IndexedHeap live={self._live} slots={len(self._heap)}>"

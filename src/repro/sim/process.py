@@ -85,17 +85,25 @@ class Process(Event):
 
     # -- engine plumbing ------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        """Advance the generator with ``event``'s outcome."""
+        """Advance the generator with ``event``'s outcome.
+
+        The hottest function in the kernel (it runs once per process
+        step), so state is read through slots and locals directly.
+        """
         env = self.env
+        resume = self._resume
         # If we were waiting on a regular event, detach from it (relevant
         # for interrupts: the original target may fire later and must not
         # resume us again).
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._target = None
+        target = self._target
+        if target is not None:
+            callbacks = target.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(resume)
+                except ValueError:
+                    pass
+            self._target = None
 
         env._active_process = self
         try:
@@ -104,7 +112,7 @@ class Process(Event):
             else:
                 # Mark the failure as handled; if the process doesn't catch
                 # it, we will fail the process event below instead.
-                event.defuse()
+                event._defused = True
                 result = self._generator.throw(event._value)
         except StopIteration as stop:
             env._active_process = None
@@ -128,20 +136,17 @@ class Process(Event):
         if result.env is not env:
             raise ValueError("yielded an event from a different environment")
 
-        if result.processed:
+        if result._processed:
             # Already done: resume at the current instant, urgently.
             relay = Event(env, name=f"relay:{self.name}")
-            assert relay.callbacks is not None
-            relay.callbacks.append(self._resume)
+            relay.callbacks.append(resume)
             relay._ok = result._ok
             relay._value = result._value
             if not result._ok:
-                result.defuse()
+                result._defused = True
             env._enqueue(relay, EventPriority.URGENT)
-            self._target = None
         else:
-            assert result.callbacks is not None
-            result.callbacks.append(self._resume)
+            result.callbacks.append(resume)
             self._target = result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

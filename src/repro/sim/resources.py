@@ -14,11 +14,11 @@ by (priority, arrival sequence).
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Tuple
 
 from repro.sim.events import Event
+from repro.sim.pqueue import IndexedHeap
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -36,7 +36,7 @@ class Request(Event):
     which guarantees release even if the process is interrupted.
     """
 
-    __slots__ = ("resource", "priority", "_order")
+    __slots__ = ("resource", "priority", "_order", "_qentry")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.env, name=f"req:{resource.name}")
@@ -44,6 +44,8 @@ class Request(Event):
         self.priority = priority
         resource._seq += 1
         self._order = resource._seq
+        #: live wait-queue entry while queued (see repro.sim.pqueue)
+        self._qentry: Optional[list] = None
         resource._request(self)
 
     def __enter__(self) -> "Request":
@@ -68,7 +70,8 @@ class Resource:
         self.capacity = capacity
         self._seq = 0
         self.users: List[Request] = []
-        self.queue: List[Tuple[int, int, Request]] = []  # (priority, order, req)
+        #: waiting requests keyed by (priority, order); live-count aware
+        self.queue: IndexedHeap = IndexedHeap()
 
     @property
     def count(self) -> int:
@@ -94,21 +97,27 @@ class Resource:
             self.users.append(request)
             request.succeed()
         else:
-            heapq.heappush(self.queue, (request.priority, request._order, request))
+            request._qentry = self.queue.push(
+                (request.priority, request._order), request
+            )
 
     def _cancel(self, request: Request) -> None:
-        for i, (_p, _o, queued) in enumerate(self.queue):
-            if queued is request:
-                del self.queue[i]
-                heapq.heapify(self.queue)
-                return
+        # O(1): tombstone the entry; _grant_next discards it when it
+        # surfaces (previously this scanned and re-heapified the queue).
+        entry = request._qentry
+        if entry is not None:
+            request._qentry = None
+            self.queue.cancel(entry)
 
     def _grant_next(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
-            _p, _o, request = heapq.heappop(self.queue)
+        queue = self.queue
+        users = self.users
+        while queue and len(users) < self.capacity:
+            request = queue.pop()
+            request._qentry = None
             if request.triggered:
                 continue
-            self.users.append(request)
+            users.append(request)
             request.succeed()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

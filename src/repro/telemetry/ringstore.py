@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class Aggregate:
     """One downsampled block: ``time`` is the block's last sample time."""
 

@@ -37,9 +37,13 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One timed segment of causal work."""
+    """One timed segment of causal work.
+
+    Slotted: traced runs allocate one Span per probe hop, so the
+    per-instance dict is pure overhead.
+    """
 
     trace_id: int
     span_id: int

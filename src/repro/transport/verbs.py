@@ -64,7 +64,7 @@ class WcStatus(enum.Enum):
     RNR_RETRY = "rnr-retry"
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkCompletion:
     """Result of one work request."""
 
@@ -80,7 +80,7 @@ class WorkCompletion:
         return self.status is WcStatus.SUCCESS
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRegionHandle:
     """A registered memory region."""
 
@@ -241,7 +241,7 @@ class QueuePair:
         wr_id = QueuePair._next_wr[0]
         QueuePair._next_wr[0] += 1
         self.reads += 1
-        done = env.event(name=f"rdma-read:{wr_id}")
+        done = env.event()
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
@@ -309,7 +309,7 @@ class QueuePair:
         wr_id = QueuePair._next_wr[0]
         QueuePair._next_wr[0] += 1
         self.writes += 1
-        done = env.event(name=f"rdma-write:{wr_id}")
+        done = env.event()
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
@@ -396,7 +396,7 @@ class QueuePair:
         cfg = self.local.cfg.net
         wr_id = QueuePair._next_wr[0]
         QueuePair._next_wr[0] += 1
-        done = env.event(name=f"rdma-atomic:{wr_id}")
+        done = env.event()
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None

@@ -1,0 +1,128 @@
+"""Event-ordering edge cases pinned against the overhauled core.
+
+The indexed-heap engine must preserve the historical contract exactly:
+pop order is a pure function of ``(time, priority, seq)``, same-time
+same-priority events fire in schedule (FIFO) order, and neither
+cancellation nor scheduling *during dispatch* can reorder anything
+already queued.
+"""
+
+from repro.sim.engine import Environment
+from repro.sim.events import EventPriority
+
+
+def test_same_timestamp_fifo_across_many_events():
+    env = Environment()
+    order = []
+    for i in range(100):
+        t = env.timeout(10, value=i)
+        t.callbacks.append(lambda e: order.append(e.value))
+    env.run_until_quiet(20)
+    assert order == list(range(100))
+
+
+def test_priority_beats_fifo_at_same_timestamp():
+    env = Environment()
+    order = []
+    normal = env.timeout(10, value="normal")
+    urgent = env.timeout(10, value="urgent", priority=EventPriority.URGENT)
+    for t in (normal, urgent):
+        t.callbacks.append(lambda e: order.append(e.value))
+    env.run_until_quiet(20)
+    assert order == ["urgent", "normal"]
+
+
+def test_schedule_during_dispatch_runs_after_queued_peers():
+    # A callback scheduling a zero-delay event at the current timestamp
+    # gets a fresh (larger) seq, so it fires after every already-queued
+    # same-time event — never in between them.
+    env = Environment()
+    order = []
+
+    def spawn_mid(e):
+        order.append("first")
+        child = env.timeout(0, value="child")
+        child.callbacks.append(lambda ev: order.append(ev.value))
+
+    first = env.timeout(10)
+    first.callbacks.append(spawn_mid)
+    second = env.timeout(10, value="second")
+    second.callbacks.append(lambda e: order.append(e.value))
+    env.run_until_quiet(20)
+    assert order == ["first", "second", "child"]
+
+
+def test_cancel_during_dispatch_of_same_timestamp_peer():
+    # A callback cancelling a same-time event that is still queued must
+    # suppress it even though both were scheduled for the same instant.
+    env = Environment()
+    order = []
+    trigger = env.timeout(10)  # scheduled first, so it dispatches first
+    victim = env.timeout(10, value="victim")
+    victim.callbacks.append(lambda e: order.append(e.value))
+
+    def killer(e):
+        order.append("killer")
+        assert env.cancel(victim) is True
+
+    trigger.callbacks.append(killer)
+    env.run_until_quiet(20)
+    assert order == ["killer"]
+    assert env.processed_events == 1
+
+
+def test_schedule_during_dispatch_for_earlier_future_time():
+    env = Environment()
+    order = []
+
+    def spawn_earlier(e):
+        order.append("t10")
+        child = env.timeout(5, value="t15")
+        child.callbacks.append(lambda ev: order.append(ev.value))
+
+    first = env.timeout(10)
+    first.callbacks.append(spawn_earlier)
+    late = env.timeout(20, value="t20")
+    late.callbacks.append(lambda e: order.append(e.value))
+    env.run_until_quiet(30)
+    assert order == ["t10", "t15", "t20"]
+
+
+def test_interleaved_cancel_and_schedule_preserves_seq_order():
+    env = Environment()
+    order = []
+    events = []
+    for i in range(20):
+        t = env.timeout(10, value=i)
+        t.callbacks.append(lambda e: order.append(e.value))
+        events.append(t)
+    for t in events[1::2]:
+        env.cancel(t)
+    # new same-time events scheduled after the cancels still fire last
+    tail = env.timeout(10, value="tail")
+    tail.callbacks.append(lambda e: order.append(e.value))
+    env.run_until_quiet(20)
+    assert order == [*range(0, 20, 2), "tail"]
+
+
+def test_run_until_time_with_cancelled_boundary_event():
+    env = Environment()
+    boundary = env.timeout(10)
+    env.cancel(boundary)
+    env.run(until=10)
+    assert env.now == 10
+    assert env.processed_events == 0
+
+
+def test_processes_see_fifo_wakeups_at_same_time():
+    env = Environment()
+    order = []
+
+    def sleeper(tag):
+        yield env.timeout(10)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(sleeper(tag))
+    env.run_until_quiet(20)
+    assert order == ["a", "b", "c"]

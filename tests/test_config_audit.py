@@ -1,0 +1,91 @@
+"""Config-schema audit: unknown keys raise with a did-you-mean hint."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    FederationConfig,
+    MonitorConfig,
+    ProfileConfig,
+    SimConfig,
+    TracingConfig,
+)
+
+
+def test_misspelled_assignment_raises_with_suggestion():
+    cfg = SimConfig()
+    with pytest.raises(AttributeError, match="did you mean 'interval'"):
+        cfg.monitor.intervall = 1
+
+
+def test_misspelled_ctor_kwarg_raises_with_suggestion():
+    with pytest.raises(TypeError, match="did you mean 'interval'"):
+        MonitorConfig(intervall=1)
+
+
+def test_unknown_key_lists_valid_keys():
+    with pytest.raises(AttributeError, match="valid keys:.*sample_rate"):
+        TracingConfig().sampel_rate = 0.5
+
+
+def test_no_suggestion_for_garbage_names():
+    cfg = SimConfig()
+    with pytest.raises(AttributeError) as exc:
+        cfg.cpu.zzz_not_a_knob = 1
+    assert "did you mean" not in str(exc.value)
+    assert "valid keys" in str(exc.value)
+
+
+def test_every_section_is_audited():
+    cfg = SimConfig()
+    for section in ("cpu", "irq", "syscall", "net", "server", "monitor",
+                    "tracing", "federation", "profile"):
+        with pytest.raises(AttributeError):
+            setattr(getattr(cfg, section), "not_a_field", 1)
+    with pytest.raises(AttributeError):
+        cfg.not_a_field = 1
+
+
+def test_valid_assignment_and_ctor_still_work():
+    cfg = SimConfig(num_backends=4)
+    cfg.monitor.interval = 123
+    cfg.federation.enabled = True
+    assert cfg.monitor.interval == 123
+    mon = MonitorConfig(interval=7)
+    assert mon.interval == 7
+
+
+def test_dataclasses_replace_still_works():
+    cfg = SimConfig()
+    cfg2 = cfg.replace(num_backends=3)
+    assert cfg2.num_backends == 3
+    fed = dataclasses.replace(FederationConfig(), num_shards=4)
+    assert fed.num_shards == 4
+
+
+def test_profile_config_defaults_off():
+    cfg = SimConfig()
+    assert cfg.profile.enabled is False
+    assert cfg.profile.top == 15
+    assert cfg.profile.sort == "tottime"
+    assert cfg.profile.dump_dir == ""
+    cfg.validate()
+
+
+def test_profile_validation():
+    cfg = SimConfig()
+    cfg.profile.top = 0
+    with pytest.raises(ValueError, match="profile.top"):
+        cfg.validate()
+    cfg.profile.top = 5
+    cfg.profile.sort = "by-vibes"
+    with pytest.raises(ValueError, match="profile.sort"):
+        cfg.validate()
+    cfg.profile.sort = "cumulative"
+    cfg.validate()
+
+
+def test_profile_config_is_audited():
+    with pytest.raises(TypeError, match="did you mean 'enabled'"):
+        ProfileConfig(enabeld=True)

@@ -1,0 +1,106 @@
+"""Golden-fingerprint determinism proof for the hot-path overhaul.
+
+The fingerprints below were captured from the PRE-overhaul core (tuple
+heap, un-slotted events, scalar RNG draws, uncached probe paths) at
+commit 7d81002, covering five representative stacks: closed-loop RUBiS
+on socket-sync and rdma-sync, open-loop with admission control, a
+traced + telemetered rdma-async run at 25 % sampling, and a federated
+16-node cluster. Each tuple pins response statistics, per-backend
+routing counts, the total processed-event count, raw probe latencies,
+span boundaries and workload drop counts — any reordering of the event
+queue, any perturbation of an RNG stream, or any change to simulated
+costs shifts at least one component.
+
+The overhauled core must reproduce every value bit-for-bit. If a test
+here fails, the change under review broke same-seed reproducibility —
+do NOT re-capture the goldens to make it pass unless the change is an
+intentional, documented break of the determinism contract.
+"""
+
+from repro.config import SimConfig
+from repro.experiments.common import deploy_rubis_cluster
+from repro.sim.units import ms, seconds
+from repro.workloads.openloop import OpenLoopWorkload
+from repro.workloads.rubis import RubisWorkload
+
+
+def fp_rubis(scheme, seed=1234, **kw):
+    cfg = SimConfig(num_backends=2, master_seed=seed)
+    app = deploy_rubis_cluster(cfg, scheme_name=scheme, poll_interval=ms(50), **kw)
+    wl = RubisWorkload(app.sim, app.dispatcher, num_clients=8, think_time=ms(5))
+    wl.start()
+    app.run(seconds(2))
+    s = app.dispatcher.stats
+    return (s.count(), repr(s.mean_response()), s.max_response(),
+            tuple(sorted(s.per_backend_counts().items())),
+            app.sim.env.processed_events,
+            tuple(r.latency for r in app.scheme.records[:50]))
+
+
+def fp_openloop(seed=77):
+    cfg = SimConfig(num_backends=2, master_seed=seed)
+    app = deploy_rubis_cluster(cfg, scheme_name="rdma-sync", poll_interval=ms(50),
+                               with_admission=True)
+    wl = OpenLoopWorkload(app.sim, app.dispatcher, rate_rps=400.0)
+    wl.start()
+    app.run(seconds(2))
+    s = app.dispatcher.stats
+    return (wl.issued, wl.dropped_inflight, s.count(), repr(s.mean_response()),
+            tuple(sorted(s.per_backend_counts().items())),
+            app.sim.env.processed_events)
+
+
+def fp_traced(seed=42):
+    cfg = SimConfig(num_backends=2, master_seed=seed)
+    app = deploy_rubis_cluster(cfg, scheme_name="rdma-async", poll_interval=ms(50),
+                               with_telemetry=True, with_tracing=True,
+                               trace_sample=0.25)
+    wl = RubisWorkload(app.sim, app.dispatcher, num_clients=4, think_time=ms(10))
+    wl.start()
+    app.run(seconds(1))
+    sp = app.sim.spans
+    return (app.dispatcher.stats.count(), app.sim.env.processed_events,
+            len(sp.spans), sp.traces_started, sp.unsampled,
+            tuple((s.name, s.start, s.end) for s in sp.spans[:40]))
+
+
+def fp_federation(seed=9):
+    cfg = SimConfig(num_backends=16, master_seed=seed)
+    cfg.federation.enabled = True
+    app = deploy_rubis_cluster(cfg, scheme_name="rdma-sync", poll_interval=ms(50))
+    wl = RubisWorkload(app.sim, app.dispatcher, num_clients=8, think_time=ms(10))
+    wl.start()
+    app.run(seconds(1))
+    return (app.dispatcher.stats.count(), app.sim.env.processed_events,
+            tuple(sorted(app.dispatcher.stats.per_backend_counts().items())))
+
+
+GOLDEN_SOCKET_SYNC = (1521, '2765277.1499013808', 26937012, ((0, 748), (1, 773)), 55365, (410128, 423628, 410128, 423628, 410128, 884311, 410128, 423628, 410128, 423628, 410128, 423628, 423628, 437128, 410128, 423628, 419969, 849142, 410128, 423628, 410128, 423628, 410128, 423628, 410128, 423628, 410128, 423628, 410128, 423628, 410128, 423628, 782347, 786365, 410128, 423628, 410128, 429128, 410128, 1431400, 423628, 437128, 410128, 437128, 410128, 423628, 410128, 423628, 410128, 423628))
+
+GOLDEN_RDMA_SYNC = (1428, '3080267.3928571427', 30860358, ((0, 714), (1, 714)), 51442, (20007, 25007) * 25)
+
+GOLDEN_OPENLOOP = (839, 104, 734, '2241292.220708447', ((0, 397), (1, 337)), 33268)
+
+GOLDEN_TRACED = (175, 8793, 342, 45, 170, (('lb.pick', 36629343, 36629343), ('dispatch', 36623193, 36642493), ('queue', 36629343, 36660157), ('web', 36666157, 38071132), ('db', 38071132, 40883583), ('respond', 40883583, 40897783), ('service', 36660157, 40897783), ('request', 36589379, 40941127), ('lb.pick', 70050012, 70050012), ('dispatch', 70043862, 70063162), ('queue', 70050012, 70080826), ('web', 70086826, 70658591), ('db', 70658591, 71135062), ('respond', 71135062, 71149262), ('service', 70080826, 71149262), ('request', 70010048, 71192606), ('lb.pick', 80690650, 80690650), ('dispatch', 80684500, 80703800), ('queue', 80690650, 80721464), ('web', 80727464, 81442074), ('db', 81442074, 82871295), ('respond', 82871295, 82885495), ('service', 80721464, 82885495), ('request', 80650686, 82928839), ('lb.pick', 89560416, 89560416), ('dispatch', 89554266, 89573566), ('queue', 89560416, 89591230), ('web', 89597230, 90179538), ('db', 90179538, 90662712), ('respond', 90662712, 90676912), ('service', 89591230, 90676912), ('request', 89520452, 90720256), ('rdma.read.post', 100040426, 100042926), ('rdma.read.at_target', 100042926, 100043686), ('rdma.read.post', 100041126, 100045426), ('rdma.read.at_target', 100045426, 100046186), ('rdma.read.dma', 100043686, 100046701), ('rdma.read.completion', 100046701, 100048089), ('rdma.read', 100040426, 100048089), ('rdma.read.dma', 100046186, 100049201)))
+
+GOLDEN_FEDERATION = (427, 26996, ((0, 34), (1, 32), (2, 26), (3, 24), (4, 28), (5, 28), (6, 27), (7, 21), (8, 24), (9, 29), (10, 23), (11, 33), (12, 28), (13, 17), (14, 25), (15, 28)))
+
+
+def test_golden_socket_sync():
+    assert fp_rubis("socket-sync") == GOLDEN_SOCKET_SYNC
+
+
+def test_golden_rdma_sync():
+    assert fp_rubis("rdma-sync", seed=5678) == GOLDEN_RDMA_SYNC
+
+
+def test_golden_openloop_admission():
+    assert fp_openloop() == GOLDEN_OPENLOOP
+
+
+def test_golden_traced_telemetry():
+    assert fp_traced() == GOLDEN_TRACED
+
+
+def test_golden_federation():
+    assert fp_federation() == GOLDEN_FEDERATION

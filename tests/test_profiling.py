@@ -1,0 +1,94 @@
+"""Opt-in cProfile hook: tables, dumps, and determinism under profiling."""
+
+import io
+
+from repro.config import ProfileConfig, SimConfig
+from repro.hw.cluster import build_cluster
+from repro.profiling import profile_phase
+from repro.sim.units import ms
+
+
+def _run(cfg, until):
+    sim = build_cluster(cfg)
+    sim.run(until=until)
+    return sim
+
+
+def test_disabled_profile_emits_nothing(capsys):
+    sim = _run(SimConfig(num_backends=2), ms(20))
+    captured = capsys.readouterr()
+    assert "profile: phase" not in captured.err
+    assert sim.env.now == ms(20)
+
+
+def test_enabled_profile_prints_hotspot_table(capfd):
+    cfg = SimConfig(num_backends=2)
+    cfg.profile.enabled = True
+    cfg.profile.top = 5
+    _run(cfg, ms(20))
+    err = capfd.readouterr().err
+    assert "profile: phase 'run1:" in err
+    assert "Ordered by: internal time" in err
+
+
+def test_profile_sort_knob(capfd):
+    cfg = SimConfig(num_backends=2)
+    cfg.profile.enabled = True
+    cfg.profile.sort = "cumulative"
+    _run(cfg, ms(20))
+    assert "Ordered by: cumulative time" in capfd.readouterr().err
+
+
+def test_profile_dump_dir_writes_pstats(tmp_path, capfd):
+    cfg = SimConfig(num_backends=2)
+    cfg.profile.enabled = True
+    cfg.profile.dump_dir = str(tmp_path / "prof")
+    _run(cfg, ms(20))
+    capfd.readouterr()
+    dumps = list((tmp_path / "prof").glob("*.pstats"))
+    assert len(dumps) == 1
+    import pstats
+
+    stats = pstats.Stats(str(dumps[0]))
+    assert stats.total_calls > 0
+
+
+def test_consecutive_runs_get_distinct_phases(capfd):
+    cfg = SimConfig(num_backends=2)
+    cfg.profile.enabled = True
+    sim = build_cluster(cfg)
+    sim.run(until=ms(10))
+    sim.run(until=ms(20))
+    err = capfd.readouterr().err
+    assert "phase 'run1:" in err
+    assert "phase 'run2:" in err
+
+
+def test_profiling_never_perturbs_simulated_time(capfd):
+    def fingerprint(profile):
+        cfg = SimConfig(num_backends=2, master_seed=404)
+        cfg.profile.enabled = profile
+        sim = _run(cfg, ms(50))
+        return (sim.env.now, sim.env.processed_events)
+
+    plain = fingerprint(False)
+    profiled = fingerprint(True)
+    capfd.readouterr()
+    assert plain == profiled
+
+
+def test_profile_phase_context_manager_stream():
+    buf = io.StringIO()
+    pcfg = ProfileConfig(enabled=True, top=3)
+    with profile_phase(pcfg, "unit", stream=buf):
+        sum(range(1000))
+    out = buf.getvalue()
+    assert "phase 'unit'" in out
+    assert "top 3 by tottime" in out
+
+
+def test_profile_phase_noop_paths():
+    with profile_phase(None, "x"):
+        pass
+    with profile_phase(ProfileConfig(), "x"):
+        pass
