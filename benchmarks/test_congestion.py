@@ -1,0 +1,132 @@
+"""Benchmark: monitoring freshness on a congested fabric.
+
+Two experiments from :mod:`repro.experiments.congestion_incast`:
+
+* **incast sweep** — N open-loop tenants blast the federation root's
+  port while the root polls every 1 ms. Checks the congestion plane's
+  headline claims: with no control the root's view age grows
+  super-linearly in N (backlog ∝ offered − capacity), PFC bounds the
+  queue at ``pfc_xoff``, and DCQCN keeps p95 staleness within a small
+  guard band of the poll period at every size.
+* **scheme matrix** — the paper's six schemes plus the federated
+  design share the congested fabric with RUBiS; reports freshness and
+  application tails per scheme.
+
+Emits ``results/BENCH_congestion.json`` — the machine-readable
+baseline for both.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.analysis.report import format_series
+from repro.experiments import congestion_incast
+
+#: DCQCN arm: p95 staleness must stay within this many root periods
+GUARD_PERIODS = 3
+#: controlled arms: peak egress depth within this multiple of capacity
+#: (in-flight packets can land after the pause frame is emitted)
+DEPTH_SLACK = 2.0
+
+
+def _load_baseline(results_dir):
+    path = results_dir / "BENCH_congestion.json"
+    if path.exists():
+        return json.loads(path.read_text()), path
+    return {}, path
+
+
+def _save_baseline(path, baseline):
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True,
+                               default=str) + "\n")
+
+
+def test_congestion_incast(benchmark, record, results_dir):
+    result = run_once(benchmark, lambda: congestion_incast.run())
+    record("congestion_incast", format_series(
+        "backends", result.xs, result.series,
+        title="Incast — root-view freshness per congestion arm (1 ms period)",
+    ) + "\n\n" + result.notes)
+
+    baseline, path = _load_baseline(results_dir)
+    baseline["incast"] = {
+        "experiment": result.name,
+        "params": result.params,
+        "xs": result.xs,
+        "series": result.series,
+    }
+    _save_baseline(path, baseline)
+
+    interval_ms = result.params["interval"] / 1e6
+    sizes = list(result.xs)
+    unc_age = result.series["uncontrolled_view_age_final_ms"]
+    dcq_p95 = result.series["dcqcn_staleness_p95_ms"]
+    dcq_age = result.series["dcqcn_view_age_final_ms"]
+
+    # Uncontrolled incast: once the link saturates, every doubling of N
+    # MORE than doubles the root's end-of-run view age (super-linear —
+    # the backlog growth rate is offered MINUS capacity), ...
+    for a, b in zip(unc_age, unc_age[1:]):
+        assert b > 2 * a, (unc_age,)
+    # ... ending an order of magnitude past the poll period.
+    assert unc_age[-1] > 10 * interval_ms, (unc_age[-1], interval_ms)
+
+    # DCQCN holds freshness within the guard band at every size — both
+    # per-round staleness and wall-clock view age.
+    for n, p95, age in zip(sizes, dcq_p95, dcq_age):
+        assert p95 <= GUARD_PERIODS * interval_ms, (n, p95, interval_ms)
+        assert age <= (GUARD_PERIODS + 1) * interval_ms, (n, age, interval_ms)
+
+    # Queue occupancy: PFC/DCQCN bound the victim port near pfc_xoff;
+    # uncontrolled lets it grow ~unbounded (orders of magnitude larger).
+    from repro.config import SimConfig
+
+    cap_kb = SimConfig().congestion.queue_capacity / 1024.0
+    for n in sizes:
+        for arm in ("pfc", "dcqcn"):
+            depth = result.tables[f"{arm}:{n}"]["peak_depth_kb"]
+            assert depth <= DEPTH_SLACK * cap_kb, (arm, n, depth, cap_kb)
+    assert result.tables[f"uncontrolled:{sizes[-1]}"]["peak_depth_kb"] > \
+        20 * cap_kb
+
+    # The control machinery stays in its lane: CNPs fire only in the
+    # DCQCN arm, pause frames only when PFC is on.
+    for n in sizes:
+        assert result.tables[f"uncontrolled:{n}"]["cnps"] == 0
+        assert result.tables[f"uncontrolled:{n}"]["pauses"] == 0
+        assert result.tables[f"pfc:{n}"]["cnps"] == 0
+
+
+def test_congestion_scheme_matrix(benchmark, record, results_dir):
+    result = run_once(
+        benchmark, lambda: congestion_incast.run_scheme_matrix(
+            duration=1_000_000_000))
+    record("congestion_schemes", format_series(
+        "scheme", result.xs, result.series,
+        title="Congested fabric — monitoring freshness and RUBiS tails",
+    ) + "\n\n" + result.notes)
+
+    baseline, path = _load_baseline(results_dir)
+    baseline["scheme_matrix"] = {
+        "experiment": result.name,
+        "params": result.params,
+        "xs": result.xs,
+        "series": result.series,
+    }
+    _save_baseline(path, baseline)
+
+    # Every scheme (and the federated design) survives the congested
+    # fabric: requests complete and a load view exists.
+    for scheme in result.xs:
+        row = result.tables[scheme]
+        assert row["throughput_rps"] > 0, scheme
+        assert row["staleness_p95_ms"] > 0, scheme
+
+    # The federated design's root reads travel leaf->front-end flows
+    # that dodge the tenant back-end->front-end flows, so its freshness
+    # stays within ~2 poll periods even under congestion — while the
+    # flat one-sided reader's replies share fate with tenant traffic.
+    poll_ms = 10.0
+    fed = result.tables["federated"]
+    assert fed["staleness_p95_ms"] <= 2 * poll_ms, fed

@@ -5,7 +5,8 @@ stack — booted cluster, back-end web servers, a monitoring scheme with
 its front-end poller, the load balancer (extended scoring iff the
 scheme is e-RDMA-Sync), and the dispatcher — plus any of the optional
 planes (admission control, telemetry, alert shedding, span tracing,
-fault injection, heartbeat failover, hierarchical federation)::
+fault injection, heartbeat failover, hierarchical federation,
+congestion-realistic fabric)::
 
     from repro.api import ClusterBuilder
 
@@ -136,6 +137,21 @@ class ClusterBuilder:
         self._heartbeat_hung_after = hung_after
         return self
 
+    def congestion(self, **knobs) -> "ClusterBuilder":
+        """Enable the congestion-realistic fabric (ECN/DCQCN/PFC).
+
+        Keywords are ``cfg.congestion`` knobs (``dcqcn=False``,
+        ``ecn_kmin=...``, ``pfc_xoff=...``, ...); a mistyped name raises
+        immediately with a did-you-mean hint, courtesy of the audited
+        config schema. ``enabled`` is implied — calling this method at
+        all switches the plane on.
+        """
+        cc = self._cfg.congestion
+        cc.enabled = True
+        for name, value in knobs.items():
+            setattr(cc, name, value)
+        return self
+
     def with_federation(self, *, num_shards: int = 0,
                         leaf_interval: int = 0,
                         root_interval: int = 0) -> "ClusterBuilder":
@@ -191,6 +207,9 @@ class ClusterBuilder:
         if self._telemetry or self._alert_shedding:
             telemetry = TelemetryPipeline(rules=self._telemetry_rules)
             telemetry.attach(monitor)
+
+        if telemetry is not None and sim.congestion is not None:
+            telemetry.attach_congestion(sim.congestion)
 
         faults = None
         if self._fault_schedule is not None:

@@ -271,6 +271,58 @@ class FederationConfig:
 
 @audited
 @dataclass
+class CongestionConfig:
+    """Congestion-realistic fabric (see :mod:`repro.congestion`).
+
+    Default-off: with ``enabled=False`` the fabric keeps its historical
+    infinite-buffer, congestion-oblivious path and every run stays
+    byte-identical (property-tested, like the faults and federation
+    planes). When on, every unicast packet passes a RoCEv2-style egress
+    queue at its destination port: depth above ``ecn_kmin`` starts
+    WRED-style ECN marking, ``pfc_xoff`` emits a PFC pause to the
+    sending port, and marked arrivals make the receiver NIC generate
+    CNPs that drive a per-flow DCQCN rate controller at the sender.
+    All sizes are bytes, all times nanoseconds; docs/FABRIC.md has the
+    model's derivation and ground rules.
+    """
+
+    #: master switch for the whole congestion plane
+    enabled: bool = False
+    #: DCQCN rate control (CNP generation + sender rate state); with it
+    #: off, ECN marks are still counted but nobody reacts — the
+    #: "uncontrolled" incast arm of the experiments
+    dcqcn: bool = True
+    #: PFC pause frames (lossless flow control); with it off the egress
+    #: queue is an infinite buffer and congestion shows up purely as
+    #: queueing delay (bufferbloat)
+    pfc: bool = True
+    #: nominal per-port egress buffering, for validation/documentation
+    queue_capacity: int = 256 * 1024
+    #: ECN marking ramp: no marks below kmin, probability rising
+    #: linearly to ``ecn_pmax`` at kmax, every packet marked above kmax
+    ecn_kmin: int = 64 * 1024
+    ecn_kmax: int = 192 * 1024
+    ecn_pmax: float = 0.2
+    #: PFC thresholds: pause the sender when the egress queue passes
+    #: xoff, let it resume once the queue has drained to xon
+    pfc_xoff: int = 224 * 1024
+    pfc_xon: int = 128 * 1024
+    #: minimum gap between CNPs the receiver generates per flow (the
+    #: CNP coalescing timer of real HCAs)
+    cnp_interval: int = 50 * US
+    #: DCQCN alpha gain g: alpha <- (1-g)*alpha + g on each CNP, and
+    #: decays by (1-g) each recovery period without one
+    alpha_g: float = 0.0625
+    #: additive-increase step (fraction of line rate) per ``ai_timer``
+    ai_factor: float = 0.02
+    #: rate-increase timer (DCQCN's K), ns
+    ai_timer: int = 55 * US
+    #: floor on a flow's rate factor — a paced flow never fully stalls
+    min_rate: float = 0.01
+
+
+@audited
+@dataclass
 class TracingConfig:
     """Causal span-tracing parameters (see :mod:`repro.tracing`)."""
 
@@ -326,6 +378,7 @@ class SimConfig:
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
     federation: FederationConfig = field(default_factory=FederationConfig)
+    congestion: CongestionConfig = field(default_factory=CongestionConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
@@ -377,6 +430,23 @@ class SimConfig:
             raise ValueError("federation digest_compression must be >= 8")
         if min(fed.merge_cost, fed.publish_cost, fed.root_merge_cost) < 0:
             raise ValueError("federation costs must be >= 0")
+        cc = self.congestion
+        if cc.ecn_kmin <= 0 or cc.ecn_kmax < cc.ecn_kmin:
+            raise ValueError("need 0 < ecn_kmin <= ecn_kmax")
+        if not 0.0 < cc.ecn_pmax <= 1.0:
+            raise ValueError("ecn_pmax must be in (0, 1]")
+        if cc.pfc_xon <= 0 or cc.pfc_xoff <= cc.pfc_xon:
+            raise ValueError("need 0 < pfc_xon < pfc_xoff")
+        if cc.queue_capacity < cc.pfc_xoff:
+            raise ValueError("queue_capacity must be >= pfc_xoff")
+        if cc.cnp_interval <= 0 or cc.ai_timer <= 0:
+            raise ValueError("cnp_interval and ai_timer must be positive")
+        if not 0.0 < cc.alpha_g <= 1.0:
+            raise ValueError("alpha_g must be in (0, 1]")
+        if not 0.0 < cc.ai_factor <= 1.0:
+            raise ValueError("ai_factor must be in (0, 1]")
+        if not 0.0 < cc.min_rate <= 1.0:
+            raise ValueError("min_rate must be in (0, 1]")
         if self.profile.top < 1:
             raise ValueError("profile.top must be >= 1")
         if self.profile.sort not in (
@@ -388,6 +458,7 @@ class SimConfig:
 DEFAULT_POLL_INTERVAL = 50 * MS
 
 __all__ = [
+    "CongestionConfig",
     "CpuConfig",
     "DEFAULT_POLL_INTERVAL",
     "FederationConfig",

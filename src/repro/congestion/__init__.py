@@ -1,0 +1,12 @@
+"""Congestion-realistic fabric extensions (ECN / DCQCN / PFC).
+
+Default-off: with ``cfg.congestion.enabled`` false nothing in this
+package is imported on the hot path and same-seed runs are byte-
+identical to the historical fabric model. See docs/FABRIC.md.
+"""
+
+from repro.congestion.dcqcn import FlowState
+from repro.congestion.plane import CongestionPlane
+from repro.hw.switch import CongestionSwitch, EgressPort
+
+__all__ = ["CongestionPlane", "CongestionSwitch", "EgressPort", "FlowState"]

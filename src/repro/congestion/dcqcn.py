@@ -1,0 +1,84 @@
+"""Per-flow DCQCN rate control (sender side).
+
+One :class:`FlowState` exists per ⟨source port, destination port⟩ pair
+that has ever transmitted with the congestion plane installed. The
+controller is the standard DCQCN shape, slimmed to what a fluid fabric
+model can honour (docs/FABRIC.md lists the simplifications):
+
+* **rate cut** on every delivered CNP: the current rate becomes the
+  target, the rate drops multiplicatively by ``1 - alpha/2``, and the
+  congestion estimate ``alpha`` moves toward 1 with gain ``g``;
+* **recovery** between CNPs, applied lazily whenever the flow next
+  transmits: for each elapsed ``ai_timer`` period, ``alpha`` decays by
+  ``(1-g)``, the target rate gains ``ai_factor`` of line rate
+  (additive increase), and the rate averages half-way toward the
+  target (DCQCN's fast recovery).
+
+Rates are dimensionless factors of line rate in ``(min_rate, 1]``; the
+congestion plane turns them into packet pacing by stretching the
+sender's TX serialisation time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import CongestionConfig
+
+
+class FlowState:
+    """DCQCN sender state for one ⟨src, dst⟩ port pair."""
+
+    __slots__ = ("src", "dst", "rate", "target", "alpha", "last_cnp_at",
+                 "last_update", "next_send", "cnps", "cuts")
+
+    def __init__(self, src: str, dst: str, created_at: int) -> None:
+        self.src = src
+        self.dst = dst
+        #: current sending rate, fraction of line rate
+        self.rate = 1.0
+        #: recovery target (the rate before the last cut)
+        self.target = 1.0
+        #: congestion estimate in [0, 1]
+        self.alpha = 1.0
+        #: receiver-side CNP coalescing clock (last CNP generation time)
+        self.last_cnp_at = -(1 << 62)
+        #: sender-side recovery clock
+        self.last_update = created_at
+        #: pacing gate: earliest time the next packet may leave
+        self.next_send = 0
+        self.cnps = 0
+        self.cuts = 0
+
+    # ------------------------------------------------------------------
+    def current_rate(self, now: int, cc: "CongestionConfig") -> float:
+        """The flow's rate at ``now``, applying lazy recovery first."""
+        steps = (now - self.last_update) // cc.ai_timer
+        if steps > 0:
+            self.last_update += steps * cc.ai_timer
+            decay = (1.0 - cc.alpha_g) ** steps
+            self.alpha *= decay
+            target = self.target + steps * cc.ai_factor
+            self.target = target if target < 1.0 else 1.0
+            # Fast recovery: average toward the target once per period.
+            rate = self.rate
+            for _ in range(min(steps, 64)):
+                rate = (rate + self.target) / 2.0
+            self.rate = rate if rate < 1.0 else 1.0
+        return self.rate
+
+    def on_cnp(self, now: int, cc: "CongestionConfig") -> float:
+        """Apply one delivered CNP: multiplicative cut; returns new rate."""
+        self.cuts += 1
+        self.alpha = (1.0 - cc.alpha_g) * self.alpha + cc.alpha_g
+        self.target = self.rate
+        rate = self.rate * (1.0 - self.alpha / 2.0)
+        self.rate = rate if rate > cc.min_rate else cc.min_rate
+        # A cut restarts the recovery clock.
+        self.last_update = now
+        return self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FlowState {self.src}->{self.dst} rate={self.rate:.3f} "
+                f"alpha={self.alpha:.3f} cuts={self.cuts}>")

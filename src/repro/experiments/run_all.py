@@ -18,6 +18,7 @@ import time
 
 from repro.analysis.report import format_series, format_table
 from repro.experiments import (
+    congestion_incast,
     federation_scale,
     fig3_latency,
     perf_core,
@@ -89,6 +90,12 @@ RUNNERS = {
             sizes=federation_scale.DEFAULT_SIZES if full else (8, 32),
             duration=(250 if full else 120) * MILLISECOND),
         "backends", "Federation — flat vs two-level monitoring fabric"),
+    "congestion": lambda full: (lambda r: _render_series(
+        r, "backends", "Incast — root-view freshness per congestion arm")
+        + "\n" + r.notes)(
+        congestion_incast.run(
+            sizes=congestion_incast.DEFAULT_SIZES if full else (4, 8),
+            duration=(50 if full else 30) * MILLISECOND)),
     "perf_core": lambda full: (lambda r: _render_series(
         r, "backends", "Simulator wall-clock (current core)") + "\n" + r.notes)(
         perf_core.run(sizes=perf_core.DEFAULT_SIZES if full else (64, 128))),

@@ -27,7 +27,7 @@ from repro.hw.node import Node
 from repro.monitoring.loadinfo import LoadInfo
 from repro.monitoring.registry import scheme_class
 from repro.telemetry.digest import StreamingDigest
-from repro.transport.verbs import connect_qp
+from repro.transport.verbs import WqeBatch, connect_qp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
@@ -110,11 +110,12 @@ class FederatedMonitor:
                     component="federation", attrs={"shards": len(self.leaves)})
             # Batched fan-out, like a leaf's shard round: post every
             # snapshot read, ring the doorbell once, then drain.
+            batch = WqeBatch(net=net)
             events = [
-                qp._post_read(leaf.mr.rkey, leaf.mr.nbytes, ctx=span)
+                batch.post_read(qp, leaf.mr.rkey, leaf.mr.nbytes, ctx=span)
                 for qp, leaf in zip(self._qps, self.leaves)
             ]
-            yield k.compute(net.doorbell_cost)
+            yield from batch.ring(k)
             snaps: List[ShardSnapshot] = []
             for ev in events:
                 wc = yield k.wait(ev)

@@ -39,6 +39,9 @@ class ClusterSim:
     spans: SpanTracer | None = None
     #: fault-injection plane, set by FaultPlane.install() (see repro.faults)
     faults: object | None = None
+    #: congestion plane, installed when cfg.congestion.enabled (see
+    #: repro.congestion); None keeps the fabric byte-identical to history
+    congestion: object | None = None
 
     @property
     def nodes(self) -> List[Node]:
@@ -107,6 +110,13 @@ def build_cluster(cfg: SimConfig | None = None) -> ClusterSim:
         node.span_tracer = spans
         node.boot()
 
+    congestion = None
+    if cfg.congestion.enabled:
+        from repro.congestion.plane import CongestionPlane
+
+        congestion = CongestionPlane(
+            env, cfg, rng.stream("congestion"), spans=spans).install(fabric)
+
     return ClusterSim(
         env=env,
         cfg=cfg,
@@ -117,4 +127,5 @@ def build_cluster(cfg: SimConfig | None = None) -> ClusterSim:
         backends=backends,
         clients=clients,
         spans=spans,
+        congestion=congestion,
     )

@@ -49,6 +49,10 @@ class Fabric:
         #: optional :class:`~repro.faults.plane.FaultPlane` consulted per
         #: packet (duck-typed; None = the hook costs one attribute check)
         self.faults = None
+        #: optional :class:`~repro.congestion.plane.CongestionPlane`; when
+        #: installed it takes over unicast delivery after fault verdicts
+        #: (None = the hook costs one attribute check)
+        self.congestion = None
 
     def attach(self, nic: "Nic") -> None:
         """Register a NIC on the switch."""
@@ -88,6 +92,9 @@ class Fabric:
                     return self.env.now
                 lat_factor = verdict.latency_factor
                 bw_factor *= verdict.bw_factor
+        if self.congestion is not None:
+            return self.congestion.transmit(
+                src, dst, nbytes, on_arrival, bw_factor, lat_factor)
         net = self.cfg.net
         bw = net.link_bytes_per_ns * bw_factor
         ser = max(1, math.ceil(nbytes / bw))

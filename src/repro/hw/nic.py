@@ -46,6 +46,11 @@ class Nic:
         self.kernel_rx_bytes = 0
         self.kernel_tx_bytes = 0
         self.rdma_ops_serviced = 0
+        #: congestion-plane counters (stay zero unless the plane is on)
+        self.cc_ecn_marked_rx = 0
+        self.cc_cnps_sent = 0
+        self.cc_cnps_received = 0
+        self.cc_pause_ns = 0
         #: callback invoked for kernel-plane arrivals (set by the netstack)
         self.kernel_rx_handler: Optional[Callable[[Any, int], None]] = None
 

@@ -1,0 +1,125 @@
+"""RoCEv2-style congestion bookkeeping for the crossbar switch.
+
+The base :class:`~repro.hw.fabric.Fabric` already serialises traffic at
+each destination port through ``rx.free_at`` — an *implicit* egress
+queue that drains at link rate but is invisible to the endpoints and
+infinitely deep. This module makes that queue explicit and reactive:
+
+* **queue depth** — at any instant the backlog of a port is
+  ``(rx.free_at - now) * link_rate`` bytes; :class:`EgressPort` tracks
+  its peak and per-packet samples.
+* **ECN marking** — WRED-style: no marks below ``ecn_kmin``, marking
+  probability rising linearly to ``ecn_pmax`` at ``ecn_kmax``, every
+  packet marked above ``ecn_kmax``. Marks ride on the packet to the
+  receiver (the RoCEv2 CE codepoint), which is where CNP generation
+  happens (see :mod:`repro.congestion.dcqcn`).
+* **PFC pause** — when an enqueue pushes the depth past ``pfc_xoff``
+  the switch emits a pause frame to the *sending* port, which must stay
+  quiet until the queue has drained back to ``pfc_xon``. With PFC off
+  the queue is an infinite buffer and congestion is pure delay.
+
+The switch itself never schedules events: every decision is made inside
+:meth:`repro.congestion.plane.CongestionPlane.transmit` at times the
+simulation produces anyway, keeping the model deterministic and cheap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.config import CongestionConfig
+
+
+class EgressPort:
+    """Congestion counters for one destination port of the switch."""
+
+    __slots__ = ("name", "index", "enqueued", "bytes_enqueued", "ecn_marks",
+                 "pauses", "pause_ns", "peak_depth")
+
+    def __init__(self, name: str, index: int) -> None:
+        self.name = name
+        self.index = index
+        self.enqueued = 0
+        self.bytes_enqueued = 0
+        self.ecn_marks = 0
+        self.pauses = 0
+        self.pause_ns = 0
+        self.peak_depth = 0
+
+    @property
+    def mark_rate(self) -> float:
+        """Cumulative fraction of enqueued packets that were ECN-marked."""
+        return self.ecn_marks / self.enqueued if self.enqueued else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "bytes_enqueued": self.bytes_enqueued,
+            "ecn_marks": self.ecn_marks,
+            "mark_rate": self.mark_rate,
+            "pauses": self.pauses,
+            "pause_ns": self.pause_ns,
+            "peak_depth": self.peak_depth,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EgressPort {self.name} depth_peak={self.peak_depth}>"
+
+
+class CongestionSwitch:
+    """Per-port egress queues with ECN marking and PFC thresholds."""
+
+    def __init__(self, cfg: "CongestionConfig", rng: "np.random.Generator") -> None:
+        self.cfg = cfg
+        self.rng = rng
+        self._ports: Dict[str, EgressPort] = {}
+
+    def port(self, name: str) -> EgressPort:
+        """The egress port for NIC ``name`` (created on first touch)."""
+        port = self._ports.get(name)
+        if port is None:
+            port = self._ports[name] = EgressPort(name, len(self._ports))
+        return port
+
+    def ports(self) -> Dict[str, EgressPort]:
+        return dict(self._ports)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, port: EgressPort, depth_before: int,
+                nbytes: int) -> Tuple[bool, Optional[int]]:
+        """Account one packet landing in ``port``'s egress queue.
+
+        ``depth_before`` is the backlog (bytes) the packet found on
+        arrival at the switch. Returns ``(ecn_marked, pause_bytes)``:
+        ``pause_bytes`` is how many bytes must drain before the sender
+        may resume (``None`` when no pause frame is due).
+        """
+        cc = self.cfg
+        depth = depth_before + nbytes
+        port.enqueued += 1
+        port.bytes_enqueued += nbytes
+        if depth > port.peak_depth:
+            port.peak_depth = depth
+        marked = False
+        if depth > cc.ecn_kmin:
+            if depth >= cc.ecn_kmax:
+                marked = True
+            else:
+                ramp = (depth - cc.ecn_kmin) / (cc.ecn_kmax - cc.ecn_kmin)
+                marked = bool(self.rng.random() < ramp * cc.ecn_pmax)
+            if marked:
+                port.ecn_marks += 1
+        pause_bytes = None
+        if cc.pfc and depth > cc.pfc_xoff:
+            # Pause frame to the upstream port: hold until the queue has
+            # drained to the resume threshold.
+            pause_bytes = depth - cc.pfc_xon
+            port.pauses += 1
+        return marked, pause_bytes
+
+    def stats(self) -> Dict[str, dict]:
+        """Per-port counters, keyed by NIC name."""
+        return {name: port.stats() for name, port in self._ports.items()}

@@ -208,6 +208,22 @@ class MonitoringScheme(abc.ABC):
     # ------------------------------------------------------------------
     # probe transports under the retry policy
     # ------------------------------------------------------------------
+    def _batched_posts(self, k: "TaskContext", posts) -> Generator:
+        """Post every closure into one WQE batch; ring ONE doorbell.
+
+        The shared single-doorbell fan-out every RDMA probe path rides
+        (see :class:`repro.transport.verbs.WqeBatch`). Returns the
+        completion events in post order.
+        """
+        # Deferred: transport.verbs transitively imports this module.
+        from repro.transport.verbs import WqeBatch
+
+        batch = WqeBatch(net=self.sim.cfg.net)
+        for post in posts:
+            batch.post(post)
+        yield from batch.ring(k)
+        return batch.events
+
     def _verb_retry(self, k: "TaskContext", post) -> Generator:
         """Issue a verb probe under the retry policy.
 
@@ -221,9 +237,8 @@ class MonitoringScheme(abc.ABC):
         policy = self.policy
         net = self.sim.cfg.net
         if not policy.enabled:
-            wc_event = post()
-            yield k.compute(net.doorbell_cost, mode="user")
-            wc = yield k.wait(wc_event)
+            events = yield from self._batched_posts(k, (post,))
+            wc = yield k.wait(events[0])
             return wc, 1
         # Deferred: transport.verbs transitively imports this module.
         from repro.transport.verbs import WcStatus

@@ -27,6 +27,7 @@ from repro.transport.verbs import (
     MemoryRegionHandle,
     ProtectionDomain,
     QueuePair,
+    WqeBatch,
     connect_qp,
 )
 
@@ -125,19 +126,20 @@ class RdmaSyncScheme(MonitoringScheme):
         mon = self.sim.cfg.monitor
         issued = k.now
         spans = {i: self._probe_span(i) for i in indices}
+        batch = WqeBatch(net=net)
         load_events = [
-            self._qps[i]._post_read(self._load_mrs[i].rkey,
-                                    self._load_mrs[i].nbytes, ctx=spans[i])
+            batch.post_read(self._qps[i], self._load_mrs[i].rkey,
+                            self._load_mrs[i].nbytes, ctx=spans[i])
             for i in indices
         ]
         irq_events = {}
         if self.read_irq_stat:
             irq_events = {
-                i: self._qps[i]._post_read(self._irq_mrs[i].rkey,
-                                           self._irq_mrs[i].nbytes, ctx=spans[i])
+                i: batch.post_read(self._qps[i], self._irq_mrs[i].rkey,
+                                   self._irq_mrs[i].nbytes, ctx=spans[i])
                 for i in indices
             }
-        yield k.compute(net.doorbell_cost)
+        yield from batch.ring(k)
         out: Dict[int, LoadInfo] = {}
         for i, ev in zip(indices, load_events):
             wc = yield k.wait(ev)

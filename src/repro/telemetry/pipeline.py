@@ -159,6 +159,48 @@ class TelemetryPipeline:
         root.round_observer = observer
         return self
 
+    def attach_congestion(self, plane) -> "TelemetryPipeline":
+        """Per-port congestion time series from a congestion plane.
+
+        Chains onto the plane's ``on_event`` hook (keeps any existing
+        one). Switch enqueues feed egress-queue depth and ECN mark-rate
+        rings keyed ``sw<p>.depth`` / ``sw<p>.ecn_rate``; PFC pause
+        frames feed ``sw<p>.pause_ns``; delivered CNPs feed the flow's
+        post-cut rate under ``sw<p>.rate`` (``p`` is the victim port's
+        index on the switch). Pure observation: no events scheduled, no
+        simulated time spent.
+        """
+        previous = plane.on_event
+
+        def observer(event: dict) -> None:
+            if previous is not None:
+                previous(event)
+            self.observe_congestion(plane, event)
+
+        plane.on_event = observer
+        return self
+
+    def observe_congestion(self, plane, event: dict) -> None:
+        """Ingest one congestion-plane event (enqueue / pause / cnp)."""
+        kind = event["kind"]
+        t = event["t"]
+        if kind == "enqueue":
+            samples = {f"sw{event['port']}.depth": float(event["depth"]),
+                       f"sw{event['port']}.ecn_rate": float(event["mark_rate"])}
+        elif kind == "pause":
+            samples = {f"sw{event['port']}.pause_ns": float(event["pause_ns"])}
+        elif kind == "cnp":
+            port = plane.switch.port(event["dst"]).index
+            samples = {f"sw{port}.rate": float(event["rate"])}
+        else:  # pragma: no cover - future event kinds pass through
+            return
+        for key, value in samples.items():
+            self.store.add(key, t, value)
+            digest = self._digests.get(key)
+            if digest is None:
+                digest = self._digests[key] = StreamingDigest(self.compression)
+            digest.update(value)
+
     def observe_shards(self, topology, root, latest) -> None:
         """Ingest one merged root round as per-shard aggregate samples."""
         now = root.sim.env.now

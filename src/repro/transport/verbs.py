@@ -492,6 +492,89 @@ class QueuePair:
         return payload
 
 
+class WqeBatch:
+    """Doorbell batching: post many WQEs, ring the doorbell once.
+
+    The HCA fetches posted WQEs without further CPU help, so a fan-out
+    of N one-sided operations costs a single MMIO doorbell write instead
+    of N — the pattern every shard/fan-out path in the repo uses (leaf
+    shard rounds, the federation root's snapshot drain, probe posts).
+    This class is that pattern, promoted from three hand-rolled copies:
+
+        batch = WqeBatch()
+        events = [batch.post_read(qp, mr.rkey, mr.nbytes) for qp, mr in work]
+        yield from batch.ring(k)          # ONE doorbell for the batch
+        for ev in events:
+            wc = yield k.wait(ev)
+
+    Work requests hit the hardware at *post* time (the NIC starts WQE
+    service immediately, exactly as the hand-rolled code did), so
+    batching changes only the CPU cost, never the wire schedule — the
+    golden-fingerprint property the refactor preserves.
+    """
+
+    def __init__(self, net=None) -> None:
+        #: NetworkConfig supplying the doorbell cost; captured from the
+        #: first posted QP when not given up front
+        self._net = net
+        self._events: list = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list:
+        """Completion events, in post order."""
+        return self._events
+
+    def post_read(self, qp: QueuePair, rkey: int, nbytes: int, ctx=None):
+        """Post an RDMA read on ``qp``; returns its completion event."""
+        if self._net is None:
+            self._net = qp.local.cfg.net
+        ev = qp._post_read(rkey, nbytes, ctx=ctx)
+        self._events.append(ev)
+        return ev
+
+    def post_write(self, qp: QueuePair, rkey: int, value: Any, nbytes: int, ctx=None):
+        """Post an RDMA write on ``qp``; returns its completion event."""
+        if self._net is None:
+            self._net = qp.local.cfg.net
+        ev = qp._post_write(rkey, value, nbytes, ctx=ctx)
+        self._events.append(ev)
+        return ev
+
+    def post(self, post_fn):
+        """Post via a prebuilt closure (see ``make_read_post``).
+
+        Requires ``net`` to have been supplied at construction, since a
+        bare closure exposes no config.
+        """
+        if self._net is None:
+            raise VerbsError("WqeBatch.post() needs net= at construction")
+        ev = post_fn()
+        self._events.append(ev)
+        return ev
+
+    def ring(self, k: "TaskContext", mode: str = "user") -> Generator:
+        """Ring the doorbell for everything posted: ONE CPU charge.
+
+        No-op for an empty batch. Drive with ``yield from`` in a task.
+        """
+        if not self._events:
+            return None
+        yield k.compute(self._net.doorbell_cost, mode=mode)
+        return None
+
+    def drain(self, k: "TaskContext") -> Generator:
+        """Ring, then wait every completion; returns WCs in post order."""
+        yield from self.ring(k)
+        wcs = []
+        for ev in self._events:
+            wc = yield k.wait(ev)
+            wcs.append(wc)
+        return wcs
+
+
 def connect_qp(a: "Node", b: "Node") -> tuple:
     """Create a connected RC queue-pair between two nodes."""
     qa = QueuePair(a, b)

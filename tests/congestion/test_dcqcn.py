@@ -1,0 +1,79 @@
+"""Unit tests for the per-flow DCQCN controller."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.congestion.dcqcn import FlowState
+
+
+@pytest.fixture
+def cc():
+    return SimConfig().congestion
+
+
+def test_cnp_cuts_multiplicatively(cc):
+    flow = FlowState("a", "b", 0)
+    before = flow.rate
+    after = flow.on_cnp(1000, cc)
+    assert after < before
+    # alpha starts at 1 so the first cut is close to a halving.
+    assert after == pytest.approx(before * (1 - flow.alpha / 2), rel=0.01)
+    assert flow.target == before
+    assert flow.cuts == 1
+
+
+def test_repeated_cnps_floor_at_min_rate(cc):
+    flow = FlowState("a", "b", 0)
+    for i in range(200):
+        flow.on_cnp(i, cc)
+    assert flow.rate == cc.min_rate
+
+
+def test_alpha_rises_under_cnps_and_decays_when_quiet(cc):
+    flow = FlowState("a", "b", 0)
+    flow.alpha = 0.2
+    for i in range(50):
+        flow.on_cnp(i, cc)
+    assert flow.alpha > 0.9
+    # A long quiet spell decays alpha back down (lazy, via current_rate).
+    flow.current_rate(50 + 100 * cc.ai_timer, cc)
+    assert flow.alpha < 0.01
+
+
+def test_recovery_moves_rate_toward_target(cc):
+    flow = FlowState("a", "b", 0)
+    before = flow.rate
+    flow.on_cnp(0, cc)
+    cut = flow.rate
+    one_step = flow.current_rate(cc.ai_timer, cc)
+    assert cut < one_step <= 1.0
+    # Fast recovery: half-way to the target (the pre-cut rate, plus one
+    # additive-increase step, capped at line rate).
+    target = min(1.0, before + cc.ai_factor)
+    assert one_step == pytest.approx((cut + target) / 2)
+
+
+def test_rate_never_exceeds_line_rate(cc):
+    flow = FlowState("a", "b", 0)
+    flow.on_cnp(0, cc)
+    assert flow.current_rate(10_000 * cc.ai_timer, cc) == 1.0
+
+
+def test_no_recovery_within_one_timer_period(cc):
+    flow = FlowState("a", "b", 0)
+    flow.on_cnp(0, cc)
+    cut = flow.rate
+    assert flow.current_rate(cc.ai_timer - 1, cc) == cut
+
+
+def test_cut_restarts_recovery_clock(cc):
+    flow = FlowState("a", "b", 0)
+    flow.on_cnp(0, cc)
+    flow.current_rate(3 * cc.ai_timer, cc)
+    flow.on_cnp(3 * cc.ai_timer + 10, cc)
+    assert flow.last_update == 3 * cc.ai_timer + 10
+
+
+def test_pacing_gate_starts_open(cc):
+    flow = FlowState("a", "b", 12345)
+    assert flow.next_send == 0

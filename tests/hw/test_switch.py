@@ -1,0 +1,97 @@
+"""Unit tests for the explicit egress-queue switch model (ECN + PFC)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.hw.switch import CongestionSwitch, EgressPort
+
+
+@pytest.fixture
+def cc():
+    return SimConfig().congestion
+
+
+@pytest.fixture
+def switch(cc):
+    return CongestionSwitch(cc, np.random.default_rng(7))
+
+
+def test_ports_are_created_lazily_with_stable_indices(switch):
+    a = switch.port("nic:a")
+    b = switch.port("nic:b")
+    assert a is switch.port("nic:a")
+    assert (a.index, b.index) == (0, 1)
+    assert set(switch.ports()) == {"nic:a", "nic:b"}
+
+
+def test_no_mark_below_kmin(switch, cc):
+    port = switch.port("p")
+    for _ in range(200):
+        marked, pause = switch.enqueue(port, 0, cc.ecn_kmin)
+        assert not marked
+        assert pause is None
+    assert port.ecn_marks == 0
+    assert port.mark_rate == 0.0
+
+
+def test_always_mark_at_kmax(switch, cc):
+    port = switch.port("p")
+    for _ in range(50):
+        marked, _ = switch.enqueue(port, cc.ecn_kmax, 1)
+        assert marked
+    assert port.mark_rate == 1.0
+
+
+def test_wred_ramp_marks_probabilistically(switch, cc):
+    port = switch.port("p")
+    mid = (cc.ecn_kmin + cc.ecn_kmax) // 2
+    marks = sum(switch.enqueue(port, mid, 1)[0] for _ in range(2000))
+    # Expected rate is ~ramp * pmax (= pmax/2 at the midpoint): nonzero
+    # but well below certainty.
+    assert 0 < marks < 2000 * cc.ecn_pmax
+    assert port.ecn_marks == marks
+
+
+def test_wred_is_deterministic_per_seed(cc):
+    def marks(seed):
+        sw = CongestionSwitch(cc, np.random.default_rng(seed))
+        port = sw.port("p")
+        mid = (cc.ecn_kmin + cc.ecn_kmax) // 2
+        return [sw.enqueue(port, mid, 1)[0] for _ in range(500)]
+
+    assert marks(3) == marks(3)
+    assert marks(3) != marks(4)
+
+
+def test_pause_frame_past_xoff(switch, cc):
+    port = switch.port("p")
+    marked, pause = switch.enqueue(port, cc.pfc_xoff, 1)
+    assert pause == cc.pfc_xoff + 1 - cc.pfc_xon
+    assert port.pauses == 1
+
+
+def test_no_pause_at_or_below_xoff(switch, cc):
+    port = switch.port("p")
+    _, pause = switch.enqueue(port, cc.pfc_xoff - 1000, 1000)
+    assert pause is None
+    assert port.pauses == 0
+
+
+def test_pfc_off_means_infinite_buffer(cc):
+    cc.pfc = False
+    sw = CongestionSwitch(cc, np.random.default_rng(0))
+    port = sw.port("p")
+    _, pause = sw.enqueue(port, 100 * cc.pfc_xoff, 1)
+    assert pause is None
+
+
+def test_peak_depth_and_stats(switch):
+    port = switch.port("nic:x")
+    switch.enqueue(port, 5000, 1000)
+    switch.enqueue(port, 100, 50)
+    stats = switch.stats()["nic:x"]
+    assert stats["peak_depth"] == 6000
+    assert stats["enqueued"] == 2
+    assert stats["bytes_enqueued"] == 1050
+    assert set(stats) == set(EgressPort("q", 0).stats())
