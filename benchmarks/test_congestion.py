@@ -18,7 +18,7 @@ baseline for both.
 
 import json
 
-from conftest import run_once
+from conftest import run_once, write_bench
 
 from repro.analysis.report import format_series
 from repro.experiments import congestion_incast
@@ -33,13 +33,16 @@ DEPTH_SLACK = 2.0
 def _load_baseline(results_dir):
     path = results_dir / "BENCH_congestion.json"
     if path.exists():
-        return json.loads(path.read_text()), path
+        doc = json.loads(path.read_text())
+        # strip the header; write_bench re-stamps it on save
+        for key in ("schema_version", "kind", "experiment", "run"):
+            doc.pop(key, None)
+        return doc, path
     return {}, path
 
 
-def _save_baseline(path, baseline):
-    path.write_text(json.dumps(baseline, indent=2, sort_keys=True,
-                               default=str) + "\n")
+def _save_baseline(results_dir, baseline):
+    write_bench(results_dir, "congestion", baseline)
 
 
 def test_congestion_incast(benchmark, record, results_dir):
@@ -56,7 +59,7 @@ def test_congestion_incast(benchmark, record, results_dir):
         "xs": result.xs,
         "series": result.series,
     }
-    _save_baseline(path, baseline)
+    _save_baseline(results_dir, baseline)
 
     interval_ms = result.params["interval"] / 1e6
     sizes = list(result.xs)
@@ -114,7 +117,7 @@ def test_congestion_scheme_matrix(benchmark, record, results_dir):
         "xs": result.xs,
         "series": result.series,
     }
-    _save_baseline(path, baseline)
+    _save_baseline(results_dir, baseline)
 
     # Every scheme (and the federated design) survives the congested
     # fabric: requests complete and a load view exists.

@@ -18,9 +18,7 @@ Also emits ``results/BENCH_faults.json`` — the machine-readable baseline
 for the fault plane's behavior over time.
 """
 
-import json
-
-from conftest import run_once
+from conftest import run_once, write_bench
 
 from repro.analysis.report import format_table
 from repro.experiments import fault_matrix
@@ -52,14 +50,11 @@ def test_fault_matrix(benchmark, record, results_dir):
     )
     record("fault_matrix", table + "\n\n" + result.notes)
 
-    baseline = {
-        "experiment": result.name,
+    write_bench(results_dir, result.name, name="faults", payload={
         "params": result.params,
         "series": result.series,
         "cells": cells,
-    }
-    (results_dir / "BENCH_faults.json").write_text(
-        json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+    })
 
     poll_ms = result.params["poll_interval_ms"]
     for c in cells:

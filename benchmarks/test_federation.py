@@ -14,9 +14,7 @@ Also emits ``results/BENCH_federation.json`` — the machine-readable
 baseline for the federated fabric's round times over cluster size.
 """
 
-import json
-
-from conftest import run_once
+from conftest import run_once, write_bench
 
 from repro.analysis.report import format_series
 from repro.experiments import federation_scale
@@ -32,14 +30,11 @@ def test_federation_scale(benchmark, record, results_dir):
         title="Federation — flat vs two-level fabric (1 ms period)",
     ) + "\n\n" + result.notes)
 
-    baseline = {
-        "experiment": result.name,
+    write_bench(results_dir, result.name, name="federation", payload={
         "params": result.params,
         "xs": result.xs,
         "series": result.series,
-    }
-    (results_dir / "BENCH_federation.json").write_text(
-        json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+    })
 
     interval_us = result.params["interval"] / 1000.0
     sizes = list(result.xs)

@@ -13,10 +13,8 @@ measured ratio (locally ~2.9x) and the 2x target are both archived in
 ``results/BENCH_core.json`` for the record.
 """
 
-import json
-
 import _legacy_core
-from conftest import run_once
+from conftest import run_once, write_bench
 
 from repro.analysis.report import format_series
 from repro.experiments import perf_core
@@ -54,8 +52,7 @@ def test_perf_core(benchmark, record, results_dir):
     ))
 
     n512 = sweep[sizes.index(512)]
-    baseline = {
-        "experiment": "perf_core",
+    write_bench(results_dir, "perf_core", {
         "microbench": {
             "legacy": legacy,
             "current": current,
@@ -65,9 +62,7 @@ def test_perf_core(benchmark, record, results_dir):
         },
         "n512_federation": n512,
         "scalability_sweep": sweep,
-    }
-    (results_dir / "BENCH_core.json").write_text(
-        json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+    }, name="core")
 
     # Both cores must have simulated the identical schedule — same event
     # count for the same workload — or the throughput ratio is bogus.

@@ -17,9 +17,7 @@ Also emits ``results/BENCH_tracing.json`` — the machine-readable
 baseline for tracking the tracing plane's wall-clock cost over time.
 """
 
-import json
-
-from conftest import run_once
+from conftest import run_once, write_bench
 
 from repro.analysis.report import format_series, format_table
 from repro.experiments import trace_overhead
@@ -50,16 +48,13 @@ def test_trace_overhead(benchmark, record, results_dir):
     record("trace_overhead", table + "\n\n" + series + "\n\n" + result.notes)
 
     # Machine-readable baseline for the perf trajectory.
-    baseline = {
-        "experiment": result.name,
+    write_bench(results_dir, result.name, name="tracing", payload={
         "params": result.params,
         "seeds": result.xs,
         "series": result.series,
         "runs": rows,
         "identical": result.tables["identical"],
-    }
-    (results_dir / "BENCH_tracing.json").write_text(
-        json.dumps(baseline, indent=2, sort_keys=True, default=str) + "\n")
+    })
 
     # Identical simulated-time results: same seeds -> same LB decisions,
     # whether tracing is off, on, or sampling 10% of traces.

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Serve a live cluster on a real ``/metrics`` scrape endpoint.
+
+Builds the RUBiS stack with the observability surface and an HTTP
+exporter, advances the simulation, then scrapes its own endpoint with
+``urllib`` exactly like Prometheus would: GET ``/metrics``, check the
+OpenMetrics content type, validate the body with the in-tree
+promtool-style checker, and print a digest of what a monitoring system
+would ingest. Also fetches ``/report`` — the per-session job report
+joining trace critical paths with telemetry quantiles.
+
+With ``--serve`` the process stays up after the run so you can point a
+browser (or an actual Prometheus scrape config) at the printed URL.
+
+Run:  python examples/metrics_endpoint.py [scheme] [seconds]
+          [--serve] [--port N]
+
+``--port N`` binds a fixed port (default: ephemeral, never collides) —
+useful with ``--serve`` so a static Prometheus scrape config can find
+the endpoint across restarts.
+"""
+
+import sys
+import urllib.request
+
+from repro.config import SimConfig
+from repro.obs import validate_exposition
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.rubis import RubisWorkload
+
+
+def main() -> None:
+    argv = sys.argv[1:]
+    port = 0
+    if "--port" in argv:
+        at = argv.index("--port")
+        port = int(argv[at + 1])
+        del argv[at:at + 2]
+    args = [a for a in argv if not a.startswith("--")]
+    scheme = args[0] if args else "e-rdma-sync"
+    duration_s = float(args[1]) if len(args) > 1 else 2.0
+
+    from repro.api import ClusterBuilder
+
+    cfg = SimConfig(num_backends=4)
+    cluster = (
+        ClusterBuilder(cfg)
+        .scheme(scheme)
+        .with_tracing()
+        .observability(http=True, http_port=port)
+        .build()
+    )
+    RubisWorkload(cluster.sim, cluster.dispatcher, num_clients=24,
+                  think_time=8 * MILLISECOND).start()
+
+    url = cluster.obs.server.url
+    print(f"exporter listening on {url}/metrics")
+    print(f"running {duration_s}s of simulated RUBiS ({scheme}) ...")
+    cluster.run(until=int(duration_s * SECOND))
+
+    with urllib.request.urlopen(url + "/metrics") as resp:
+        content_type = resp.headers["Content-Type"]
+        body = resp.read().decode("utf-8")
+    errors = validate_exposition(body)
+    families = body.count("# TYPE ")
+    samples = sum(1 for line in body.splitlines()
+                  if line and not line.startswith("#"))
+    print(f"\nscraped {len(body.encode())} bytes: {families} metric "
+          f"families, {samples} samples")
+    print(f"content-type: {content_type}")
+    print(f"format errors: {len(errors)}" +
+          (f" -> {errors[:3]}" if errors else " (valid OpenMetrics)"))
+
+    interesting = ("_requests_total", "_monitor_epoch", "_sim_time_ns",
+                   "_alerts_total", "_backend_cpu_util_count")
+    print("\nsample lines:")
+    for line in body.splitlines():
+        if any(key in line for key in interesting) and not line.startswith("#"):
+            print(f"  {line}")
+
+    with urllib.request.urlopen(url + "/report") as resp:
+        report = resp.read().decode("utf-8")
+    print(f"\n/report: {len(report)} bytes of job-report JSON")
+    print(cluster.obs.job_report().render())
+
+    if "--serve" in sys.argv:
+        print(f"\nserving on {url} — Ctrl-C to exit")
+        try:
+            import time
+
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    cluster.obs.stop()
+
+
+if __name__ == "__main__":
+    main()

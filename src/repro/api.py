@@ -34,7 +34,8 @@ shims over this builder and produce fingerprint-identical clusters
 
 from __future__ import annotations
 
-from typing import Optional
+from difflib import get_close_matches
+from typing import Optional, Sequence
 
 from repro.config import SimConfig
 from repro.faults import FaultPlane, FaultSchedule, parse_schedule
@@ -48,6 +49,24 @@ from repro.server.loadbalancer import LeastLoadedBalancer, TwoLevelBalancer
 from repro.server.webserver import BackendServer
 
 __all__ = ["ClusterBuilder"]
+
+
+def _audit_kwargs(method: str, extra: dict, valid: Sequence[str]) -> None:
+    """Reject unknown chain-method keywords with a did-you-mean hint.
+
+    Mirrors the config-schema audit: a misspelled knob on any builder
+    chain method raises immediately instead of silently vanishing into
+    ``**kwargs`` (or a bare TypeError with no suggestion).
+    """
+    if not extra:
+        return
+    name = next(iter(extra))
+    matches = get_close_matches(name, valid, n=1, cutoff=0.6)
+    hint = f" — did you mean {matches[0]!r}?" if matches else ""
+    raise TypeError(
+        f"ClusterBuilder.{method}() got unknown keyword argument "
+        f"{name!r}{hint} (valid keywords: {', '.join(sorted(valid))})"
+    )
 
 
 class ClusterBuilder:
@@ -91,14 +110,17 @@ class ClusterBuilder:
         self._workers = n
         return self
 
-    def with_admission(self, *, max_score: float = 0.85) -> "ClusterBuilder":
+    def with_admission(self, *, max_score: float = 0.85,
+                       **extra) -> "ClusterBuilder":
         """Reject requests when every back-end scores above ``max_score``."""
+        _audit_kwargs("with_admission", extra, ["max_score"])
         self._admission = True
         self._admission_max_score = max_score
         return self
 
-    def with_telemetry(self, *, rules=None) -> "ClusterBuilder":
+    def with_telemetry(self, *, rules=None, **extra) -> "ClusterBuilder":
         """Attach the bounded telemetry pipeline to the front-end monitor."""
+        _audit_kwargs("with_telemetry", extra, ["rules"])
         self._telemetry = True
         self._telemetry_rules = rules
         return self
@@ -108,8 +130,9 @@ class ClusterBuilder:
         self._alert_shedding = True
         return self
 
-    def with_tracing(self, *, sample: float = 1.0) -> "ClusterBuilder":
+    def with_tracing(self, *, sample: float = 1.0, **extra) -> "ClusterBuilder":
         """Enable the causal span plane at head-sampling rate ``sample``."""
+        _audit_kwargs("with_tracing", extra, ["sample"])
         self._cfg.tracing.enabled = True
         self._cfg.tracing.sample_rate = sample
         return self
@@ -129,8 +152,10 @@ class ClusterBuilder:
 
     def with_heartbeat(self, *, interval: int = 50_000_000,
                        timeout: int = 10_000_000,
-                       hung_after: int = 2) -> "ClusterBuilder":
+                       hung_after: int = 2, **extra) -> "ClusterBuilder":
         """Run the RDMA heartbeat monitor and health-aware failover."""
+        _audit_kwargs("with_heartbeat", extra,
+                      ["interval", "timeout", "hung_after"])
         self._heartbeat = True
         self._heartbeat_interval = interval
         self._heartbeat_timeout = timeout
@@ -152,9 +177,30 @@ class ClusterBuilder:
             setattr(cc, name, value)
         return self
 
+    def observability(self, **knobs) -> "ClusterBuilder":
+        """Enable the OpenMetrics observability surface (see repro.obs).
+
+        Keywords are ``cfg.obs`` knobs (``namespace=...``,
+        ``snapshot_dir=...``, ``http=True``, ``http_port=...``, ...); a
+        mistyped name raises immediately with a did-you-mean hint,
+        courtesy of the audited config schema. ``enabled`` is implied —
+        calling this method at all switches the surface on, and the
+        build also attaches the telemetry pipeline (the registry's
+        richest source) exactly as :meth:`with_telemetry` would.
+
+        The built cluster's ``obs`` handle carries the registry, the
+        ``/metrics`` server (when ``http=True``) and
+        :meth:`~repro.obs.surface.Observability.job_report`.
+        """
+        obs = self._cfg.obs
+        obs.enabled = True
+        for name, value in knobs.items():
+            setattr(obs, name, value)
+        return self
+
     def with_federation(self, *, num_shards: int = 0,
                         leaf_interval: int = 0,
-                        root_interval: int = 0) -> "ClusterBuilder":
+                        root_interval: int = 0, **extra) -> "ClusterBuilder":
         """Deploy the two-level sharded monitoring fabric.
 
         Equivalent to setting ``cfg.federation.enabled`` (plus the given
@@ -163,6 +209,8 @@ class ClusterBuilder:
         through the shard-then-node balancer, and the flat front-end
         poller stays idle.
         """
+        _audit_kwargs("with_federation", extra,
+                      ["num_shards", "leaf_interval", "root_interval"])
         fed = self._cfg.federation
         fed.enabled = True
         fed.num_shards = num_shards
@@ -181,6 +229,10 @@ class ClusterBuilder:
         from repro.telemetry.pipeline import TelemetryPipeline
 
         cfg = self._cfg
+        if cfg.obs.enabled:
+            # The exposition's richest source; attaching it is free in
+            # simulated time, so fingerprints are unchanged.
+            self._telemetry = True
         scheme_name = self._scheme_name
         sim = build_cluster(cfg)
 
@@ -267,7 +319,7 @@ class ClusterBuilder:
             telemetry=(telemetry if self._alert_shedding else None),
         )
         dispatcher.start()
-        return RubisCluster(
+        cluster = RubisCluster(
             sim=sim,
             servers=servers,
             scheme=scheme,
@@ -280,3 +332,7 @@ class ClusterBuilder:
             heartbeat=heartbeat,
             federation=federation,
         )
+        if cfg.obs.enabled:
+            from repro.obs import Observability  # deferred: heavy-ish, opt-in
+            cluster.obs = Observability.deploy(cluster, cfg.obs)
+        return cluster

@@ -14,6 +14,7 @@ All times are integer nanoseconds (see :mod:`repro.sim.units`).
 from __future__ import annotations
 
 import dataclasses
+import re
 from dataclasses import dataclass, field
 from difflib import get_close_matches
 
@@ -323,6 +324,39 @@ class CongestionConfig:
 
 @audited
 @dataclass
+class ObsConfig:
+    """Observability surface (see :mod:`repro.obs`).
+
+    Default-off: with ``enabled=False`` nothing in the obs package is
+    imported or constructed and every historical run stays
+    byte-identical (the surface is pure observer bookkeeping even when
+    on — property-tested like telemetry). When on, the cluster handle
+    carries an :class:`~repro.obs.surface.Observability` with the
+    metric registry wired to every deployed plane; the remaining knobs
+    choose the consumers (per-epoch ``.prom`` snapshots, a live
+    ``/metrics`` HTTP endpoint) and the metric naming.
+    """
+
+    #: master switch — implies the telemetry pipeline (the registry's
+    #: richest source) when the builder wires the surface
+    enabled: bool = False
+    #: metric-name prefix for every exported family
+    namespace: str = "repro"
+    #: quantiles each summary family exposes
+    quantiles: tuple = (0.5, 0.95, 0.99)
+    #: directory for per-epoch exposition snapshots ("" = no snapshots)
+    snapshot_dir: str = ""
+    #: monitoring epochs between snapshots
+    snapshot_every: int = 1
+    #: serve a live /metrics scrape endpoint (wall-clock only)
+    http: bool = False
+    http_host: str = "127.0.0.1"
+    #: TCP port for the endpoint; 0 = ephemeral (query it at runtime)
+    http_port: int = 0
+
+
+@audited
+@dataclass
 class TracingConfig:
     """Causal span-tracing parameters (see :mod:`repro.tracing`)."""
 
@@ -377,6 +411,7 @@ class SimConfig:
     server: ServerConfig = field(default_factory=ServerConfig)
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     federation: FederationConfig = field(default_factory=FederationConfig)
     congestion: CongestionConfig = field(default_factory=CongestionConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
@@ -447,6 +482,16 @@ class SimConfig:
             raise ValueError("ai_factor must be in (0, 1]")
         if not 0.0 < cc.min_rate <= 1.0:
             raise ValueError("min_rate must be in (0, 1]")
+        obs = self.obs
+        if not re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z", obs.namespace):
+            raise ValueError(f"obs.namespace {obs.namespace!r} is not a "
+                             "legal metric-name prefix")
+        if not obs.quantiles or not all(0.0 <= q <= 1.0 for q in obs.quantiles):
+            raise ValueError("obs.quantiles must be a non-empty tuple in [0, 1]")
+        if obs.snapshot_every < 1:
+            raise ValueError("obs.snapshot_every must be >= 1")
+        if not 0 <= obs.http_port <= 65535:
+            raise ValueError("obs.http_port must be in [0, 65535]")
         if self.profile.top < 1:
             raise ValueError("profile.top must be >= 1")
         if self.profile.sort not in (
@@ -465,6 +510,7 @@ __all__ = [
     "IrqConfig",
     "MonitorConfig",
     "NetConfig",
+    "ObsConfig",
     "ProfileConfig",
     "ServerConfig",
     "SimConfig",

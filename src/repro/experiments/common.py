@@ -59,6 +59,8 @@ class RubisCluster:
     faults: Optional[FaultPlane] = None
     heartbeat: Optional[HeartbeatMonitor] = None
     federation: Optional[Federation] = None
+    #: :class:`~repro.obs.surface.Observability` when the surface is on
+    obs: Optional[object] = None
 
     def run(self, until: int) -> None:
         self.sim.run(until)

@@ -21,6 +21,7 @@ from repro.experiments import (
     congestion_incast,
     federation_scale,
     fig3_latency,
+    obs_surface,
     perf_core,
     fig4_granularity,
     fig5_accuracy,
@@ -99,6 +100,11 @@ RUNNERS = {
     "perf_core": lambda full: (lambda r: _render_series(
         r, "backends", "Simulator wall-clock (current core)") + "\n" + r.notes)(
         perf_core.run(sizes=perf_core.DEFAULT_SIZES if full else (64, 128))),
+    "obs": lambda full: (lambda r: _render_series(
+        r, "seed", "Observability — exposition determinism and coverage")
+        + "\n" + r.notes)(
+        obs_surface.run(seeds=(1, 2, 3) if full else (1,),
+                        duration=(2 if full else 1) * SECOND)),
 }
 
 

@@ -1,0 +1,51 @@
+"""``repro.obs`` — the production observability surface.
+
+Everything the simulator's planes already measure — telemetry digests
+and alerts, federation shard snapshots, congestion switch counters,
+fault/retry counters, span-tracer totals, event-core throughput — is
+exposed through one :class:`~repro.obs.registry.MetricsRegistry` with a
+stable OpenMetrics naming scheme (docs/OBSERVABILITY.md), and consumed
+three ways:
+
+* :mod:`repro.obs.openmetrics` — deterministic Prometheus/OpenMetrics
+  text exposition (byte-identical across same-seed runs) plus an
+  in-tree promtool-style line-format validator;
+* :mod:`repro.obs.snapshots` / :mod:`repro.obs.httpd` — a file-backed
+  snapshot-per-epoch writer and a real ``http.server``-based
+  ``/metrics`` scrape endpoint;
+* :mod:`repro.obs.jobreport` — per-session/per-query-class job reports
+  joining tracing critical paths with telemetry quantiles.
+
+All of it is observer-side bookkeeping: nothing here schedules
+simulated events, so a run with the surface enabled is bit-identical
+to one without (property-tested, like telemetry and tracing).
+"""
+
+from repro.obs.httpd import MetricsServer
+from repro.obs.jobreport import JOB_REPORT_SCHEMA_VERSION, JobReport, build_job_report
+from repro.obs.openmetrics import (
+    escape_help,
+    escape_label_value,
+    format_value,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.registry import MetricFamily, MetricsRegistry
+from repro.obs.snapshots import SnapshotWriter
+from repro.obs.surface import Observability
+
+__all__ = [
+    "JOB_REPORT_SCHEMA_VERSION",
+    "JobReport",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsServer",
+    "Observability",
+    "SnapshotWriter",
+    "build_job_report",
+    "escape_help",
+    "escape_label_value",
+    "format_value",
+    "render_exposition",
+    "validate_exposition",
+]

@@ -1,0 +1,323 @@
+"""OpenMetrics text exposition: deterministic rendering + validation.
+
+The render side turns :class:`~repro.obs.registry.MetricFamily` lists
+into the OpenMetrics text format (the superset Prometheus scrapes):
+``# HELP`` / ``# TYPE`` metadata, escaped label values, a trailing
+``# EOF``. Output is a pure function of the families — families sorted
+by name, samples in collector order, floats rendered via ``repr``
+(shortest round-trip, platform-independent) — so same-seed runs export
+byte-identical text (tested in ``tests/obs/``).
+
+The validate side is an in-tree promtool-style line-format checker:
+:func:`validate_exposition` parses the text from scratch (it shares no
+code with the renderer) and returns a list of ``"line N: problem"``
+strings, empty when the document conforms. CI scrapes the live
+``/metrics`` endpoint and runs it (the ``obs-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricFamily
+
+#: legal metric-family names (OpenMetrics ABNF, colons reserved for rules)
+METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+#: legal label names (leading ``__`` is reserved for internal use)
+LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: metric types this exposition emits (a subset of OpenMetrics 1.0)
+TYPES = ("gauge", "counter", "summary", "info", "unknown")
+
+#: sample-name suffixes each type may emit (OpenMetrics: the *family*
+#: name is suffix-free; counters sample as ``_total``, summaries as the
+#: bare name (with a ``quantile`` label) plus ``_sum``/``_count``)
+TYPE_SUFFIXES: Dict[str, Tuple[str, ...]] = {
+    "gauge": ("",),
+    "counter": ("_total",),
+    "summary": ("", "_sum", "_count"),
+    "info": ("_info",),
+    "unknown": ("",),
+}
+
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape a label value (``\\``, ``"``, newline)."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Backslash-escape HELP text (``\\`` and newline; quotes are legal)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value) -> str:
+    """Deterministic sample-value rendering.
+
+    Integral values print as integers (``12`` not ``12.0``); other
+    floats use ``repr`` — Python's shortest round-trip form, identical
+    on every platform. Non-finite values use the OpenMetrics spellings.
+    """
+    if isinstance(value, bool):
+        raise TypeError("metric values must be numeric, not bool")
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def render_exposition(families: Iterable["MetricFamily"]) -> str:
+    """Render metric families as OpenMetrics text (ends with ``# EOF``)."""
+    lines: List[str] = []
+    seen = set()
+    for family in sorted(families, key=lambda f: f.name):
+        if family.name in seen:
+            raise ValueError(f"duplicate metric family {family.name!r}")
+        seen.add(family.name)
+        lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.mtype}")
+        for suffix, labels, value in family.samples:
+            lines.append(
+                f"{family.name}{suffix}{_render_labels(labels)} "
+                f"{format_value(value)}"
+            )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# validation (promtool-style; independent of the renderer)
+# ----------------------------------------------------------------------
+_VALUE_RE = re.compile(
+    r"(?:[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?|[+-]?Inf|NaN)\Z"
+)
+
+
+def _parse_labels(text: str) -> Tuple[Optional[List[Tuple[str, str]]], str]:
+    """Parse ``name="value",...`` (no braces); return (pairs, error)."""
+    pairs: List[Tuple[str, str]] = []
+    i, n = 0, len(text)
+    while i < n:
+        j = text.find("=", i)
+        if j < 0:
+            return None, "label without '='"
+        name = text[i:j]
+        if not LABEL_NAME_RE.match(name):
+            return None, f"bad label name {name!r}"
+        if j + 1 >= n or text[j + 1] != '"':
+            return None, f"label {name!r} value is not quoted"
+        value = []
+        k = j + 2
+        while k < n:
+            c = text[k]
+            if c == "\\":
+                if k + 1 >= n:
+                    return None, f"dangling escape in label {name!r}"
+                esc = text[k + 1]
+                if esc not in ('\\', '"', 'n'):
+                    return None, f"bad escape '\\{esc}' in label {name!r}"
+                value.append("\n" if esc == "n" else esc)
+                k += 2
+            elif c == '"':
+                break
+            else:
+                value.append(c)
+                k += 1
+        else:
+            return None, f"unterminated label value for {name!r}"
+        pairs.append((name, "".join(value)))
+        i = k + 1
+        if i < n:
+            if text[i] != ",":
+                return None, f"expected ',' between labels, got {text[i]!r}"
+            i += 1
+            if i == n:
+                return None, "trailing ',' in label set"
+    return pairs, ""
+
+
+def _split_sample(line: str) -> Tuple[str, str, str, str]:
+    """Split a sample line into (name, label-body, value, error)."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            return "", "", "", "unbalanced '{' in sample line"
+        name = line[:brace]
+        labels = line[brace + 1:close]
+        rest = line[close + 1:]
+    else:
+        sp = line.find(" ")
+        if sp < 0:
+            return "", "", "", "sample line has no value"
+        name = line[:sp]
+        labels = ""
+        rest = line[sp:]
+    value = rest.strip()
+    if not value:
+        return "", "", "", "sample line has no value"
+    # OpenMetrics allows an optional timestamp; this repo never emits
+    # one, and a deterministic exposition must not, so reject it.
+    if " " in value:
+        return "", "", "", "unexpected timestamp (exposition must be timestamp-free)"
+    return name, labels, value, ""
+
+
+def _family_of(sample_name: str, families: Dict[str, str]) -> Optional[Tuple[str, str]]:
+    """Resolve a sample name to its declared (family, suffix)."""
+    candidates = []
+    for family, mtype in families.items():
+        if sample_name == family or (
+                sample_name.startswith(family)
+                and sample_name[len(family):] in TYPE_SUFFIXES[mtype]):
+            candidates.append((family, sample_name[len(family):]))
+    if not candidates:
+        return None
+    # Longest family wins (foo_sum belongs to summary foo, not gauge foo_sum
+    # — unless foo_sum itself is declared).
+    return max(candidates, key=lambda c: len(c[0]))
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check OpenMetrics line-format conformance; return problems.
+
+    Enforces, per line: metadata grammar (``# HELP`` / ``# TYPE`` /
+    ``# EOF``), metric- and label-name charsets, label escaping, float
+    values, and per family: TYPE declared once and before any sample,
+    sample suffixes legal for the declared type, summary ``quantile``
+    labels in [0, 1], counter values non-negative, no samples without a
+    declaration, no duplicate sample lines, and exactly one ``# EOF``
+    as the final line.
+    """
+    problems: List[str] = []
+    families: Dict[str, str] = {}
+    helped: set = set()
+    sampled: set = set()
+    seen_samples: set = set()
+    eof_line = None
+
+    if not text:
+        return ["empty exposition"]
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+
+    for lineno, line in enumerate(lines, start=1):
+        if eof_line is not None:
+            problems.append(f"line {lineno}: content after # EOF")
+            break
+        if line == "# EOF":
+            eof_line = lineno
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            kind, name = parts[1], parts[2]
+            body = parts[3] if len(parts) > 3 else ""
+            if not METRIC_NAME_RE.match(name):
+                problems.append(f"line {lineno}: bad metric name {name!r}")
+                continue
+            if kind == "HELP":
+                if name in helped:
+                    problems.append(f"line {lineno}: second HELP for {name}")
+                helped.add(name)
+            else:
+                if body not in TYPES:
+                    problems.append(f"line {lineno}: unknown type {body!r} for {name}")
+                    continue
+                if name in families:
+                    problems.append(f"line {lineno}: second TYPE for {name}")
+                    continue
+                if name in sampled:
+                    problems.append(
+                        f"line {lineno}: TYPE for {name} after its samples")
+                families[name] = body
+            continue
+        if not line.strip():
+            problems.append(f"line {lineno}: blank line")
+            continue
+
+        name, label_body, value, err = _split_sample(line)
+        if err:
+            problems.append(f"line {lineno}: {err}")
+            continue
+        if not METRIC_NAME_RE.match(name):
+            problems.append(f"line {lineno}: bad sample name {name!r}")
+            continue
+        labels: List[Tuple[str, str]] = []
+        if label_body:
+            labels, label_err = _parse_labels(label_body)  # type: ignore[assignment]
+            if labels is None:
+                problems.append(f"line {lineno}: {label_err}")
+                continue
+        label_names = [k for k, _ in labels]
+        if len(label_names) != len(set(label_names)):
+            problems.append(f"line {lineno}: duplicate label name")
+        if not _VALUE_RE.match(value):
+            problems.append(f"line {lineno}: bad value {value!r}")
+            continue
+
+        resolved = _family_of(name, families)
+        if resolved is None:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no # TYPE declaration")
+            continue
+        family, suffix = resolved
+        mtype = families[family]
+        sampled.add(family)
+        key = (name, tuple(labels))
+        if key in seen_samples:
+            problems.append(f"line {lineno}: duplicate sample {name}{label_body}")
+        seen_samples.add(key)
+
+        if mtype == "counter" and float(value) < 0:
+            problems.append(f"line {lineno}: counter {name} is negative")
+        if mtype == "summary" and suffix == "":
+            qs = [v for k, v in labels if k == "quantile"]
+            if not qs:
+                problems.append(
+                    f"line {lineno}: summary {family} sample without quantile label")
+            else:
+                try:
+                    q = float(qs[0])
+                except ValueError:
+                    q = -1.0
+                if not 0.0 <= q <= 1.0:
+                    problems.append(
+                        f"line {lineno}: quantile {qs[0]!r} outside [0, 1]")
+        if mtype == "info" and value != "1":
+            problems.append(f"line {lineno}: info {name} must have value 1")
+
+    if eof_line is None:
+        problems.append("missing # EOF terminator")
+    elif eof_line != len(lines):
+        problems.append(f"# EOF at line {eof_line} is not the final line")
+    return problems

@@ -13,6 +13,7 @@ Two renderings of one :class:`~repro.telemetry.pipeline.TelemetryPipeline`:
 from __future__ import annotations
 
 import json
+import math
 from typing import TYPE_CHECKING, List, Sequence
 
 from repro.analysis.report import format_table
@@ -23,10 +24,21 @@ if TYPE_CHECKING:  # pragma: no cover
 #: glyph ramp for sparklines (ASCII-only, like the rest of the repo)
 SPARK_GLYPHS = " .:-=+*#%@"
 
+#: rendering of empty / all-NaN series in the dashboard
+NO_DATA = "<no data>"
 
-def _round(x: float, digits: int = 6) -> float:
-    """Stable rounding so JSONL output is platform-independent."""
-    return round(float(x), digits)
+
+def _round(x: float, digits: int = 6):
+    """Stable rounding so JSONL output is platform-independent.
+
+    Non-finite values round to ``None`` (JSON ``null``): ``json.dumps``
+    would otherwise emit bare ``NaN``/``Infinity`` tokens, which are not
+    JSON and break downstream parsers.
+    """
+    x = float(x)
+    if math.isnan(x) or math.isinf(x):
+        return None
+    return round(x, digits)
 
 
 def to_jsonl(pipeline: "TelemetryPipeline") -> str:
@@ -82,21 +94,47 @@ def write_jsonl(pipeline: "TelemetryPipeline", path) -> None:
 
 
 def sparkline(values: Sequence[float], width: int = 48) -> str:
-    """Render the newest ``width`` values as a one-line ASCII ramp."""
-    vals = list(values)[-width:]
-    if not vals:
-        return ""
-    lo, hi = min(vals), max(vals)
+    """Render the newest ``width`` values as a one-line ASCII ramp.
+
+    Empty and all-NaN windows render as ``<no data>`` rather than an
+    empty string (or a ``ValueError`` from rounding NaN); isolated NaN
+    samples render as ``?`` so gaps stay visible without distorting the
+    scale of the finite neighbours.
+    """
+    vals = [float(v) for v in list(values)[-width:]]
+    finite = [v for v in vals if not (math.isnan(v) or math.isinf(v))]
+    if not finite:
+        return NO_DATA
+    lo, hi = min(finite), max(finite)
     span = hi - lo
-    if span <= 0:
-        return SPARK_GLYPHS[0] * len(vals)
     ramp = len(SPARK_GLYPHS) - 1
-    return "".join(SPARK_GLYPHS[round((v - lo) / span * ramp)] for v in vals)
+
+    def glyph(v: float) -> str:
+        if math.isnan(v):
+            return "?"
+        if math.isinf(v):
+            return SPARK_GLYPHS[-1] if v > 0 else SPARK_GLYPHS[0]
+        if span <= 0:
+            return SPARK_GLYPHS[0]
+        return SPARK_GLYPHS[round((v - lo) / span * ramp)]
+
+    return "".join(glyph(v) for v in vals)
 
 
 def dashboard(pipeline: "TelemetryPipeline", sparkline_width: int = 48) -> str:
     """The terminal dashboard: digests, sparklines, active + logged alerts."""
     sections: List[str] = ["== TELEMETRY DASHBOARD =="]
+
+    def cell(digest, attr: str, fmt: str, scale: float = 1.0) -> str:
+        # A digest that exists but has seen no samples would render its
+        # 0.0 placeholder quantiles as real measurements — show the
+        # explicit marker instead.
+        if digest is None or digest.count == 0:
+            return NO_DATA
+        value = getattr(digest, attr) / scale
+        if math.isnan(value) or math.isinf(value):
+            return NO_DATA
+        return f"{value:{fmt}}"
 
     rows = []
     for backend in pipeline.backends():
@@ -107,30 +145,40 @@ def dashboard(pipeline: "TelemetryPipeline", sparkline_width: int = 48) -> str:
         rows.append([
             f"backend{backend}",
             cpu.count if cpu else 0,
-            f"{cpu.p50:.2f}" if cpu else "-",
-            f"{cpu.p95:.2f}" if cpu else "-",
-            f"{cpu.p99:.2f}" if cpu else "-",
-            f"{runq.p95:.1f}" if runq else "-",
-            f"{stale.p95 / 1e6:.1f}" if stale else "-",
+            cell(cpu, "p50", ".2f"),
+            cell(cpu, "p95", ".2f"),
+            cell(cpu, "p99", ".2f"),
+            cell(runq, "p95", ".1f"),
+            cell(stale, "p95", ".1f", scale=1e6),
             ",".join(sorted({a.rule for a in active})) or "-",
         ])
-    sections.append(format_table(
-        ["backend", "polls", "cpu p50", "cpu p95", "cpu p99",
-         "runq p95", "stale p95 ms", "active alerts"],
-        rows,
-        title="Per-backend load digests",
-    ))
+    if rows:
+        sections.append(format_table(
+            ["backend", "polls", "cpu p50", "cpu p95", "cpu p99",
+             "runq p95", "stale p95 ms", "active alerts"],
+            rows,
+            title="Per-backend load digests",
+        ))
+    else:
+        sections.append(f"Per-backend load digests: {NO_DATA}")
 
     spark_rows = []
     for backend in pipeline.backends():
         ring = pipeline.store.get(f"b{backend}.cpu_util")
-        if ring is None:
-            continue
+        values = ring.values() if ring is not None else []
         spark_rows.append(
-            f"backend{backend} cpu [{sparkline(ring.values(), sparkline_width)}]")
+            f"backend{backend} cpu [{sparkline(values, sparkline_width)}]")
     if spark_rows:
         sections.append("CPU utilisation (raw tier, oldest -> newest):")
         sections.append("\n".join(spark_rows))
+
+    dropped = sum(pipeline.store.get(n).raw.dropped
+                  for n in pipeline.store.names())
+    retained = sum(len(pipeline.store.get(n).raw)
+                   for n in pipeline.store.names())
+    sections.append(
+        f"Retention: observations={pipeline.observations} "
+        f"retained={retained} dropped={dropped}")
 
     log = pipeline.engine.log
     if log:

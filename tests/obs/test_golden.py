@@ -1,0 +1,107 @@
+"""Golden exposition + same-seed byte-identity for the full surface."""
+
+import pathlib
+
+from repro.config import SimConfig
+from repro.obs.openmetrics import render_exposition, validate_exposition
+from repro.obs.registry import MetricFamily
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.rubis import RubisWorkload
+
+GOLDEN = pathlib.Path(__file__).with_name("golden")
+
+
+def build_reference_families():
+    """A hand-built family set exercising every type and edge."""
+    build = MetricFamily("app_build", "info", "Build identity.")
+    build.add(1, version="1.2.3", scheme="e-rdma-sync")
+    clock = MetricFamily("app_sim_time_ns", "gauge",
+                         "Simulated clock, nanoseconds.")
+    clock.add(1_500_000_000)
+    reqs = MetricFamily("app_requests", "counter", "Requests by outcome.")
+    reqs.add(120, outcome="completed")
+    reqs.add(0, outcome="rejected")
+    weird = MetricFamily("app_paths", "gauge",
+                         'Label escaping: backslash \\ and newline.')
+    weird.add(1, path='C:\\tmp\n"x"')
+    lat = MetricFamily("app_latency_ns", "summary",
+                       "Response latency, nanoseconds.")
+
+    class Digest:
+        count = 8
+        mean = 250.25
+
+        @staticmethod
+        def quantile(q):
+            return {0.5: 200.0, 0.95: 512.5, 0.99: 1024.0}[q]
+
+    lat.add_summary(Digest, (0.5, 0.95, 0.99), backend="0")
+    return [build, clock, reqs, weird, lat]
+
+
+def test_exposition_matches_golden_file():
+    text = render_exposition(build_reference_families())
+    golden = (GOLDEN / "exposition.prom").read_text()
+    assert text == golden
+
+
+def test_golden_file_is_valid_openmetrics():
+    assert validate_exposition((GOLDEN / "exposition.prom").read_text()) == []
+
+
+def run_cluster(seed=11, duration=SECOND):
+    from repro.api import ClusterBuilder
+
+    cfg = SimConfig(num_backends=4, master_seed=seed)
+    cluster = (ClusterBuilder(cfg).scheme("e-rdma-sync")
+               .with_tracing().observability().build())
+    RubisWorkload(cluster.sim, cluster.dispatcher, num_clients=16,
+                  think_time=6 * MILLISECOND).start()
+    cluster.run(duration)
+    return cluster
+
+
+def test_same_seed_byte_identical_exposition():
+    a = run_cluster().obs.exposition()
+    b = run_cluster().obs.exposition()
+    assert a == b
+    assert validate_exposition(a) == []
+
+
+def test_different_seed_differs():
+    a = run_cluster(seed=11).obs.exposition()
+    b = run_cluster(seed=12).obs.exposition()
+    assert a != b
+
+
+def test_same_seed_byte_identical_job_report():
+    a = run_cluster().obs.job_report().to_json()
+    b = run_cluster().obs.job_report().to_json()
+    assert a == b
+
+
+def test_observability_off_is_bit_identical():
+    """A cluster without the surface behaves exactly like one with it.
+
+    Collectors only read plane state, so enabling observability must
+    not shift a single simulated decision — the non-perturbation
+    property the paper's monitoring design is built on.
+    """
+    from repro.api import ClusterBuilder
+
+    def fingerprint(with_obs):
+        cfg = SimConfig(num_backends=3, master_seed=21)
+        builder = ClusterBuilder(cfg).scheme("rdma-sync").with_telemetry()
+        if with_obs:
+            builder.observability()
+        cluster = builder.build()
+        RubisWorkload(cluster.sim, cluster.dispatcher, num_clients=12,
+                      think_time=6 * MILLISECOND).start()
+        cluster.run(800 * MILLISECOND)
+        stats = cluster.dispatcher.stats
+        return (stats.count(), stats.rejected_count,
+                sorted(stats.per_backend_counts().items()),
+                sum(stats.response_times()),
+                cluster.monitor.polls, cluster.sim.env.processed_events)
+
+    assert fingerprint(False) == fingerprint(True)

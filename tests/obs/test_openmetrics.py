@@ -1,0 +1,202 @@
+"""Exposition format: escaping, value rendering, renderer, validator."""
+
+import pytest
+
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    escape_help,
+    escape_label_value,
+    format_value,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.registry import MetricFamily
+
+
+# -- escaping ----------------------------------------------------------
+def test_label_value_escaping():
+    assert escape_label_value('plain') == 'plain'
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value('a\\b') == 'a\\\\b'
+    assert escape_label_value('a\nb') == 'a\\nb'
+    # escaping composes: a literal backslash-n stays distinguishable
+    # from a newline after escaping
+    assert escape_label_value('a\\nb') == 'a\\\\nb'
+    assert escape_label_value('a\nb') != escape_label_value('a\\nb')
+
+
+def test_help_escaping():
+    assert escape_help('plain help') == 'plain help'
+    assert escape_help('line\nbreak') == 'line\\nbreak'
+    assert escape_help('back\\slash') == 'back\\\\slash'
+    # double quotes are legal in HELP text
+    assert escape_help('say "hi"') == 'say "hi"'
+
+
+# -- value formatting --------------------------------------------------
+def test_format_value_integers_and_floats():
+    assert format_value(12) == "12"
+    assert format_value(12.0) == "12"
+    assert format_value(0.5) == "0.5"
+    assert format_value(1 / 3) == repr(1 / 3)
+    assert format_value(-7) == "-7"
+
+
+def test_format_value_non_finite():
+    assert format_value(float("nan")) == "NaN"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("-inf")) == "-Inf"
+
+
+def test_format_value_rejects_bool():
+    with pytest.raises(TypeError):
+        format_value(True)
+
+
+def test_format_value_large_floats_keep_roundtrip():
+    big = 1e16
+    assert float(format_value(big)) == big
+
+
+# -- family construction -----------------------------------------------
+def test_family_rejects_bad_names_and_types():
+    with pytest.raises(ValueError):
+        MetricFamily("0bad", "gauge", "x")
+    with pytest.raises(ValueError):
+        MetricFamily("ok", "histogram", "x")
+    # counters are declared suffix-free; _total is added per sample
+    with pytest.raises(ValueError):
+        MetricFamily("requests_total", "counter", "x")
+
+
+def test_family_rejects_bad_label_names_and_suffixes():
+    fam = MetricFamily("g", "gauge", "x")
+    with pytest.raises(ValueError):
+        fam.add(1, **{"0bad": "v"})
+    with pytest.raises(ValueError):
+        fam.add(1, suffix="_total")  # gauge has no _total samples
+
+
+def test_counter_samples_get_total_suffix():
+    fam = MetricFamily("reqs", "counter", "x")
+    fam.add(3, outcome="ok")
+    text = render_exposition([fam])
+    assert 'reqs_total{outcome="ok"} 3' in text
+    assert "# TYPE reqs counter" in text
+
+
+# -- renderer ----------------------------------------------------------
+def test_render_sorted_families_and_eof():
+    b = MetricFamily("bbb", "gauge", "second").add(2)
+    a = MetricFamily("aaa", "gauge", "first").add(1)
+    text = render_exposition([b, a])
+    assert text.index("aaa") < text.index("bbb")
+    assert text.endswith("# EOF\n")
+
+
+def test_render_rejects_duplicate_family():
+    fams = [MetricFamily("dup", "gauge", "x").add(1),
+            MetricFamily("dup", "gauge", "y").add(2)]
+    with pytest.raises(ValueError):
+        render_exposition(fams)
+
+
+def test_render_escapes_labels_in_place():
+    fam = MetricFamily("g", "gauge", "x")
+    fam.add(1, path='C:\\dir\n"quoted"')
+    text = render_exposition([fam])
+    assert 'path="C:\\\\dir\\n\\"quoted\\""' in text
+    assert validate_exposition(text) == []
+
+
+def test_renderer_output_is_pure_function_of_families():
+    def build():
+        fam = MetricFamily("m", "summary", "h")
+
+        class D:
+            count = 4
+            mean = 2.5
+
+            @staticmethod
+            def quantile(q):
+                return q * 10
+
+        fam.add_summary(D, (0.5, 0.99), backend="0")
+        return [fam]
+
+    assert render_exposition(build()) == render_exposition(build())
+
+
+# -- validator: accepts the renderer, rejects broken documents ---------
+VALID = (
+    "# HELP up is the thing up\n"
+    "# TYPE up gauge\n"
+    "up 1\n"
+    "# HELP reqs requests served\n"
+    "# TYPE reqs counter\n"
+    'reqs_total{code="200"} 10\n'
+    "# HELP lat latency\n"
+    "# TYPE lat summary\n"
+    'lat{quantile="0.5"} 0.2\n'
+    "lat_sum 12.5\n"
+    "lat_count 40\n"
+    "# HELP build build info\n"
+    "# TYPE build info\n"
+    'build_info{version="1.0"} 1\n'
+    "# EOF\n"
+)
+
+
+def test_validator_accepts_conforming_document():
+    assert validate_exposition(VALID) == []
+
+
+@pytest.mark.parametrize("mutation,needle", [
+    (lambda t: t.replace("# EOF\n", ""), "EOF"),
+    (lambda t: t + "trailing 1\n", "after # EOF"),
+    (lambda t: t.replace("# TYPE up gauge\n", ""), "no # TYPE"),
+    (lambda t: t.replace("up 1", "up "), "no value"),
+    (lambda t: t.replace("up 1", "up abc"), "bad value"),
+    (lambda t: t.replace("up 1", "up 1 1700000000"), "timestamp"),
+    (lambda t: t.replace('reqs_total{code="200"} 10',
+                         'reqs_total{code="200"} -1'), "negative"),
+    (lambda t: t.replace('lat{quantile="0.5"}', 'lat{quantile="1.5"}'),
+     "outside [0, 1]"),
+    (lambda t: t.replace('lat{quantile="0.5"}', 'lat{q="0.5"}'),
+     "without quantile"),
+    (lambda t: t.replace('build_info{version="1.0"} 1',
+                         'build_info{version="1.0"} 2'), "value 1"),
+    (lambda t: t.replace("up 1\n", "up 1\nup 1\n"), "duplicate sample"),
+    (lambda t: t.replace('code="200"', 'code="200'), "unterminated"),
+    (lambda t: t.replace('code="200"', '0code="200"'), "bad label name"),
+    (lambda t: t.replace("# TYPE up gauge", "# TYPE up wombat"),
+     "unknown type"),
+    (lambda t: t.replace("up 1\n", "up 1\n\n"), "blank line"),
+])
+def test_validator_rejects(mutation, needle):
+    problems = validate_exposition(mutation(VALID))
+    assert problems, f"expected a problem containing {needle!r}"
+    assert any(needle in p for p in problems), problems
+
+
+def test_validator_type_after_samples():
+    text = ("# HELP g x\n"
+            "g 1\n"
+            "# TYPE g gauge\n"
+            "# EOF\n")
+    problems = validate_exposition(text)
+    assert any("after its samples" in p or "no # TYPE" in p
+               for p in problems), problems
+
+
+def test_validator_escaped_label_values_parse():
+    text = ("# HELP g x\n"
+            "# TYPE g gauge\n"
+            'g{path="a\\\\b\\nc\\"d"} 1\n'
+            "# EOF\n")
+    assert validate_exposition(text) == []
+
+
+def test_content_type_is_openmetrics():
+    assert "openmetrics-text" in CONTENT_TYPE
+    assert "version=1.0.0" in CONTENT_TYPE

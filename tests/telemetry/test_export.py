@@ -7,7 +7,9 @@ from repro.experiments.common import deploy_rubis_cluster
 from repro.monitoring.heartbeat import HealthRecord, NodeHealth
 from repro.monitoring.loadinfo import LoadInfo
 from repro.sim.units import MILLISECOND, SECOND
-from repro.telemetry.export import dashboard, sparkline, to_jsonl, write_jsonl
+from repro.telemetry.digest import StreamingDigest
+from repro.telemetry.export import (NO_DATA, _round, dashboard, sparkline,
+                                    to_jsonl, write_jsonl)
 from repro.telemetry.pipeline import TelemetryPipeline
 from repro.workloads.rubis import RubisWorkload
 
@@ -65,12 +67,34 @@ def test_write_jsonl_roundtrip(tmp_path):
 
 
 def test_sparkline_shapes():
-    assert sparkline([]) == ""
+    assert sparkline([]) == NO_DATA
     assert sparkline([1.0, 1.0, 1.0]) == "   "
     ramp = sparkline([0.0, 0.5, 1.0])
     assert len(ramp) == 3
     assert ramp[0] == " " and ramp[-1] == "@"
     assert len(sparkline(list(range(1000)), width=48)) == 48
+
+
+def test_sparkline_nan_handling():
+    nan = float("nan")
+    # all-NaN and empty windows are explicit, not empty or raising
+    assert sparkline([nan, nan, nan]) == NO_DATA
+    # isolated NaN renders as a visible gap, neighbours keep their scale
+    ramp = sparkline([0.0, nan, 1.0])
+    assert ramp == " ?@"
+    # infinities clamp to the ramp ends without poisoning the scale
+    assert sparkline([0.0, float("inf"), 1.0])[1] == "@"
+    assert sparkline([0.0, float("-inf"), 1.0])[1] == " "
+
+
+def test_round_non_finite_is_json_null():
+    nan = float("nan")
+    assert _round(nan) is None
+    assert _round(float("inf")) is None
+    assert _round(float("-inf")) is None
+    # the whole document must stay parseable JSON even if a digest
+    # ever surfaces a non-finite summary value
+    assert json.loads(json.dumps({"v": _round(nan)})) == {"v": None}
 
 
 def test_dashboard_sections():
@@ -82,8 +106,35 @@ def test_dashboard_sections():
     assert "Alert log" in out
     assert "heartbeat-miss" in out
     assert "Raised by rule:" in out
+    assert "Retention: observations=8" in out
 
 
 def test_dashboard_empty_pipeline():
     out = dashboard(TelemetryPipeline())
     assert "Alert log: empty" in out
+    assert f"Per-backend load digests: {NO_DATA}" in out
+    assert "Retention: observations=0 retained=0 dropped=0" in out
+
+
+def test_dashboard_empty_digest_shows_no_data():
+    """A digest that exists but has seen no samples must not render its
+    0.0 placeholder quantiles as measurements."""
+    pipe = TelemetryPipeline(metrics=("cpu_util",))
+    pipe.observe(0, LoadInfo(backend="backend0", collected_at=0,
+                             received_at=500, cpu_util=0.4, runq_load=1.0))
+    pipe._digests["b1.cpu_util"] = StreamingDigest()
+    out = dashboard(pipe)
+    backend1_row = next(line for line in out.splitlines()
+                        if line.startswith("backend1"))
+    assert NO_DATA in backend1_row
+    assert "0.00" not in backend1_row
+
+
+def test_dashboard_surfaces_dropped_counter():
+    pipe = TelemetryPipeline(metrics=("cpu_util",), capacity=4)
+    for t in range(16):
+        pipe.observe(0, LoadInfo(backend="backend0", collected_at=t * 1000,
+                                 received_at=t * 1000 + 1, cpu_util=0.5,
+                                 runq_load=1.0))
+    out = dashboard(pipe)
+    assert "dropped=12" in out

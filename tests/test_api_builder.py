@@ -111,3 +111,56 @@ def test_builder_exported_from_package_root():
     import repro
 
     assert repro.ClusterBuilder is ClusterBuilder
+
+
+# -- did-you-mean kwarg audit across every chain method ----------------
+@pytest.mark.parametrize("method,typo,suggestion", [
+    ("with_admission", {"max_scor": 0.9}, "max_score"),
+    ("with_telemetry", {"rule": None}, "rules"),
+    ("with_tracing", {"sampel": 0.5}, "sample"),
+    ("with_heartbeat", {"intervall": 1000}, "interval"),
+    ("with_heartbeat", {"hung_aftr": 3}, "hung_after"),
+    ("with_federation", {"num_shard": 2}, "num_shards"),
+])
+def test_chain_method_typos_get_suggestions(method, typo, suggestion):
+    builder = ClusterBuilder(SimConfig(num_backends=2))
+    with pytest.raises(TypeError) as err:
+        getattr(builder, method)(**typo)
+    message = str(err.value)
+    assert method in message
+    assert f"did you mean {suggestion!r}" in message
+
+
+@pytest.mark.parametrize("method,typo,suggestion", [
+    ("congestion", {"ecn_kmn": 1024}, "ecn_kmin"),
+    ("observability", {"namespce": "x"}, "namespace"),
+    ("observability", {"http_prt": 9090}, "http_port"),
+    ("observability", {"snapshot_dr": "/tmp"}, "snapshot_dir"),
+])
+def test_config_backed_methods_typos_get_suggestions(method, typo, suggestion):
+    """congestion()/observability() knobs audit via the config schema."""
+    builder = ClusterBuilder(SimConfig(num_backends=2))
+    with pytest.raises((TypeError, AttributeError)) as err:
+        getattr(builder, method)(**typo)
+    assert f"did you mean {suggestion!r}" in str(err.value)
+
+
+def test_chain_method_unknown_kwarg_without_match_lists_valid():
+    builder = ClusterBuilder(SimConfig(num_backends=2))
+    with pytest.raises(TypeError, match="valid keywords"):
+        builder.with_tracing(zzz=1)
+
+
+def test_observability_builds_surface():
+    app = (ClusterBuilder(SimConfig(num_backends=2))
+           .observability()
+           .build())
+    assert app.obs is not None
+    assert app.telemetry is not None  # implied source
+    assert app.obs.server is None     # http off by default
+    assert app.obs.exposition().endswith("# EOF\n")
+
+
+def test_observability_off_leaves_no_surface():
+    app = ClusterBuilder(SimConfig(num_backends=2)).build()
+    assert app.obs is None

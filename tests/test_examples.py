@@ -104,3 +104,32 @@ def test_run_all_cli_rejects_unknown(tmp_path):
 
     with pytest.raises(SystemExit):
         main(["not-an-experiment", "--results-dir", str(tmp_path)])
+
+
+def test_live_dashboard_runs(capsys):
+    run_example("live_dashboard.py", ["e-rdma-sync", "1",
+                                      "--frames", "3", "--no-clear"])
+    out = capsys.readouterr().out
+    assert "LIVE CLUSTER DASHBOARD" in out
+    assert "backend0 cpu" in out
+    assert "active alerts:" in out
+    assert "OpenMetrics" in out
+
+
+def test_metrics_endpoint_runs(capsys):
+    run_example("metrics_endpoint.py", ["e-rdma-sync", "1"])
+    out = capsys.readouterr().out
+    assert "exporter listening on http://" in out
+    assert "valid OpenMetrics" in out
+    assert "repro_requests_total" in out
+    assert "JOB REPORT: rubis" in out
+
+
+def test_run_all_cli_obs(tmp_path, capsys):
+    from repro.experiments.run_all import main
+
+    rc = main(["obs", "--results-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "exposition determinism" in out
+    assert (tmp_path / "obs.txt").exists()
