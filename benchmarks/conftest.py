@@ -4,65 +4,24 @@ Every benchmark regenerates one table/figure of the paper at a
 representative scale, times it via pytest-benchmark (single round — these
 are experiments, not micro-benchmarks), prints the paper-shaped table and
 archives it under ``results/`` so EXPERIMENTS.md can cite the exact runs.
+
+The baseline-artifact writer lives in :mod:`repro.analysis.bench` (the
+multiprocess runner stamps the same header); this conftest re-exports it
+so the benchmark modules keep their historical ``from conftest import
+write_bench`` idiom.
 """
 
-import json
 import pathlib
-import platform
-import subprocess
-import sys
 
 import pytest
 
+from repro.analysis.bench import (  # noqa: F401  (re-exported for benches)
+    BENCH_SCHEMA_VERSION,
+    run_metadata,
+    write_bench,
+)
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
-
-#: bump when the shape of the BENCH_*.json baselines changes
-BENCH_SCHEMA_VERSION = 2
-
-
-def _git_commit() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=RESULTS_DIR.parent, capture_output=True, text=True, timeout=5,
-        )
-        return out.stdout.strip() if out.returncode == 0 else "unknown"
-    except OSError:
-        return "unknown"
-
-
-def run_metadata() -> dict:
-    """Provenance block stamped into every baseline artifact."""
-    return {
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "platform": f"{platform.system()}-{platform.machine()}",
-        "commit": _git_commit(),
-        "argv_module": pathlib.Path(sys.argv[0]).name if sys.argv else "",
-    }
-
-
-def write_bench(results_dir: pathlib.Path, experiment: str,
-                payload: dict, *, name: str = None) -> pathlib.Path:
-    """Write ``results/BENCH_<name>.json`` with the schema header.
-
-    Every baseline carries ``schema_version`` + a ``run`` metadata block
-    so downstream tooling can reject shapes it does not understand and
-    trace a regression back to the interpreter/commit that produced it.
-    ``name`` defaults to ``experiment`` (BENCH_core.json predates the
-    convention and keeps its historical file name).
-    """
-    doc = {
-        "schema_version": BENCH_SCHEMA_VERSION,
-        "kind": "bench-baseline",
-        "experiment": experiment,
-        "run": run_metadata(),
-        **payload,
-    }
-    path = results_dir / f"BENCH_{name or experiment}.json"
-    path.write_text(
-        json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n")
-    return path
 
 
 @pytest.fixture(scope="session")

@@ -162,6 +162,25 @@ class ClusterBuilder:
         self._heartbeat_hung_after = hung_after
         return self
 
+    def engine(self, core: str = "wheel", **knobs) -> "ClusterBuilder":
+        """Select the discrete-event scheduler core.
+
+        ``core`` is ``"wheel"`` (the bucketed timing wheel, the default
+        everywhere) or ``"heap"`` (the pre-wheel global binary heap kept
+        as the reference core); extra keywords are ``cfg.engine`` knobs
+        (``wheel_bucket_bits=...``, ``wheel_ring_bits=...``) and a
+        mistyped name raises immediately with a did-you-mean hint,
+        courtesy of the audited config schema. Both cores dispatch in
+        the identical ``(time, priority, seq)`` order — enforced by the
+        differential conformance suite — so this switch never changes a
+        simulation result, only its wall-clock.
+        """
+        eng = self._cfg.engine
+        eng.core = core
+        for name, value in knobs.items():
+            setattr(eng, name, value)
+        return self
+
     def congestion(self, **knobs) -> "ClusterBuilder":
         """Enable the congestion-realistic fabric (ECN/DCQCN/PFC).
 
@@ -200,22 +219,32 @@ class ClusterBuilder:
 
     def with_federation(self, *, num_shards: int = 0,
                         leaf_interval: int = 0,
-                        root_interval: int = 0, **extra) -> "ClusterBuilder":
-        """Deploy the two-level sharded monitoring fabric.
+                        root_interval: int = 0,
+                        levels: int = 2,
+                        num_regions: int = 0,
+                        region_interval: int = 0,
+                        **extra) -> "ClusterBuilder":
+        """Deploy the sharded monitoring fabric (two or three tiers).
 
         Equivalent to setting ``cfg.federation.enabled`` (plus the given
         knobs) before building: leaves poll their shard with the chosen
         scheme, the root merges leaf snapshots, the dispatcher routes
         through the shard-then-node balancer, and the flat front-end
-        poller stays idle.
+        poller stays idle. ``levels=3`` inserts region aggregators
+        between leaves and root (fan-outs near N^(1/3) — the large-N
+        regime; see docs/FEDERATION.md).
         """
         _audit_kwargs("with_federation", extra,
-                      ["num_shards", "leaf_interval", "root_interval"])
+                      ["num_shards", "leaf_interval", "root_interval",
+                       "levels", "num_regions", "region_interval"])
         fed = self._cfg.federation
         fed.enabled = True
         fed.num_shards = num_shards
         fed.leaf_interval = leaf_interval
         fed.root_interval = root_interval
+        fed.levels = levels
+        fed.num_regions = num_regions
+        fed.region_interval = region_interval
         return self
 
     # -- assembly -------------------------------------------------------

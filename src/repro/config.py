@@ -64,6 +64,29 @@ def audited(cls):
 
 @audited
 @dataclass
+class EngineConfig:
+    """Discrete-event scheduler core (see :mod:`repro.sim.wheel`).
+
+    The default bucketed timing wheel gives O(1) insert/cancel for every
+    event inside its horizon (``2**(wheel_bucket_bits + wheel_ring_bits)``
+    ns ≈ 33.6 ms at the defaults) with an overflow heap beyond it; the
+    pre-wheel global binary heap remains selectable as the reference
+    core. Both dispatch in the identical ``(time, priority, seq)`` order
+    — enforced by ``tests/sim/test_core_differential.py`` — so this
+    choice never changes simulation results, only wall-clock.
+    """
+
+    #: scheduler core: "wheel" (bucketed timing wheel, default) or
+    #: "heap" (the single global binary heap of PR 6)
+    core: str = "wheel"
+    #: log2 of the wheel bucket width in ns (12 -> 4.096 us buckets)
+    wheel_bucket_bits: int = 12
+    #: log2 of the wheel ring length in buckets (13 -> 8192 buckets)
+    wheel_ring_bits: int = 13
+
+
+@audited
+@dataclass
 class CpuConfig:
     """Per-node CPU and scheduler parameters (Linux-2.4 flavoured)."""
 
@@ -243,8 +266,16 @@ class FederationConfig:
 
     #: master switch for the two-level monitoring fabric
     enabled: bool = False
-    #: number of shards (leaf monitors); 0 = auto, ceil(sqrt(N))
+    #: tiers in the fabric: 2 = leaf → root (historical), 3 = leaf →
+    #: region → root; three tiers keep every fan-out near N^(1/3), the
+    #: regime that holds an N=4096 deployment inside a 1 ms period
+    levels: int = 2
+    #: number of shards (leaf monitors); 0 = auto — ceil(sqrt(N)) at
+    #: two levels, ceil(N / round(N^(1/3))) at three
     num_shards: int = 0
+    #: number of region aggregators (3-level only); 0 = auto,
+    #: ceil(sqrt(num_shards))
+    num_regions: int = 0
     #: scheme each leaf runs over its shard (any registered name)
     scheme: str = "rdma-sync"
     #: leaf poll period over shard members; 0 = cfg.monitor.interval
@@ -252,6 +283,8 @@ class FederationConfig:
     #: root aggregation period (RDMA-reads every leaf snapshot MR);
     #: 0 = the leaf interval
     root_interval: int = 0
+    #: region aggregation period (3-level only); 0 = the leaf interval
+    region_interval: int = 0
     #: exported snapshot MR sizing: fixed header + per-node record
     snapshot_base_bytes: int = 64
     snapshot_bytes_per_node: int = 96
@@ -268,6 +301,10 @@ class FederationConfig:
     publish_cost: int = 1 * US
     #: root CPU to merge one shard snapshot into the global view
     root_merge_cost: int = 2 * US
+    #: region CPU to fold one leaf snapshot into its region view
+    region_merge_cost: int = 2 * US
+    #: region CPU to serialise + write its snapshot into its exported MR
+    region_publish_cost: int = 1 * US
 
 
 @audited
@@ -393,6 +430,26 @@ class ProfileConfig:
     dump_dir: str = ""
 
 
+#: the historical default master seed (every archived golden uses it)
+_DEFAULT_MASTER_SEED = 0xC1057E12
+
+
+def set_default_master_seed(seed: int) -> int:
+    """Override the default ``SimConfig.master_seed`` process-wide.
+
+    The multiprocess experiment runner fans (experiment, seed) jobs
+    across worker processes; experiments build ``SimConfig(...)``
+    without threading a seed parameter through every signature, so the
+    worker applies its job's seed here before running. Explicit
+    ``SimConfig(master_seed=...)`` arguments are unaffected. Returns
+    the previous default so callers can restore it.
+    """
+    global _DEFAULT_MASTER_SEED
+    previous = _DEFAULT_MASTER_SEED
+    _DEFAULT_MASTER_SEED = int(seed)
+    return previous
+
+
 @audited
 @dataclass
 class SimConfig:
@@ -402,8 +459,9 @@ class SimConfig:
     #: CPUs on the client-farm node (sized so clients never bottleneck;
     #: the paper uses 8 dedicated dual-CPU client nodes)
     client_cpus: int = 8
-    master_seed: int = 0xC1057E12
+    master_seed: int = field(default_factory=lambda: _DEFAULT_MASTER_SEED)
     trace: bool = False
+    engine: EngineConfig = field(default_factory=EngineConfig)
     cpu: CpuConfig = field(default_factory=CpuConfig)
     irq: IrqConfig = field(default_factory=IrqConfig)
     syscall: SyscallConfig = field(default_factory=SyscallConfig)
@@ -424,6 +482,14 @@ class SimConfig:
         """Sanity-check cross-field constraints; raise ValueError on nonsense."""
         if self.num_backends < 1:
             raise ValueError("need at least one back-end node")
+        eng = self.engine
+        if eng.core not in ("wheel", "heap"):
+            raise ValueError(f"unknown engine core {eng.core!r} "
+                             "(choose 'wheel' or 'heap')")
+        if not 4 <= eng.wheel_bucket_bits <= 24:
+            raise ValueError("engine wheel_bucket_bits must be in [4, 24]")
+        if not 4 <= eng.wheel_ring_bits <= 20:
+            raise ValueError("engine wheel_ring_bits must be in [4, 20]")
         if self.cpu.num_cpus < 1:
             raise ValueError("nodes need at least one CPU")
         if self.cpu.tick <= 0:
@@ -506,6 +572,7 @@ __all__ = [
     "CongestionConfig",
     "CpuConfig",
     "DEFAULT_POLL_INTERVAL",
+    "EngineConfig",
     "FederationConfig",
     "IrqConfig",
     "MonitorConfig",

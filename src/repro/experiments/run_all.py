@@ -2,19 +2,32 @@
 
 Usage::
 
-    python -m repro.experiments.run_all            # quick versions
-    python -m repro.experiments.run_all --full     # benchmark-scale
-    python -m repro.experiments.run_all fig3 fig6  # a subset
+    python -m repro.experiments.run_all             # quick versions
+    python -m repro.experiments.run_all --full      # benchmark-scale
+    python -m repro.experiments.run_all fig3 fig6   # a subset
+    python -m repro.experiments.run_all --jobs 4 --seeds 1,2,3
 
 Prints each result in the paper's shape and writes it under results/.
+
+With ``--jobs N`` the (experiment × seed) matrix fans out across a
+process pool: each worker applies its job's seed as the process-wide
+default master seed (:func:`repro.config.set_default_master_seed`) and
+runs the experiment in isolation — simulations are single-threaded, so
+cores multiply throughput with zero determinism risk (same (experiment,
+seed) job → same output regardless of scheduling). The run always
+finishes by merging every job's outcome into
+``results/BENCH_run_all.json`` (schema v2, one record per job).
 """
 
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
+import os
 import pathlib
 import sys
 import time
+from typing import Optional
 
 from repro.analysis.report import format_series, format_table
 from repro.experiments import (
@@ -108,6 +121,65 @@ RUNNERS = {
 }
 
 
+def _artifact_name(name: str, seed: Optional[int]) -> str:
+    """results/ stem for one job; default-seed jobs keep historical names."""
+    return name if seed is None else f"{name}__seed{seed}"
+
+
+def _run_job(name: str, full: bool, seed: Optional[int]) -> dict:
+    """One (experiment, seed) job — module-level so worker processes can
+    resolve it by reference (no lambda pickling).
+
+    Applies the job's seed as the process-wide default master seed
+    before running; every ``SimConfig()`` the experiment builds without
+    an explicit ``master_seed=`` then uses it. Exceptions are captured
+    into the job record rather than poisoning the pool.
+    """
+    if seed is not None:
+        from repro.config import set_default_master_seed
+
+        set_default_master_seed(seed)
+    started = time.time()
+    try:
+        text = RUNNERS[name](full)
+        ok, error = True, ""
+    except Exception as exc:  # noqa: BLE001 — job record carries the failure
+        text, ok, error = "", False, f"{type(exc).__name__}: {exc}"
+    return {
+        "experiment": name,
+        "seed": seed,
+        "artifact": _artifact_name(name, seed),
+        "ok": ok,
+        "error": error,
+        "wall_s": round(time.time() - started, 3),
+        "text": text,
+    }
+
+
+def _merge_bench(out_dir: pathlib.Path, jobs: list, workers: int,
+                 full: bool, wall_s: float) -> pathlib.Path:
+    """Fold every job record into the schema-v2 BENCH_run_all baseline."""
+    from repro.analysis.bench import write_bench
+
+    records = [{k: v for k, v in job.items() if k != "text"} for job in jobs]
+    return write_bench(out_dir, "run_all", {
+        "workers": workers,
+        "full": full,
+        "wall_s": round(wall_s, 3),
+        "jobs_total": len(records),
+        "jobs_failed": sum(1 for r in records if not r["ok"]),
+        "jobs": records,
+    })
+
+
+def _parse_seeds(text: str) -> list:
+    try:
+        return [int(s) for s in text.split(",") if s.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seeds must be comma-separated integers, got {text!r}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", default=[],
@@ -115,23 +187,58 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="benchmark-scale parameters (slower)")
     parser.add_argument("--results-dir", default="results")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = in-process; "
+                             "0 = one per CPU core)")
+    parser.add_argument("--seeds", type=_parse_seeds, default=None,
+                        metavar="S1,S2,...",
+                        help="run every experiment once per seed "
+                             "(default: one pass at the built-in seed)")
     args = parser.parse_args(argv)
 
     chosen = args.experiments or list(RUNNERS)
     unknown = [name for name in chosen if name not in RUNNERS]
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}; choose from {sorted(RUNNERS)}")
+    workers = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    seeds = args.seeds if args.seeds else [None]
 
     out_dir = pathlib.Path(args.results_dir)
     out_dir.mkdir(exist_ok=True)
-    for name in chosen:
-        started = time.time()
-        text = RUNNERS[name](args.full)
-        elapsed = time.time() - started
-        print(f"\n=== {name} ({elapsed:.0f}s wall) " + "=" * 40)
-        print(text)
-        (out_dir / f"{name}.txt").write_text(text + "\n")
-    return 0
+    matrix = [(name, seed) for seed in seeds for name in chosen]
+    started = time.time()
+    done: list = []
+    if workers <= 1:
+        for name, seed in matrix:
+            done.append(_run_job(name, args.full, seed))
+            _report(done[-1], out_dir)
+    else:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_job, name, args.full, seed): (name, seed)
+                       for name, seed in matrix}
+            for future in concurrent.futures.as_completed(futures):
+                done.append(future.result())
+                _report(done[-1], out_dir)
+    # Stable artifact order regardless of completion order.
+    done.sort(key=lambda j: (str(j["seed"]), j["experiment"]))
+    bench = _merge_bench(out_dir, done, workers, args.full,
+                         time.time() - started)
+    failed = [j for j in done if not j["ok"]]
+    print(f"\n{len(done)} job(s), {len(failed)} failed; merged -> {bench}")
+    for job in failed:
+        print(f"  FAILED {job['artifact']}: {job['error']}")
+    return 1 if failed else 0
+
+
+def _report(job: dict, out_dir: pathlib.Path) -> None:
+    tag = f"{job['experiment']}" + (
+        f" seed={job['seed']}" if job["seed"] is not None else "")
+    if not job["ok"]:
+        print(f"\n=== {tag} FAILED ({job['wall_s']:.0f}s wall): {job['error']}")
+        return
+    print(f"\n=== {tag} ({job['wall_s']:.0f}s wall) " + "=" * 40)
+    print(job["text"])
+    (out_dir / f"{job['artifact']}.txt").write_text(job["text"] + "\n")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,10 @@ per-shard leaf monitors with batched RDMA fan-out
 (:mod:`~repro.federation.leaf`), mergeable epoch snapshots
 (:mod:`~repro.federation.snapshot`), and a root aggregator that
 RDMA-reads each leaf's exported snapshot region
-(:mod:`~repro.federation.aggregator`). Default-off via
+(:mod:`~repro.federation.aggregator`). With ``cfg.federation.levels=3``
+a region tier (:mod:`~repro.federation.region`) sits between leaves and
+root so every fan-out stays near N^(1/3) — the regime that holds
+N=4096 inside a 1 ms period. Default-off via
 ``cfg.federation.enabled`` — see docs/FEDERATION.md.
 """
 
@@ -16,6 +19,7 @@ from repro.federation.aggregator import (
     deploy_federation,
 )
 from repro.federation.leaf import LeafMonitor, ShardView
+from repro.federation.region import RegionAggregator, RegionSnapshot
 from repro.federation.snapshot import (
     SNAPSHOT_METRICS,
     ShardSnapshot,
@@ -23,17 +27,26 @@ from repro.federation.snapshot import (
     pack_info,
     unpack_info,
 )
-from repro.federation.topology import ShardTopology, auto_shard_count
+from repro.federation.topology import (
+    ShardTopology,
+    auto_region_count,
+    auto_shard_count,
+    auto_shard_count_3level,
+)
 
 __all__ = [
     "SNAPSHOT_METRICS",
     "FederatedMonitor",
     "Federation",
     "LeafMonitor",
+    "RegionAggregator",
+    "RegionSnapshot",
     "ShardSnapshot",
     "ShardTopology",
     "ShardView",
+    "auto_region_count",
     "auto_shard_count",
+    "auto_shard_count_3level",
     "deploy_federation",
     "merge_digest_states",
     "pack_info",

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.federation.leaf import LeafMonitor
 from repro.federation.snapshot import ShardSnapshot, merge_digest_states
-from repro.federation.topology import ShardTopology
+from repro.federation.topology import ShardTopology, auto_shard_count_3level
 from repro.hw.node import Node
 from repro.monitoring.loadinfo import LoadInfo
 from repro.monitoring.registry import scheme_class
@@ -35,7 +35,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class FederatedMonitor:
-    """Root aggregator: one-sided reads of every leaf's snapshot MR."""
+    """Root aggregator: one-sided reads of every leaf's snapshot MR.
+
+    In a three-level fabric the root reads *region* snapshot MRs
+    instead (each carrying its leaves' packed shard snapshots plus
+    pre-merged digest states), so the fan-in and the digest rebuild
+    both scale with ``num_regions`` rather than ``num_shards``.
+    """
 
     def __init__(
         self,
@@ -44,6 +50,7 @@ class FederatedMonitor:
         leaves: List[LeafMonitor],
         interval: Optional[int] = None,
         name: str = "fed-root",
+        regions: Optional[list] = None,
     ) -> None:
         if not leaves:
             raise ValueError("federated monitor needs at least one leaf")
@@ -51,6 +58,7 @@ class FederatedMonitor:
         self.sim = sim
         self.topology = topology
         self.leaves = leaves
+        self.regions = regions
         self.frontend = sim.frontend
         if interval is None:
             interval = (fed.root_interval or fed.leaf_interval
@@ -59,7 +67,11 @@ class FederatedMonitor:
             raise ValueError("root interval must be positive")
         self.interval = interval
         self.name = name
-        self._qps = [connect_qp(sim.frontend, leaf.node)[0] for leaf in leaves]
+        sources = regions if regions else leaves
+        self._sources = sources
+        self._qps = [connect_qp(sim.frontend, src.node)[0] for src in sources]
+        #: region index → pre-merged digest states (3-level mode only)
+        self._region_digest_states: Dict[int, Dict[str, tuple]] = {}
         #: the merged global view — FrontendMonitor-cache compatible
         self.latest: Dict[int, LoadInfo] = {}
         #: freshest snapshot + leaf epoch per shard
@@ -101,6 +113,7 @@ class FederatedMonitor:
         net = self.sim.cfg.net
         fed = self.sim.cfg.federation
         spans = self.sim.spans
+        three_level = bool(self.regions)
         while not self._stopped:
             t0 = k.now
             span = None
@@ -112,21 +125,36 @@ class FederatedMonitor:
             # snapshot read, ring the doorbell once, then drain.
             batch = WqeBatch(net=net)
             events = [
-                batch.post_read(qp, leaf.mr.rkey, leaf.mr.nbytes, ctx=span)
-                for qp, leaf in zip(self._qps, self.leaves)
+                batch.post_read(qp, src.mr.rkey, src.mr.nbytes, ctx=span)
+                for qp, src in zip(self._qps, self._sources)
             ]
             yield from batch.ring(k)
             snaps: List[ShardSnapshot] = []
             for ev in events:
                 wc = yield k.wait(ev)
-                if wc.ok:
-                    # Re-stamp delivery with the root's read instant so
-                    # staleness accumulates across both hops.
-                    snaps.append(ShardSnapshot.unpack(wc.value, received_at=k.now))
-                else:
+                if not wc.ok:
                     self.read_failures += 1
+                    continue
+                if three_level:
+                    from repro.federation.region import RegionSnapshot
+
+                    rsnap = RegionSnapshot.unpack(wc.value)
+                    # One merge charge per region view: the shard
+                    # records inside pass through by identity, so the
+                    # root's CPU work scales with its fan-in, not N.
+                    yield k.compute(fed.root_merge_cost)
+                    self._region_digest_states[rsnap.region] = rsnap.digests
+                    # Re-stamp delivery with the root's read instant so
+                    # staleness accumulates across all hops.
+                    snaps.extend(
+                        ShardSnapshot.unpack(packed, received_at=k.now)
+                        for packed in rsnap.shards
+                    )
+                else:
+                    snaps.append(ShardSnapshot.unpack(wc.value, received_at=k.now))
             for snap in snaps:
-                yield k.compute(fed.root_merge_cost)
+                if not three_level:
+                    yield k.compute(fed.root_merge_cost)
                 self.shard_snapshots[snap.shard] = snap
                 self.shard_epochs[snap.shard] = snap.epoch
                 for g, info in snap.nodes.items():
@@ -149,9 +177,16 @@ class FederatedMonitor:
 
     def _rebuild_digests(self) -> None:
         states: Dict[str, list] = {}
-        for snap in self.shard_snapshots.values():
-            for metric, state in snap.digests.items():
-                states.setdefault(metric, []).append(state)
+        if self.regions:
+            # Three-level: the regions already pre-merged their leaves'
+            # digests, so the root folds num_regions states per metric.
+            for region_states in self._region_digest_states.values():
+                for metric, state in region_states.items():
+                    states.setdefault(metric, []).append(state)
+        else:
+            for snap in self.shard_snapshots.values():
+                for metric, state in snap.digests.items():
+                    states.setdefault(metric, []).append(state)
         self.digests = {
             metric: merged
             for metric, sts in states.items()
@@ -168,17 +203,22 @@ class FederatedMonitor:
 
 @dataclass
 class Federation:
-    """Handles for one deployed two-level monitoring fabric."""
+    """Handles for one deployed monitoring fabric (two or three tiers)."""
 
     sim: "ClusterSim"
     topology: ShardTopology
     leaves: List[LeafMonitor]
     root: FederatedMonitor
     leaf_nodes: List[Node] = field(default_factory=list)
+    #: region aggregators (empty in the historical two-level fabric)
+    regions: List = field(default_factory=list)
+    region_nodes: List[Node] = field(default_factory=list)
 
     def stop(self) -> None:
         for leaf in self.leaves:
             leaf.stop()
+        for region in self.regions:
+            region.stop()
         self.root.stop()
 
     # quarantine wiring -------------------------------------------------
@@ -234,6 +274,8 @@ def deploy_federation(
     *before* calling this (or use :meth:`Federation.attach_faults`).
     """
     fed = sim.cfg.federation
+    if fed.levels not in (2, 3):
+        raise ValueError(f"federation.levels must be 2 or 3, got {fed.levels}")
     name = scheme_name if scheme_name is not None else fed.scheme
     cls = scheme_class(name)
     # Rebalancing migrates members between shards, which only a scheme
@@ -241,9 +283,13 @@ def deploy_federation(
     # state can follow; others pin the static assignment.
     can_rebalance = (fed.rebalance_on_quarantine and cls.one_sided
                      and cls.backend_threads == 0)
+    shards = num_shards if num_shards is not None else fed.num_shards
+    if not shards and fed.levels == 3:
+        # Three tiers balance near N^(1/3) fan-outs, not sqrt(N).
+        shards = auto_shard_count_3level(len(sim.backends))
     topology = ShardTopology(
         len(sim.backends),
-        num_shards if num_shards is not None else fed.num_shards,
+        shards,
         rebalance_on_quarantine=can_rebalance,
     )
     leaf_nodes: List[Node] = []
@@ -258,12 +304,36 @@ def deploy_federation(
         LeafMonitor(sim, topology, j, leaf_nodes[j], scheme_name=name)
         for j in range(topology.num_shards)
     ]
-    root = FederatedMonitor(sim, topology, leaves)
+    regions: List = []
+    region_nodes: List[Node] = []
+    if fed.levels == 3:
+        from repro.federation.region import RegionAggregator
+        from repro.federation.topology import auto_region_count
+
+        nregions = fed.num_regions or auto_region_count(topology.num_shards)
+        if nregions > topology.num_shards:
+            raise ValueError("num_regions must not exceed num_shards")
+        groups = ShardTopology._split(list(range(topology.num_shards)), nregions)
+        rbase = base_index + topology.num_shards
+        for r, leaf_idx in enumerate(groups):
+            node = Node(sim.env, sim.cfg, f"region{r}", rbase + r,
+                        tracer=sim.tracer)
+            sim.fabric.attach(node.nic)
+            node.span_tracer = sim.spans
+            node.boot()
+            region_nodes.append(node)
+            regions.append(RegionAggregator(
+                sim, r, [leaves[j] for j in leaf_idx], node))
+    root = FederatedMonitor(sim, topology, leaves,
+                            regions=regions if regions else None)
     for leaf in leaves:
         leaf.start()
+    for region in regions:
+        region.start()
     root.start()
     federation = Federation(sim=sim, topology=topology, leaves=leaves,
-                            root=root, leaf_nodes=leaf_nodes)
+                            root=root, leaf_nodes=leaf_nodes,
+                            regions=regions, region_nodes=region_nodes)
     faults = getattr(sim, "faults", None)
     if faults is not None:
         federation.attach_faults(faults)

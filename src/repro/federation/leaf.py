@@ -172,7 +172,9 @@ class LeafMonitor:
                 digests={m: d.to_state() for m, d in self.digests.items()},
             )
             yield k.compute(fed.publish_cost)
-            self.region.write(snap.pack())
+            # pack() guarantees nested tuples of immutables, so skip the
+            # O(snapshot-size) classification walk on every publish.
+            self.region.write(snap.pack(), frozen=True)
             self.published += 1
             self.rounds.append(k.now - t0)
             if span is not None:

@@ -67,21 +67,24 @@ def unpack_info(packed: tuple, received_at: Optional[int] = None) -> Tuple[int, 
     (index, backend, collected_at, leaf_received_at, nr_threads, nr_running,
      runq_load, cpu_util, busy_cpus, loadavg1, mem_util, net_rate_mbps,
      gauges, irq_pending, irq_handled) = packed
+    # Positional construction in LoadInfo field order — the root
+    # re-materialises every member record each round, so skip the
+    # keyword-call overhead on this hot path.
     info = LoadInfo(
-        backend=backend,
-        collected_at=collected_at,
-        received_at=leaf_received_at if received_at is None else received_at,
-        nr_threads=nr_threads,
-        nr_running=nr_running,
-        runq_load=runq_load,
-        cpu_util=cpu_util,
-        busy_cpus=busy_cpus,
-        loadavg1=loadavg1,
-        mem_util=mem_util,
-        net_rate_mbps=net_rate_mbps,
-        gauges=dict(gauges),
-        irq_pending=None if irq_pending is None else list(irq_pending),
-        irq_handled=None if irq_handled is None else list(irq_handled),
+        backend,
+        collected_at,
+        leaf_received_at if received_at is None else received_at,
+        nr_threads,
+        nr_running,
+        runq_load,
+        cpu_util,
+        busy_cpus,
+        loadavg1,
+        mem_util,
+        net_rate_mbps,
+        dict(gauges),
+        None if irq_pending is None else list(irq_pending),
+        None if irq_handled is None else list(irq_handled),
     )
     return index, info
 

@@ -27,6 +27,30 @@ def auto_shard_count(num_backends: int) -> int:
         if num_backends > 1 else 1
 
 
+def auto_shard_count_3level(num_backends: int) -> int:
+    """Default shard count for a three-tier fabric: ceil(N / cbrt(N)).
+
+    With a region tier between leaves and root, balancing all three
+    fan-outs means ~N^(1/3) members per leaf, ~N^(1/3) leaves per
+    region and ~N^(1/3) regions under the root. Computed via the
+    rounded integer cube root so exact cubes land exactly (N=4096 →
+    256 shards of 16, not a float-fuzz 257).
+    """
+    if num_backends <= 1:
+        return 1
+    k = max(1, round(num_backends ** (1.0 / 3.0)))
+    return -(-num_backends // k)
+
+
+def auto_region_count(num_shards: int) -> int:
+    """Default region count: ceil(sqrt(num_shards)).
+
+    Splits the leaf fan-in evenly between the region tier and the
+    root, mirroring :func:`auto_shard_count` one level up.
+    """
+    return auto_shard_count(num_shards)
+
+
 class ShardTopology:
     """Deterministic back-end → shard assignment with quarantine."""
 

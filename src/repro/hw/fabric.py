@@ -97,8 +97,14 @@ class Fabric:
                 src, dst, nbytes, on_arrival, bw_factor, lat_factor)
         net = self.cfg.net
         bw = net.link_bytes_per_ns * bw_factor
-        ser = max(1, math.ceil(nbytes / bw))
-        now = self.env.now
+        q = nbytes / bw
+        ser = int(q)
+        if ser != q:
+            ser += 1
+        if ser < 1:
+            ser = 1
+        env = self.env
+        now = env._now
 
         hop, switch = net.hop_latency, net.switch_latency
         if lat_factor != 1.0:
@@ -106,23 +112,23 @@ class Fabric:
             switch = int(switch * lat_factor)
 
         tx = self._tx[src.name]
-        start = max(now, tx.free_at)
+        free = tx.free_at
+        start = now if now > free else free
         tx.free_at = start + ser
         tx.bytes_moved += nbytes
         tx.messages += 1
 
         at_switch = start + ser + hop + switch
         rx = self._rx[dst.name]
-        rx_start = max(at_switch, rx.free_at)
+        free = rx.free_at
+        rx_start = at_switch if at_switch > free else free
         rx.free_at = rx_start + ser
         rx.bytes_moved += nbytes
         rx.messages += 1
 
         arrival = rx_start + ser + hop
-        delay = arrival - now
-        t = self.env.timeout(delay, priority=EventPriority.HIGH)
-        assert t.callbacks is not None
-        t.callbacks.append(lambda _ev: on_arrival())
+        env.call_later(arrival - now, on_arrival,
+                       priority=EventPriority.HIGH)
         return arrival
 
     def multicast(
@@ -169,9 +175,9 @@ class Fabric:
             rx.bytes_moved += nbytes
             rx.messages += 1
             arrival = rx_start + ser + hop
-            t = self.env.timeout(arrival - now, priority=EventPriority.HIGH)
-            assert t.callbacks is not None
-            t.callbacks.append(lambda _ev, dst=dst: on_arrival(dst))
+            self.env.call_later(arrival - now,
+                                lambda dst=dst: on_arrival(dst),
+                                priority=EventPriority.HIGH)
 
     def port_stats(self, nic_name: str) -> dict:
         """Traffic counters for one NIC's ports."""

@@ -29,6 +29,29 @@ class MemoryError_(Exception):
     """Raised on invalid memory operations (bad region, access violation)."""
 
 
+#: leaf types that can never mutate — safe to hand out by identity
+_IMMUTABLE_ATOMS = frozenset({int, float, bool, str, bytes, type(None)})
+
+
+def _deeply_immutable(value: Any) -> bool:
+    """True iff ``value`` is a tree of immutable atoms and tuples.
+
+    Deliberately conservative: only types whose *deep* immutability is
+    guaranteed by the language qualify. Hashable-but-mutable objects
+    (instances with the default hash, frozen dataclasses holding lists,
+    ...) fall through to the deep-copy path.
+    """
+    if type(value) in _IMMUTABLE_ATOMS:
+        return True
+    if type(value) is tuple:
+        return all(
+            type(item) in _IMMUTABLE_ATOMS or
+            (type(item) is tuple and _deeply_immutable(item))
+            for item in value
+        )
+    return False
+
+
 class MemRegion:
     """A named region of host memory."""
 
@@ -44,6 +67,9 @@ class MemRegion:
         self.name = name
         self.nbytes = nbytes
         self._value = value
+        #: classified once per write: immutable contents are handed out
+        #: by identity, everything else is deep-copied per read
+        self._frozen = provider is None and _deeply_immutable(value)
         self._provider = provider
         self.pinned = False
         #: generation counter bumped on every write (tests/diagnostics)
@@ -59,17 +85,30 @@ class MemRegion:
 
         Live regions call their provider; buffer regions return a deep
         copy so that later writes cannot retroactively alter what a
-        reader observed (DMA semantics).
+        reader observed (DMA semantics). Values classified as deeply
+        immutable at write time (packed snapshot tuples, scalars) are
+        returned by identity — observationally identical to the copy,
+        without walking the tuple tree on every RDMA read.
         """
         if self._provider is not None:
             return self._provider()
+        if self._frozen:
+            return self._value
         return copy.deepcopy(self._value)
 
-    def write(self, value: Any) -> None:
-        """Store a value. Only buffer regions are writable."""
+    def write(self, value: Any, *, frozen: Optional[bool] = None) -> None:
+        """Store a value. Only buffer regions are writable.
+
+        ``frozen=True`` asserts the value is a tree of immutable atoms
+        and tuples, skipping the classification walk — for hot publish
+        paths whose packing layer already guarantees it (e.g.
+        ``ShardSnapshot.pack``). ``frozen=False`` forces the deep-copy
+        read path; ``None`` (default) classifies by inspection.
+        """
         if self._provider is not None:
             raise MemoryError_(f"region {self.name!r} is provider-backed (read-only)")
         self._value = value
+        self._frozen = _deeply_immutable(value) if frozen is None else frozen
         self.writes += 1
 
     def pin(self) -> None:

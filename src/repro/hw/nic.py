@@ -118,13 +118,13 @@ class Nic:
         """
         if self.fault_dma_factor != 1.0:
             duration = int(duration * self.fault_dma_factor)
-        now = self.env.now
-        start = max(now, self._dma_free)
-        self._dma_free = start + duration
+        env = self.node.env
+        now = env._now
+        free = self._dma_free
+        start = now if now > free else free
+        self._dma_free = end = start + duration
         self.rdma_ops_serviced += 1
-        t = self.env.timeout(self._dma_free - now, priority=EventPriority.HIGH)
-        assert t.callbacks is not None
-        t.callbacks.append(lambda _ev: fn())
+        env.call_later(end - now, fn, priority=EventPriority.HIGH)
 
     def raise_cq_interrupt(self, fn: Callable[[], None]) -> None:
         """Completion event: interrupt the host (initiator side only)."""

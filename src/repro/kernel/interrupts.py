@@ -113,7 +113,9 @@ class IrqController:
         state = self.percpu[cpu_index]
         state.hard_pending[vector] += 1
         self._hard_fifo[cpu_index].append((int(vector), cost, action))
-        self.node.tracer.emit(self.env.now, "irq.raise", (cpu_index, vector.name))
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.emit(self.env.now, "irq.raise", (cpu_index, vector.name))
         if not state.in_service:
             self._enter_service(cpu_index)
 
@@ -160,7 +162,9 @@ class IrqController:
     def _enter_service(self, cpu_index: int) -> None:
         state = self.percpu[cpu_index]
         state.in_service = True
-        state.busy_until = max(state.busy_until, self.env.now)
+        now = self.env._now
+        if state.busy_until < now:
+            state.busy_until = now
         self._service_next(cpu_index)
 
     def _service_next(self, cpu_index: int) -> None:
@@ -170,17 +174,15 @@ class IrqController:
             vector, cost, action = fifo.popleft()
             duration = self.cfg.irq.irq_entry + cost
             self._occupy(cpu_index, duration)
-            t = self.env.timeout(duration, priority=EventPriority.HIGH)
-            assert t.callbacks is not None
 
-            def _done(_ev, vector=vector, action=action):
+            def _done(vector=vector, action=action):
                 state.hard_pending[vector] -= 1
                 state.handled[vector] += 1
                 if action is not None:
                     action()
                 self._service_next(cpu_index)
 
-            t.callbacks.append(_done)
+            self.env.call_later(duration, _done, priority=EventPriority.HIGH)
             return
 
         # Hard interrupts drained: run softirqs up to the budget.
@@ -199,20 +201,19 @@ class IrqController:
             return
         cost, action = state.softirq_queue.popleft()
         self._occupy(cpu_index, cost)
-        t = self.env.timeout(cost, priority=EventPriority.HIGH)
-        assert t.callbacks is not None
 
-        def _done(_ev, action=action, budget=budget):
+        def _done(action=action, budget=budget):
             state.bh_executed += 1
             if action is not None:
                 action()
             self._drain_softirqs(cpu_index, budget - 1)
 
-        t.callbacks.append(_done)
+        self.env.call_later(cost, _done, priority=EventPriority.HIGH)
 
     def _occupy(self, cpu_index: int, duration: int) -> None:
         state = self.percpu[cpu_index]
-        state.busy_until = max(state.busy_until, self.env.now) + duration
+        busy, now = state.busy_until, self.env._now
+        state.busy_until = (busy if busy > now else now) + duration
         self.node.sched.steal(cpu_index, duration, account="irq")
 
     def _exit_service(self, cpu_index: int) -> None:

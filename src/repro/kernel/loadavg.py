@@ -77,21 +77,40 @@ class LoadAccounting:
         return self.runq_ema
 
     def snapshot(self) -> dict:
-        """Live-kernel view (RDMA-readable)."""
-        sched = self.node.sched
+        """Live-kernel view (RDMA-readable).
+
+        Built in a single pass over the CPUs (this runs on every RDMA
+        read of the region, so the per-CPU accounting is inlined rather
+        than going through ``sched.jiffies``/``busy_cpus`` separately —
+        field-for-field identical to those helpers).
+        """
+        node = self.node
+        sched = node.sched
         sched.sync()
+        now = self.env.now
+        elapsed = now - sched._start_time
+        jiffies = []
+        busy_cpus = 0
+        for cpu in sched.cpus:
+            user, sys_, irq = cpu.user_ns, cpu.sys_ns, cpu.irq_ns
+            idle = elapsed - user - sys_ - irq
+            jiffies.append({"user": user, "sys": sys_, "irq": irq,
+                            "idle": idle if idle > 0 else 0})
+            if cpu.current is not None:
+                busy_cpus += 1
+        nic = node.nic
         return {
-            "time": self.env.now,
+            "time": now,
             "ticks": self.ticks,
-            "nr_running": sched.nr_running(),
-            "nr_threads": sched.nr_threads(),
-            "busy_cpus": sched.busy_cpus(),
+            "nr_running": len(sched.runqueue) + busy_cpus,
+            "nr_threads": len(sched.tasks),
+            "busy_cpus": busy_cpus,
             "runq_ema": self.runq_ema,
             "loadavg": self.loadavg(),
-            "jiffies": [sched.jiffies(i) for i in range(len(sched.cpus))],
-            "gauges": dict(self.node.gauges),
+            "jiffies": jiffies,
+            "gauges": dict(node.gauges),
             "mem_used_bytes": sched.rss_total(),
-            "mem_total_bytes": self.node.memory.capacity_bytes,
-            "net_rx_bytes": self.node.nic.kernel_rx_bytes,
-            "net_tx_bytes": self.node.nic.kernel_tx_bytes,
+            "mem_total_bytes": node.memory.capacity_bytes,
+            "net_rx_bytes": nic.kernel_rx_bytes,
+            "net_tx_bytes": nic.kernel_tx_bytes,
         }

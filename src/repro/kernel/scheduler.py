@@ -325,7 +325,9 @@ class Scheduler:
         task.on_cpu = -1
         task.state = TaskState.READY
         self._enqueue(task)
-        self.node.tracer.emit(self.env.now, "sched.preempt", task.name)
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.emit(self.env.now, "sched.preempt", task.name)
         self._schedule(cpu)
 
     def _sync_cpu(self, cpu: CpuState) -> None:
@@ -383,7 +385,8 @@ class Scheduler:
     def _schedule(self, cpu: CpuState) -> None:
         """Pick and dispatch the next task on an idle CPU."""
         assert cpu.current is None
-        if getattr(self.node, "failure_mode", "up") != "up":
+        node = self.node
+        if node.failure_mode != "up":
             return  # frozen kernel: nothing is ever dispatched again
         task = self._pick_next()
         if task is None:
@@ -393,10 +396,9 @@ class Scheduler:
         # If the CPU is mid-interrupt, the new task only starts once the
         # IRQ work completes (that time is already charged to the irq
         # bucket by the controller — extend the burst without re-charging).
-        irq = getattr(self.node, "irq", None)
-        irq_wait = 0
-        if irq is not None:
-            irq_wait = max(0, irq.busy_until(cpu.index) - self.env.now)
+        irq_wait = node.irq.percpu[cpu.index].busy_until - self.env.now
+        if irq_wait < 0:
+            irq_wait = 0
         cpu.ctx_switches += 1
         cpu.sys_ns += overhead
         cpu.current = task
@@ -407,7 +409,9 @@ class Scheduler:
         task.on_cpu = cpu.index
         task.last_cpu = cpu.index
         task.dispatches += 1
-        self.node.tracer.emit(self.env.now, "sched.dispatch", task.name)
+        tracer = self.node.tracer
+        if tracer.enabled:
+            tracer.emit(self.env.now, "sched.dispatch", task.name)
         self._begin_or_advance(cpu)
 
     def _begin_or_advance(self, cpu: CpuState) -> None:
@@ -433,9 +437,9 @@ class Scheduler:
         seq = cpu.dispatch_seq
         delay = cpu.burst_deadline - self.env.now
         assert delay >= 0
-        t = self.env.timeout(delay, priority=EventPriority.NORMAL)
-        assert t.callbacks is not None
-        t.callbacks.append(lambda _ev, cpu=cpu, seq=seq: self._burst_end(cpu, seq))
+        self.env.call_later(delay,
+                            lambda cpu=cpu, seq=seq: self._burst_end(cpu, seq),
+                            priority=EventPriority.NORMAL)
 
     def _burst_end(self, cpu: CpuState, seq: int) -> None:
         if cpu.dispatch_seq != seq:
@@ -460,7 +464,9 @@ class Scheduler:
             cpu.dispatch_seq += 1
             cpu.current = None
             self._enqueue(task)
-            self.node.tracer.emit(self.env.now, "sched.preempt", task.name)
+            tracer = self.node.tracer
+            if tracer.enabled:
+                tracer.emit(self.env.now, "sched.preempt", task.name)
             self._schedule(cpu)
             return
         self._begin_or_advance(cpu)

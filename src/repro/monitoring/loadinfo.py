@@ -87,7 +87,9 @@ class LoadCalculator:
             loadavg1=snapshot["loadavg"][0],
             mem_util=(snapshot.get("mem_used_bytes", 0) / mem_total if mem_total else 0.0),
             net_rate_mbps=self._net_rate(snapshot, now),
-            gauges=dict(snapshot.get("gauges", {})),
+            # snapshot() already hands over a fresh gauges dict per read,
+            # so adopting it avoids a second copy on every poll.
+            gauges=snapshot.get("gauges") or {},
         )
         if irq_stat is not None:
             info.irq_pending = [c["hard_pending"] + c["soft_pending"] for c in irq_stat["cpus"]]
@@ -104,18 +106,16 @@ class LoadCalculator:
         return (total - prev_bytes) / ((now - prev_time) / 1e9) / 1e6
 
     def _utilisation(self, jiffies: list, now: int) -> float:
-        if self._prev_jiffies is None or self._prev_time is None or now <= self._prev_time:
-            self._prev_jiffies = [dict(j) for j in jiffies]
-            self._prev_time = now
+        # Only the per-CPU busy totals matter for the delta, so keep
+        # those (a list of ints) rather than copying every jiffies dict.
+        busy_now = [j["user"] + j["sys"] + j["irq"] for j in jiffies]
+        prev_busy, prev_time = self._prev_jiffies, self._prev_time
+        self._prev_jiffies = busy_now
+        self._prev_time = now
+        if prev_busy is None or prev_time is None or now <= prev_time:
             # No baseline yet: report instantaneous busy fraction.
             busy = sum(1 for j in jiffies if j["user"] + j["sys"] > 0)
             return busy / max(1, len(jiffies))
-        elapsed = now - self._prev_time
-        busy = 0
-        for cur, prev in zip(jiffies, self._prev_jiffies):
-            busy += (cur["user"] + cur["sys"] + cur["irq"]) - (
-                prev["user"] + prev["sys"] + prev["irq"]
-            )
-        self._prev_jiffies = [dict(j) for j in jiffies]
-        self._prev_time = now
-        return min(1.0, max(0.0, busy / (len(jiffies) * elapsed)))
+        elapsed = now - prev_time
+        delta = sum(busy_now) - sum(prev_busy)
+        return min(1.0, max(0.0, delta / (len(jiffies) * elapsed)))

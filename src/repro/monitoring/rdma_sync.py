@@ -48,35 +48,54 @@ class RdmaSyncScheme(MonitoringScheme):
         super().__init__(sim, interval=interval)
         if with_irq_detail:
             self.read_irq_stat = True
-        self._qps: List[QueuePair] = []
-        self._load_mrs: List[MemoryRegionHandle] = []
-        self._irq_mrs: List[MemoryRegionHandle] = []
+        self._qps: List[Optional[QueuePair]] = []
+        self._load_mrs: List[Optional[MemoryRegionHandle]] = []
+        self._irq_mrs: List[Optional[MemoryRegionHandle]] = []
         #: front-end side calculators (jiffy differencing happens here)
-        self._calcs: List[LoadCalculator] = []
+        self._calcs: List[Optional[LoadCalculator]] = []
         #: prebuilt untraced post closures (steady-state probe cache)
         self._load_posts: List = []
         self._irq_posts: List = []
 
     def _deploy(self) -> None:
-        for be in self.backends:
-            pd = ProtectionDomain.for_node(be)
-            # Kernel structures are registered READ-ONLY (§6 security).
-            self._load_mrs.append(
-                pd.register(be.memory.get("kern.load"), AccessFlags.REMOTE_READ)
-            )
-            self._irq_mrs.append(
-                pd.register(be.memory.get("kern.irq_stat"), AccessFlags.REMOTE_READ)
-            )
-            qp_fe, _ = connect_qp(self.frontend, be)
-            self._qps.append(qp_fe)
-            self._calcs.append(LoadCalculator(be.name))
-            self._load_posts.append(make_read_post(qp_fe, self._load_mrs[-1]))
-            self._irq_posts.append(make_read_post(qp_fe, self._irq_mrs[-1]))
+        # Wiring is lazy, per back-end, on first query. Deploying a QP,
+        # registering the kernel MRs and building the post closures is
+        # pure bookkeeping — no events, no RNG draws, no simulated time —
+        # so deferring it never perturbs a run. It does turn deploy cost
+        # from O(universe) into O(members actually polled): a federation
+        # leaf is handed the full back-end universe (so quarantine
+        # rebalancing can re-shard without re-deploying) but only ever
+        # touches its own shard, which at N back-ends and ~sqrt(N) leaves
+        # is the difference between O(N^1.5) and O(N) QPs cluster-wide.
+        n = len(self.backends)
+        self._qps = [None] * n
+        self._load_mrs = [None] * n
+        self._irq_mrs = [None] * n
+        self._calcs = [None] * n
+        self._load_posts = [None] * n
+        self._irq_posts = [None] * n
+
+    def _wire(self, i: int) -> None:
+        """Materialize QP/MR/calculator/post wiring for back-end ``i``."""
+        be = self.backends[i]
+        pd = ProtectionDomain.for_node(be)
+        # Kernel structures are registered READ-ONLY (§6 security).
+        self._load_mrs[i] = lmr = pd.register(
+            be.memory.get("kern.load"), AccessFlags.REMOTE_READ)
+        self._irq_mrs[i] = imr = pd.register(
+            be.memory.get("kern.irq_stat"), AccessFlags.REMOTE_READ)
+        qp_fe, _ = connect_qp(self.frontend, be)
+        self._qps[i] = qp_fe
+        self._calcs[i] = LoadCalculator(be.name)
+        self._load_posts[i] = make_read_post(qp_fe, lmr)
+        self._irq_posts[i] = make_read_post(qp_fe, imr)
 
     # ------------------------------------------------------------------
     def query(self, k: "TaskContext", backend_index: int) -> Generator:
         mon = self.sim.cfg.monitor
         issued = k.now
+        if self._qps[backend_index] is None:
+            self._wire(backend_index)
         span = self._probe_span(backend_index)
         if span is None:
             post = self._load_posts[backend_index]
@@ -125,7 +144,15 @@ class RdmaSyncScheme(MonitoringScheme):
         net = self.sim.cfg.net
         mon = self.sim.cfg.monitor
         issued = k.now
-        spans = {i: self._probe_span(i) for i in indices}
+        qps = self._qps
+        for i in indices:
+            if qps[i] is None:
+                self._wire(i)
+        tracer = self.frontend.span_tracer
+        if tracer is None or not tracer.enabled:
+            spans = dict.fromkeys(indices)
+        else:
+            spans = {i: self._probe_span(i) for i in indices}
         batch = WqeBatch(net=net)
         load_events = [
             batch.post_read(self._qps[i], self._load_mrs[i].rkey,
@@ -167,6 +194,10 @@ class RdmaSyncScheme(MonitoringScheme):
         net = self.sim.cfg.net
         mon = self.sim.cfg.monitor
         issued = k.now
+        qps = self._qps
+        for i in range(len(qps)):
+            if qps[i] is None:
+                self._wire(i)
         spans = [self._probe_span(i) for i in range(len(self.backends))]
         load_events, irq_events = [], []
         for i, (qp, lmr) in enumerate(zip(self._qps, self._load_mrs)):

@@ -1,7 +1,7 @@
 """The discrete-event engine.
 
-:class:`Environment` owns the clock and the event queue and drives the
-simulation. It is deliberately minimal: all domain behaviour (CPUs,
+:class:`Environment` owns the clock and the scheduler core and drives
+the simulation. It is deliberately minimal: all domain behaviour (CPUs,
 NICs, kernels) is built as processes and events on top of it.
 
 Performance notes
@@ -10,29 +10,37 @@ This module is the hottest code in the repository — every simulated
 nanosecond flows through it — so it trades a little uniformity for
 speed in three deliberate ways:
 
-* The queue holds **mutable list entries** ``[time, priority, seq,
+* The scheduler holds **mutable list entries** ``[time, priority, seq,
   event]`` (the :mod:`repro.sim.pqueue` convention) instead of tuples.
   Each scheduled event carries its entry in ``event._entry``, which
   makes :meth:`Environment.cancel` a single O(1) slot write — no
   tombstone scans, no re-heapify. Dead entries are discarded when they
-  surface at the heap top, each exactly once.
+  surface, each exactly once.
+* The pending-event store is a pluggable **scheduler core**
+  (:mod:`repro.sim.wheel`): the default bucketed timing wheel gives
+  O(1) insert for everything inside its ~33 ms horizon, with the
+  pre-wheel global binary heap selectable as the reference core. Both
+  dispatch in the identical ``(time, priority, seq)`` order — held to
+  account by the differential suite — so the choice of core never
+  changes a simulation result, only its wall-clock.
 * :meth:`run` inlines the pop/dispatch loop per ``until`` mode rather
-  than calling :meth:`step`, binding the queue and ``heappop`` to
-  locals and reading event state through slots directly. ``step`` and
-  ``peek`` remain for incremental driving and tests.
-* Sequence numbers stay globally monotonic and unique, so heap
-  comparison never reaches the event slot and dispatch order is a pure
-  function of ``(time, priority, seq)`` — byte-identical to the
-  historical tuple heap for any same-seed run.
+  than calling :meth:`step`, binding the core's pop to a local and
+  reading event state through slots directly. ``step`` and ``peek``
+  remain for incremental driving and tests.
+
+Sequence numbers stay globally monotonic and unique, so entry
+comparison never reaches the event slot and dispatch order is a pure
+function of ``(time, priority, seq)`` — byte-identical to the
+historical tuple heap for any same-seed run.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Any, Generator, List, Optional
+from typing import Any, Generator, List, Optional, Union
 
-from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Hook, Timeout
 from repro.sim.process import Process
+from repro.sim.wheel import CORES, NEVER, TimingWheel
 
 
 class SimulationError(Exception):
@@ -52,27 +60,59 @@ class EmptySchedule(Exception):
 
 
 class Environment:
-    """A simulation environment: clock, event queue, process factory.
+    """A simulation environment: clock, scheduler core, process factory.
 
     Parameters
     ----------
     initial_time:
         Starting value of the nanosecond clock.
+    core:
+        The scheduler core: ``"wheel"`` (default) or ``"heap"`` by
+        name, or a pre-built core object implementing the
+        :mod:`repro.sim.wheel` protocol (``push`` / ``pop_live`` /
+        ``pop_live_until`` / ``peek_time``).
+    wheel_bucket_bits / wheel_ring_bits:
+        Wheel geometry, forwarded to :class:`~repro.sim.wheel.TimingWheel`
+        when ``core="wheel"`` (ignored otherwise). See
+        ``docs/PERF.md`` for sizing guidance.
 
     Notes
     -----
-    The queue is a binary heap of ``[time, priority, sequence, event]``
-    entries. ``sequence`` increases monotonically with each scheduling
-    operation, so simultaneous same-priority events fire in the exact
-    order they were scheduled — the keystone of reproducibility.
-    Cancelled entries have their event slot set to ``None`` and are
-    dropped when they reach the heap top.
+    Entries are ``[time, priority, sequence, event]`` lists.
+    ``sequence`` increases monotonically with each scheduling operation,
+    so simultaneous same-priority events fire in the exact order they
+    were scheduled — the keystone of reproducibility. Cancelled entries
+    have their event slot set to ``None`` and are dropped when they
+    surface inside the core.
     """
 
-    def __init__(self, initial_time: int = 0) -> None:
+    __slots__ = ("_now", "_core", "_push", "_seq", "_active_process",
+                 "_hook_pool", "processed_events", "cancelled_events")
+
+    def __init__(self, initial_time: int = 0,
+                 core: Union[str, object] = "wheel", *,
+                 wheel_bucket_bits: int = 12,
+                 wheel_ring_bits: int = 13) -> None:
         self._now: int = int(initial_time)
-        self._queue: List[list] = []
+        if isinstance(core, str):
+            try:
+                factory = CORES[core]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown scheduler core {core!r} "
+                    f"(choose from {sorted(CORES)})"
+                ) from None
+            if factory is TimingWheel:
+                core = TimingWheel(self._now, bucket_bits=wheel_bucket_bits,
+                                   ring_bits=wheel_ring_bits)
+            else:
+                core = factory(self._now)
+        self._core = core
+        #: bound fast-path insert, used by Timeout.__init__ directly
+        self._push = core.push
         self._seq: int = 0
+        #: recycled Hook carriers for call_later (see repro.sim.events)
+        self._hook_pool: List[Hook] = []
         self._active_process: Optional[Process] = None
         #: number of events processed so far (diagnostics / tests)
         self.processed_events: int = 0
@@ -89,6 +129,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
+
+    @property
+    def core_kind(self) -> str:
+        """Name of the scheduler core in use (``"wheel"``, ``"heap"``)."""
+        return getattr(self._core, "kind", type(self._core).__name__)
 
     # -- factories -----------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -116,7 +161,28 @@ class Environment:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq = seq = self._seq + 1
         event._entry = entry = [self._now + delay, priority, seq, event]
-        heappush(self._queue, entry)
+        self._push(entry)
+
+    def call_later(self, delay: int, fn, priority: int = EventPriority.NORMAL) -> None:
+        """Schedule ``fn()`` to run ``delay`` ns from now (fire-and-forget).
+
+        The zero-allocation fast path for hardware service callbacks
+        (NIC DMA completion, wire arrival): the carrier event comes from
+        — and immediately returns to — an internal pool, so the
+        steady-state verbs/fabric paths allocate nothing per operation.
+        The schedule is deliberately not cancellable and not waitable;
+        use :meth:`timeout` when a handle is needed. Ordering is the
+        ordinary ``(time, priority, seq)`` contract, identical to an
+        equivalently-scheduled timeout.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        pool = self._hook_pool
+        hook = pool.pop() if pool else Hook(self)
+        hook.fn = fn
+        self._seq = seq = self._seq + 1
+        hook._entry = entry = [self._now + delay, priority, seq, hook]
+        self._push(entry)
 
     def cancel(self, event: Event) -> bool:
         """Cancel a scheduled event before it dispatches. O(1).
@@ -124,8 +190,8 @@ class Environment:
         Returns True if the event was pending dispatch (its callbacks
         will now never run and it will never count as processed), False
         if it was not scheduled — never triggered, already processed, or
-        already cancelled. Does not touch the heap: the dead entry is
-        discarded when it surfaces at the top.
+        already cancelled. Does not touch the core: the dead entry is
+        discarded when it surfaces.
         """
         entry = event._entry
         if entry is None:
@@ -137,32 +203,23 @@ class Environment:
 
     def peek(self) -> int:
         """Time of the next scheduled event, or a sentinel max if none."""
-        queue = self._queue
-        while queue:
-            head = queue[0]
-            if head[3] is not None:
-                return head[0]
-            heappop(queue)
-        return 2**63 - 1
+        return self._core.peek_time()
 
     def step(self) -> None:
         """Process the next event. Raises :class:`EmptySchedule` if none."""
-        queue = self._queue
-        while queue:
-            entry = heappop(queue)
-            event = entry[3]
-            if event is not None:
-                event._entry = None
-                self._now = entry[0]
-                self.processed_events += 1
-                event._process()
-                # An un-handled failure propagates out of the run loop
-                # unless some waiter defused it (e.g. a process that
-                # caught the exception).
-                if not event._ok and not event._defused:
-                    raise event._value
-                return
-        raise EmptySchedule()
+        entry = self._core.pop_live()
+        if entry is None:
+            raise EmptySchedule()
+        event = entry[3]
+        event._entry = None
+        self._now = entry[0]
+        self.processed_events += 1
+        event._process()
+        # An un-handled failure propagates out of the run loop unless
+        # some waiter defused it (e.g. a process that caught the
+        # exception).
+        if not event._ok and not event._defused:
+            raise event._value
 
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run the simulation.
@@ -188,15 +245,14 @@ class Environment:
 
     def _run_drain(self) -> Any:
         """run(None): drain the queue completely."""
-        queue = self._queue
-        pop = heappop
+        pop = self._core.pop_live
         processed = self.processed_events
         try:
-            while queue:
-                entry = pop(queue)
+            while True:
+                entry = pop()
+                if entry is None:
+                    return None
                 event = entry[3]
-                if event is None:
-                    continue
                 event._entry = None
                 self._now = entry[0]
                 processed += 1
@@ -204,26 +260,21 @@ class Environment:
                 event._process()
                 if not event._ok and not event._defused:
                     raise event._value
-            return None
         except StopSimulation as stop:
             return stop.value
 
     def _run_until_event(self, stop_event: Event) -> Any:
         """run(event): dispatch until ``stop_event`` is processed."""
-        queue = self._queue
-        pop = heappop
+        pop = self._core.pop_live
         try:
             while not stop_event._processed:
-                while queue:
-                    entry = pop(queue)
-                    event = entry[3]
-                    if event is not None:
-                        break
-                else:
+                entry = pop()
+                if entry is None:
                     raise SimulationError(
                         f"run() until-event {stop_event!r} can never fire: "
                         "event queue is empty"
                     )
+                event = entry[3]
                 event._entry = None
                 self._now = entry[0]
                 self.processed_events += 1
@@ -238,21 +289,16 @@ class Environment:
 
     def _run_until_time(self, horizon: int) -> Any:
         """run(int): dispatch everything at or before ``horizon``."""
-        queue = self._queue
-        pop = heappop
+        pop_until = self._core.pop_live_until
         processed = self.processed_events
         try:
-            while queue:
-                head = queue[0]
-                event = head[3]
-                if event is None:
-                    pop(queue)
-                    continue
-                if head[0] > horizon:
+            while True:
+                entry = pop_until(horizon)
+                if entry is None:
                     break
-                pop(queue)
+                event = entry[3]
                 event._entry = None
-                self._now = head[0]
+                self._now = entry[0]
                 processed += 1
                 self.processed_events = processed
                 event._process()
@@ -265,19 +311,14 @@ class Environment:
 
     def run_until_quiet(self, max_time: int) -> None:
         """Run until nothing is scheduled before ``max_time``; clamp clock."""
-        queue = self._queue
-        pop = heappop
-        while queue:
-            head = queue[0]
-            event = head[3]
-            if event is None:
-                pop(queue)
-                continue
-            if head[0] > max_time:
+        pop_until = self._core.pop_live_until
+        while True:
+            entry = pop_until(max_time)
+            if entry is None:
                 break
-            pop(queue)
+            event = entry[3]
             event._entry = None
-            self._now = head[0]
+            self._now = entry[0]
             self.processed_events += 1
             event._process()
             if not event._ok and not event._defused:
@@ -286,4 +327,9 @@ class Environment:
             self._now = max_time
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Environment t={self._now} queued={len(self._queue)}>"
+        return (f"<Environment t={self._now} core={self.core_kind} "
+                f"queued={len(self._core)}>")
+
+
+#: re-exported for callers that pattern-match on the peek sentinel
+PEEK_NEVER = NEVER

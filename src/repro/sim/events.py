@@ -14,7 +14,6 @@ in the kernel ever depends on hash ordering or wall-clock time.
 from __future__ import annotations
 
 import enum
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -166,7 +165,8 @@ class Timeout(Event):
     latency is one), so ``__init__`` is hand-flattened: fields are set
     inline instead of chaining ``Event.__init__``, the name stays empty
     (``__repr__`` reconstructs the label from ``delay``), and the queue
-    entry is built and pushed directly rather than via
+    entry is built inline and handed straight to the scheduler core's
+    bound ``env._push`` rather than going through
     ``Environment._enqueue``. The entry layout and sequence numbering
     are identical, so scheduling order is unchanged.
     """
@@ -193,7 +193,7 @@ class Timeout(Event):
         self.delay = delay
         env._seq = seq = env._seq + 1
         self._entry = entry = [env._now + delay, priority, seq, self]
-        heappush(env._queue, entry)
+        env._push(entry)
 
     @property
     def triggered(self) -> bool:
@@ -203,6 +203,47 @@ class Timeout(Event):
     def __repr__(self) -> str:
         state = "processed" if self._processed else "triggered"
         return f"<Timeout({self.delay}) {state} at {id(self):#x}>"
+
+
+class Hook:
+    """A pooled fire-and-forget callback carrier (engine internal).
+
+    Behaves just enough like an :class:`Event` for the dispatch loop:
+    it carries an ``_entry``, reports ``_ok``/``_defused``/``_processed``
+    through constant class attributes, and ``_process`` runs exactly one
+    no-argument callable — after which the carrier recycles itself into
+    the environment's pool. Scheduled via
+    :meth:`~repro.sim.engine.Environment.call_later`, this replaces the
+    hot hardware-callback idiom (fresh ``Timeout`` + callback list +
+    closure per op) with zero steady-state allocation. Hooks cannot be
+    waited on or cancelled; they are not part of the Event lifecycle.
+    """
+
+    __slots__ = ("env", "fn", "_entry")
+
+    _ok = True
+    _defused = False
+    _processed = False
+    name = ""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.fn: Optional[Callable[[], None]] = None
+        self._entry: Optional[list] = None
+
+    def _process(self) -> None:
+        fn = self.fn
+        self.fn = None
+        # Recycle before the call: _entry/fn are dead, and the dispatch
+        # loop only reads the constant class attributes afterwards, so a
+        # reentrant call_later from inside fn() may safely reuse this
+        # carrier.
+        self.env._hook_pool.append(self)
+        fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "armed" if self.fn is not None else "pooled"
+        return f"<Hook {state} at {id(self):#x}>"
 
 
 class ConditionValue:

@@ -1,0 +1,49 @@
+"""Chunked (numpy-batched) random sampling for hot simulation loops.
+
+numpy's ``Generator`` draws consume the underlying bit stream exactly
+as the equivalent sequence of scalar draws would, so batching ``n``
+draws into one vectorised call changes nothing about the sampled
+sequence — it only replaces ``n`` Python→numpy round-trips with one
+call per chunk.
+
+The one safety condition: the RNG stream must be **dedicated** to the
+sampler. If any other consumer interleaves draws on the same
+``Generator``, prefetching ahead of need shifts that consumer's stream
+and breaks same-seed reproducibility. Callers that interleave draw
+types on one stream (e.g. the RUBiS mix generator) must keep issuing
+scalar draws.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ExpSampler"]
+
+
+class ExpSampler:
+    """Chunked exponential sampler over a dedicated RNG stream.
+
+    Drop-in for ``rng.exponential(scale)`` called in a loop: ``next()``
+    returns the same sequence of floats the scalar calls would, while
+    amortising the numpy dispatch overhead over ``CHUNK`` draws.
+
+    The constructor prefetches the first chunk, so construct it only
+    *after* any earlier scalar draws the caller makes on the stream.
+    """
+
+    __slots__ = ("_rng", "_scale", "_buf", "_i")
+
+    CHUNK = 256
+
+    def __init__(self, rng, scale: float) -> None:
+        self._rng = rng
+        self._scale = scale
+        self._buf = rng.exponential(scale, size=self.CHUNK)
+        self._i = 0
+
+    def next(self) -> float:
+        i = self._i
+        if i >= self.CHUNK:
+            self._buf = self._rng.exponential(self._scale, size=self.CHUNK)
+            i = 0
+        self._i = i + 1
+        return self._buf[i]

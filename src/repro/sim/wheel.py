@@ -1,0 +1,274 @@
+"""Scheduler cores: the bucketed timing wheel and the reference heap.
+
+The event population of this simulator is dominated by *near-future*
+timeouts: NIC service times, IRQ costs and CPU bursts land within tens
+of microseconds, and the periodic probe/heartbeat machinery lands
+within tens of milliseconds. A single binary heap pays O(log n) per
+insert against that whole population; the calendar-queue / timing-wheel
+core below pays O(1) for everything inside its horizon and falls back
+to a small overflow heap beyond it.
+
+Both cores speak the engine's entry convention — mutable lists
+``[time, priority, seq, event]`` with ``entry[3] = None`` as the O(1)
+cancellation tombstone (see :mod:`repro.sim.engine`) — and expose the
+same four operations:
+
+``push(entry)``
+    Insert a scheduled entry.
+``pop_live_until(horizon)``
+    Remove and return the next *live* entry with ``time <= horizon``,
+    or ``None`` (leaving state intact) if none qualifies. Dead entries
+    encountered on the way are discarded, each exactly once.
+``pop_live()``
+    ``pop_live_until`` with an unbounded horizon.
+``peek_time()``
+    Time of the next live entry, or ``2**63 - 1`` if empty.
+
+Ordering contract
+-----------------
+Dispatch order is **byte-identical** to a single global heap. The wheel
+partitions the time axis into buckets of ``2**bucket_bits`` ns; a ring
+of ``2**ring_bits`` plain lists holds the next ``ring_size`` buckets
+(O(1) append), an overflow heap holds everything beyond the horizon,
+and the bucket currently draining is a real heap ordered by the full
+``(time, priority, seq)`` key. Three invariants make the partition
+invisible:
+
+* Buckets partition time, so cross-bucket order is trivially the time
+  order; in-bucket order is exact because the drain bucket is a heap
+  over the full entry key.
+* An entry scheduled *during* a drain for the bucket being drained is
+  heap-pushed into the drain heap. Its sequence number is larger than
+  that of every entry already popped, so it can never sort before
+  anything already dispatched — no reordering is possible.
+* Overflow entries migrate into the ring the moment the wheel advances
+  far enough for their bucket to fall inside the horizon — checked
+  against the overflow top on every bucket advance — so they are always
+  back in calendar position before their bucket drains.
+
+Sequence numbers are globally unique, so entry comparison never reaches
+the event slot (also true of the historical heap), and pop order is a
+pure function of ``(time, priority, seq)`` for every core. The
+differential suite in ``tests/sim/test_core_differential.py`` replays
+randomized workloads through the legacy, heap and wheel cores to hold
+all of this to account.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import List, Optional
+
+#: sentinel returned by ``peek_time`` on an empty core (matches the
+#: engine's historical ``peek`` sentinel)
+NEVER = 2**63 - 1
+
+
+class BinaryHeapQueue:
+    """The reference core: one global binary heap (PR 6 behaviour).
+
+    Kept selectable (``EngineConfig.core = "heap"``) as the known-good
+    baseline the differential tests compare the wheel against, and as a
+    fallback for workloads whose event population defeats the wheel's
+    bucketing assumptions.
+    """
+
+    kind = "heap"
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._heap: List[list] = []
+
+    def push(self, entry: list) -> None:
+        heappush(self._heap, entry)
+
+    def pop_live_until(self, horizon: int) -> Optional[list]:
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3] is None:
+                heappop(heap)
+                continue
+            if head[0] > horizon:
+                return None
+            return heappop(heap)
+        return None
+
+    def pop_live(self) -> Optional[list]:
+        return self.pop_live_until(NEVER)
+
+    def peek_time(self) -> int:
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3] is not None:
+                return head[0]
+            heappop(heap)
+        return NEVER
+
+    def __len__(self) -> int:
+        """Entry count, tombstones included."""
+        return len(self._heap)
+
+
+class TimingWheel:
+    """Calendar-queue scheduler: O(1) insert/cancel inside the horizon.
+
+    Parameters
+    ----------
+    initial_time:
+        The engine clock at construction; seeds the drain-bucket number.
+    bucket_bits:
+        log2 of the bucket width in nanoseconds. The default 12
+        (4.096 µs) keeps simultaneous hardware-cost timeouts in one or
+        two buckets.
+    ring_bits:
+        log2 of the ring length in buckets. The default 13 (8192
+        buckets, ~33.6 ms horizon with the default width) keeps every
+        periodic probe/heartbeat interval up to 33 ms on the O(1) path;
+        only multi-interval sleeps touch the overflow heap.
+
+    Internal state
+    --------------
+    ``_cur`` is the heap for the bucket currently draining (number
+    ``_cur_bno``); ``_ring[b & mask]`` is the plain append-only list for
+    in-horizon bucket ``b``; ``_overflow`` is the far-future heap.
+    ``_ring_count`` counts entries appended to (minus drained from) the
+    ring — cancellations do not decrement it, which only costs advance
+    scans over tombstone-filled buckets, bounded by the ring length.
+    """
+
+    kind = "wheel"
+
+    __slots__ = (
+        "_gbits", "_mask", "_size",
+        "_cur", "_cur_bno", "_horizon_bno", "_ring", "_ring_count",
+        "_overflow",
+    )
+
+    def __init__(self, initial_time: int = 0,
+                 bucket_bits: int = 12, ring_bits: int = 13) -> None:
+        if not 4 <= bucket_bits <= 24:
+            raise ValueError(f"bucket_bits must be in [4, 24], got {bucket_bits}")
+        if not 4 <= ring_bits <= 20:
+            raise ValueError(f"ring_bits must be in [4, 20], got {ring_bits}")
+        self._gbits = bucket_bits
+        self._size = size = 1 << ring_bits
+        self._mask = size - 1
+        self._cur: List[list] = []
+        self._cur_bno = int(initial_time) >> bucket_bits
+        #: first bucket past the ring (``_cur_bno + _size``), cached so
+        #: the push fast path is two compares with no arithmetic
+        self._horizon_bno = self._cur_bno + size
+        self._ring: List[List[list]] = [[] for _ in range(size)]
+        self._ring_count = 0
+        self._overflow: List[list] = []
+
+    # -- insert ------------------------------------------------------------
+    def push(self, entry: list) -> None:
+        bno = entry[0] >> self._gbits
+        if bno <= self._cur_bno:
+            # Into (or before) the bucket being drained: the drain heap
+            # orders it exactly; its fresh seq can't beat anything
+            # already popped.
+            heappush(self._cur, entry)
+        elif bno < self._horizon_bno:
+            self._ring[bno & self._mask].append(entry)
+            self._ring_count += 1
+        else:
+            heappush(self._overflow, entry)
+
+    # -- remove ------------------------------------------------------------
+    def pop_live_until(self, horizon: int) -> Optional[list]:
+        cur = self._cur
+        pop = heappop
+        while True:
+            while cur:
+                head = cur[0]
+                if head[3] is None:
+                    pop(cur)
+                    continue
+                if head[0] > horizon:
+                    return None
+                return pop(cur)
+            if not self._advance():
+                return None
+            cur = self._cur
+
+    def pop_live(self) -> Optional[list]:
+        return self.pop_live_until(NEVER)
+
+    def peek_time(self) -> int:
+        cur = self._cur
+        while True:
+            while cur:
+                head = cur[0]
+                if head[3] is not None:
+                    return head[0]
+                heappop(cur)
+            if not self._advance():
+                return NEVER
+            cur = self._cur
+
+    def _advance(self) -> bool:
+        """Rotate to the next non-empty bucket; load it as the drain heap.
+
+        Caller invariant: the drain heap is empty. On every bucket step
+        the overflow top is checked and every overflow entry whose
+        bucket now falls inside the horizon is migrated into the ring —
+        before that bucket can possibly drain. When the ring is empty
+        the wheel jumps straight to the overflow top's bucket instead of
+        scanning empties one by one. Returns False when nothing is left.
+        """
+        ring = self._ring
+        over = self._overflow
+        mask = self._mask
+        gbits = self._gbits
+        size = self._size
+        bno = self._cur_bno
+        count = self._ring_count
+        while count or over:
+            if not count:
+                # Ring empty everywhere: land exactly on the overflow
+                # top's bucket (safe — no slot anywhere holds entries).
+                target = (over[0][0] >> gbits) - 1
+                if target > bno:
+                    bno = target
+            bno += 1
+            if over:
+                limit = (bno + size) << gbits
+                while over and over[0][0] < limit:
+                    entry = heappop(over)
+                    if entry[3] is None:
+                        continue
+                    ring[(entry[0] >> gbits) & mask].append(entry)
+                    count += 1
+            slot_index = bno & mask
+            slot = ring[slot_index]
+            if slot:
+                ring[slot_index] = []
+                self._cur_bno = bno
+                self._horizon_bno = bno + size
+                self._ring_count = count - len(slot)
+                heapify(slot)
+                self._cur = slot
+                return True
+        self._cur_bno = bno
+        self._horizon_bno = bno + size
+        self._ring_count = 0
+        return False
+
+    def __len__(self) -> int:
+        """Approximate entry count (ring tombstones included)."""
+        return len(self._cur) + self._ring_count + len(self._overflow)
+
+
+#: registry used by Environment's ``core=`` string shorthand
+CORES = {
+    "wheel": TimingWheel,
+    "heap": BinaryHeapQueue,
+}
+
+
+__all__ = ["BinaryHeapQueue", "CORES", "NEVER", "TimingWheel"]

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
 from repro.hw.memory import MemRegion
+from repro.sim.events import Event
 from repro.sim.resources import Store
 from repro.tracing.span import STATUS_ERROR, STATUS_OK, tracer_for
 
@@ -173,6 +174,8 @@ class QueuePair:
         #: posted receive buffers for channel semantics (payload store)
         self.recv_queue: Store = Store(local.env, name=f"rq:{local.name}")
         self.peer: Optional["QueuePair"] = None
+        #: remote protection domain, resolved once (stable per node)
+        self._remote_pd = ProtectionDomain.for_node(remote)
         #: statistics
         self.reads = 0
         self.writes = 0
@@ -241,12 +244,16 @@ class QueuePair:
         wr_id = QueuePair._next_wr[0]
         QueuePair._next_wr[0] += 1
         self.reads += 1
-        done = env.event()
+        done = Event(env)
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
-        _, seg_mark, seg_finish = self._segments(
-            "read", ctx, {"rkey": rkey, "nbytes": nbytes, "target": self.remote.name})
+        if ctx is None:  # untraced steady-state: skip span plumbing
+            seg_mark = seg_finish = None
+        else:
+            _, seg_mark, seg_finish = self._segments(
+                "read", ctx,
+                {"rkey": rkey, "nbytes": nbytes, "target": self.remote.name})
 
         def complete(wc: WorkCompletion) -> None:
             wc.completed_at = env.now
@@ -266,7 +273,7 @@ class QueuePair:
                     fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
                                     lambda: complete(WorkCompletion("read", nak, wr_id)))
                     return
-            pd = ProtectionDomain.for_node(self.remote)
+            pd = self._remote_pd
             handle = pd.lookup(rkey)
             if handle is None:
                 fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
@@ -309,12 +316,16 @@ class QueuePair:
         wr_id = QueuePair._next_wr[0]
         QueuePair._next_wr[0] += 1
         self.writes += 1
-        done = env.event()
+        done = Event(env)
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
-        _, seg_mark, seg_finish = self._segments(
-            "write", ctx, {"rkey": rkey, "nbytes": nbytes, "target": self.remote.name})
+        if ctx is None:  # untraced steady-state: skip span plumbing
+            seg_mark = seg_finish = None
+        else:
+            _, seg_mark, seg_finish = self._segments(
+                "write", ctx,
+                {"rkey": rkey, "nbytes": nbytes, "target": self.remote.name})
 
         def complete(wc: WorkCompletion) -> None:
             wc.completed_at = env.now
@@ -332,7 +343,7 @@ class QueuePair:
                     fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
                                     lambda: complete(WorkCompletion("write", nak, wr_id)))
                     return
-            pd = ProtectionDomain.for_node(self.remote)
+            pd = self._remote_pd
             handle = pd.lookup(rkey)
             status = WcStatus.SUCCESS
             if handle is None:
@@ -417,7 +428,7 @@ class QueuePair:
                 if nak is not None:
                     respond(WorkCompletion(op, nak, wr_id))
                     return
-            pd = ProtectionDomain.for_node(self.remote)
+            pd = self._remote_pd
             handle = pd.lookup(rkey)
             if handle is None:
                 respond(WorkCompletion(op, WcStatus.INVALID_RKEY, wr_id))

@@ -21,40 +21,11 @@ from repro.sim.resources import Store
 from repro.sim.units import MICROSECOND, MILLISECOND
 from repro.workloads.rubis import RubisWorkload
 
+from repro.sim.sampling import ExpSampler
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
     from repro.server.dispatcher import Dispatcher
-
-
-class _ExpSampler:
-    """Chunked exponential inter-arrival sampler.
-
-    numpy's ``Generator.exponential(scale, size=n)`` consumes the
-    underlying bit stream exactly as ``n`` scalar draws do, so batching
-    changes nothing about the arrival sequence — it only replaces n
-    Python→numpy round-trips with one vectorised call per chunk.
-    Safe here because each injector's RNG stream is dedicated: nothing
-    else interleaves draws on it, so prefetching ahead of need cannot
-    shift any other consumer's stream.
-    """
-
-    __slots__ = ("_rng", "_scale", "_buf", "_i")
-
-    CHUNK = 256
-
-    def __init__(self, rng, scale: float) -> None:
-        self._rng = rng
-        self._scale = scale
-        self._buf = rng.exponential(scale, size=self.CHUNK)
-        self._i = 0
-
-    def next(self) -> float:
-        i = self._i
-        if i >= self.CHUNK:
-            self._buf = self._rng.exponential(self._scale, size=self.CHUNK)
-            i = 0
-        self._i = i + 1
-        return self._buf[i]
 
 
 class OpenLoopWorkload:
@@ -112,7 +83,7 @@ class OpenLoopWorkload:
             yield k.sleep(int(rng.integers(0, max(1, int(per_injector_gap)))))
             # Construct only after the integers() draw above: the sampler
             # prefetches from the same stream at construction time.
-            gaps = _ExpSampler(rng, per_injector_gap)
+            gaps = ExpSampler(rng, per_injector_gap)
             while not self._stopped:
                 request = self._mix.make_request(clients, reply_store)
                 request.created_at = k.now

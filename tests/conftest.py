@@ -1,9 +1,25 @@
-"""Shared fixtures: small clusters and task helpers."""
+"""Shared fixtures: small clusters, task helpers, golden regeneration."""
 
 import pytest
 
 from repro.config import SimConfig
 from repro.hw.cluster import build_cluster
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="recapture the determinism goldens in "
+             "tests/test_golden_fingerprints.py in place instead of "
+             "asserting against them. Only for an intentional, documented "
+             "break of the determinism contract — see that module's "
+             "docstring for the workflow.")
+
+
+@pytest.fixture(scope="session")
+def regen_goldens(request):
+    """True when the run should recapture goldens instead of asserting."""
+    return request.config.getoption("--regen-goldens")
 
 
 @pytest.fixture

@@ -1,0 +1,224 @@
+"""Property tests for the timing-wheel core's awkward corners.
+
+The differential suite (tests/sim/test_core_differential.py) holds the
+wheel to the heap's pop order on randomized scripts; these properties
+pin the specific mechanisms that make that equivalence non-obvious:
+cancellation tombstones surviving ring rotation, far-future entries
+migrating out of the overflow heap before their bucket drains, the
+zero-delay path, and retry/reschedule patterns never reordering ties.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+from repro.sim.events import EventPriority
+from repro.sim.wheel import NEVER, BinaryHeapQueue, TimingWheel
+
+
+def _drain(core):
+    out = []
+    while True:
+        entry = core.pop_live()
+        if entry is None:
+            return out
+        out.append((entry[0], entry[1], entry[2]))
+
+
+# ----------------------------------------------------------------------
+# cancellation after rotation
+# ----------------------------------------------------------------------
+
+@given(
+    times=st.lists(st.integers(min_value=0, max_value=1 << 22),
+                   min_size=4, max_size=60),
+    cancel_every=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_cancellation_after_rotation(times, cancel_every):
+    """Entries cancelled *after* the wheel has rotated past pushes —
+    including entries already migrated ring→drain-heap — never
+    dispatch, and the survivors come out in exact heap order."""
+    wheel = TimingWheel(bucket_bits=4, ring_bits=4)  # rotation-heavy
+    heap = BinaryHeapQueue()
+    entries = []
+    for seq, t in enumerate(sorted(times), start=1):
+        w = [t, 1, seq, ("ev", seq)]
+        h = [t, 1, seq, ("ev", seq)]
+        wheel.push(w)
+        heap.push(h)
+        entries.append((w, h))
+    # Rotate: pop one live entry so the wheel advances off bucket 0.
+    first_w = wheel.pop_live()
+    first_h = heap.pop_live()
+    assert (first_w is None) == (first_h is None)
+    # Now cancel a slice of what's left, spread across ring + overflow.
+    for i, (w, h) in enumerate(entries):
+        if w[3] is not None and i % cancel_every == 0:
+            w[3] = None
+            h[3] = None
+    assert _drain(wheel) == _drain(heap)
+
+
+def test_cancel_everything_leaves_wheel_empty():
+    wheel = TimingWheel(bucket_bits=4, ring_bits=4)
+    entries = [[i * 37, 1, i + 1, ("ev", i)] for i in range(50)]
+    for e in entries:
+        wheel.push(e)
+    for e in entries:
+        e[3] = None
+    assert wheel.pop_live() is None
+    assert wheel.peek_time() == NEVER
+
+
+# ----------------------------------------------------------------------
+# far-future overflow rollover
+# ----------------------------------------------------------------------
+
+@given(
+    near=st.lists(st.integers(min_value=0, max_value=1 << 8),
+                  min_size=1, max_size=20),
+    far=st.lists(st.integers(min_value=1 << 10, max_value=1 << 40),
+                 min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_far_future_overflow_rolls_into_the_ring(near, far):
+    """Entries beyond the horizon sit in the overflow heap; once the
+    wheel advances they must surface in global time order, interleaved
+    correctly with in-ring entries — and never early, never lost."""
+    wheel = TimingWheel(bucket_bits=4, ring_bits=4)  # horizon = 256 ns
+    heap = BinaryHeapQueue()
+    seq = 0
+    for t in near + far:
+        seq += 1
+        wheel.push([t, 1, seq, ("ev", seq)])
+        heap.push([t, 1, seq, ("ev", seq)])
+    assert _drain(wheel) == _drain(heap)
+
+
+def test_overflow_chain_across_many_horizons():
+    """A sparse chain spanning thousands of horizons drains in order
+    via the jump-to-overflow-top fast path (no per-bucket scanning)."""
+    wheel = TimingWheel(bucket_bits=4, ring_bits=4)
+    times = [(1 << 12) * k for k in range(1, 40)]
+    for seq, t in enumerate(times, start=1):
+        wheel.push([t, 1, seq, ("ev", seq)])
+    assert [t for t, _p, _s in _drain(wheel)] == times
+
+
+# ----------------------------------------------------------------------
+# zero-delay scheduling
+# ----------------------------------------------------------------------
+
+@given(n=st.integers(min_value=1, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_zero_delay_timeouts_fire_in_schedule_order(n):
+    """delay=0 timeouts dispatch this instant, in exact schedule order,
+    on both cores — including zero-delay chains scheduled from inside a
+    firing callback (push into the bucket currently draining)."""
+    for core in ("wheel", "heap"):
+        env = Environment(core=core)
+        log = []
+
+        def chain(depth, label):
+            def cb(ev):
+                log.append(label)
+                if depth < 2:
+                    t = env.timeout(0)
+                    t.callbacks.append(chain(depth + 1, f"{label}+"))
+            return cb
+
+        for i in range(n):
+            t = env.timeout(0)
+            t.callbacks.append(chain(0, f"z{i}"))
+        env.run_until_quiet(10)
+        expected = [f"z{i}" for i in range(n)]
+        expected += [f"z{i}+" for i in range(n)]
+        expected += [f"z{i}++" for i in range(n)]
+        assert log == expected
+        assert env.now == 10
+
+
+# ----------------------------------------------------------------------
+# retry never reorders
+# ----------------------------------------------------------------------
+
+@given(
+    base=st.integers(min_value=0, max_value=1 << 20),
+    retries=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_retry_never_reorders_ties(base, retries):
+    """The cancel+reschedule (retry) pattern: a rescheduled event lands
+    at its new time with a *fresh, larger* sequence number, so it can
+    never overtake an event already scheduled for the same (time,
+    priority) — on either core, at any retry depth."""
+    for core in ("wheel", "heap"):
+        env = Environment(core=core)
+        log = []
+
+        def logger(label):
+            return lambda ev: log.append((env.now, label))
+
+        # A stable bystander at the retry's final landing time, chosen
+        # strictly after the last driver tick (at retries * 10).
+        final = base + retries * 10 + 5
+        t_by = env.timeout(final, priority=EventPriority.NORMAL)
+        t_by.callbacks.append(logger("bystander"))
+
+        state = {"left": retries}
+
+        def schedule_retry(delay):
+            t = env.timeout(delay, priority=EventPriority.NORMAL)
+            t.callbacks.append(logger("retry"))
+            state["handle"] = t
+
+        def driver(ev):
+            if state["left"] > 0:
+                state["left"] -= 1
+                assert env.cancel(state["handle"])
+                schedule_retry(final - env.now)  # re-land exactly on `final`
+                if state["left"] > 0:
+                    nxt = env.timeout(10)
+                    nxt.callbacks.append(driver)
+
+        schedule_retry(final)
+        first = env.timeout(10)
+        first.callbacks.append(driver)
+        env.run_until_quiet(final + 1)
+        fired = [(t, label) for t, label in log]
+        # Exactly one retry firing, exactly at `final`, and the
+        # bystander — scheduled first — keeps its tie-break priority.
+        assert fired == [(final, "bystander"), (final, "retry")]
+        assert env.cancelled_events == retries
+
+
+def test_retry_storm_matches_across_cores():
+    """A storm of overlapping cancel+reschedule cycles produces the
+    identical firing log on wheel and heap."""
+    def run(core):
+        env = Environment(core=core)
+        log = []
+        handles = {}
+
+        def fire(label):
+            return lambda ev: log.append((env.now, label))
+
+        for i in range(40):
+            t = env.timeout(100 + (i % 7) * 50, priority=EventPriority.NORMAL)
+            t.callbacks.append(fire(f"e{i}"))
+            handles[i] = t
+
+        def churn(ev):
+            for i in range(0, 40, 3):
+                if env.cancel(handles[i]):
+                    t = env.timeout(200, priority=EventPriority.NORMAL)
+                    t.callbacks.append(fire(f"e{i}r"))
+                    handles[i] = t
+
+        kick = env.timeout(50)
+        kick.callbacks.append(churn)
+        env.run_until_quiet(10_000)
+        return log, env.processed_events, env.cancelled_events
+
+    assert run("wheel") == run("heap")

@@ -15,7 +15,24 @@ The overhauled core must reproduce every value bit-for-bit. If a test
 here fails, the change under review broke same-seed reproducibility —
 do NOT re-capture the goldens to make it pass unless the change is an
 intentional, documented break of the determinism contract.
+
+Regenerating after an intentional break::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_fingerprints.py \
+        --regen-goldens
+
+rewrites every ``GOLDEN_*`` constant below in place with the freshly
+captured fingerprints (each test reports ``skipped`` to mark that it
+recaptured rather than asserted), then a plain re-run must pass. The
+flag lives in ``tests/conftest.py``; commit the rewritten goldens
+together with the change that moved them and a rationale in the
+message. Never use it to silence an unexplained mismatch.
 """
+
+import pathlib
+import re
+
+import pytest
 
 from repro.config import SimConfig
 from repro.experiments.common import deploy_rubis_cluster
@@ -86,21 +103,35 @@ GOLDEN_TRACED = (175, 8793, 342, 45, 170, (('lb.pick', 36629343, 36629343), ('di
 GOLDEN_FEDERATION = (427, 26996, ((0, 34), (1, 32), (2, 26), (3, 24), (4, 28), (5, 28), (6, 27), (7, 21), (8, 24), (9, 29), (10, 23), (11, 33), (12, 28), (13, 17), (14, 25), (15, 28)))
 
 
-def test_golden_socket_sync():
-    assert fp_rubis("socket-sync") == GOLDEN_SOCKET_SYNC
+def _check(name, value, regen):
+    """Assert ``value`` against the module constant ``name`` — or, under
+    ``--regen-goldens``, rewrite that constant in place and skip."""
+    if not regen:
+        assert value == globals()[name]
+        return
+    path = pathlib.Path(__file__)
+    src = path.read_text()
+    pattern = re.compile(rf"^{name} = .*$", re.MULTILINE)
+    assert pattern.search(src), f"constant {name} not found for rewrite"
+    path.write_text(pattern.sub(lambda m: f"{name} = {value!r}", src, count=1))
+    pytest.skip(f"recaptured {name} in place (--regen-goldens)")
 
 
-def test_golden_rdma_sync():
-    assert fp_rubis("rdma-sync", seed=5678) == GOLDEN_RDMA_SYNC
+def test_golden_socket_sync(regen_goldens):
+    _check("GOLDEN_SOCKET_SYNC", fp_rubis("socket-sync"), regen_goldens)
 
 
-def test_golden_openloop_admission():
-    assert fp_openloop() == GOLDEN_OPENLOOP
+def test_golden_rdma_sync(regen_goldens):
+    _check("GOLDEN_RDMA_SYNC", fp_rubis("rdma-sync", seed=5678), regen_goldens)
 
 
-def test_golden_traced_telemetry():
-    assert fp_traced() == GOLDEN_TRACED
+def test_golden_openloop_admission(regen_goldens):
+    _check("GOLDEN_OPENLOOP", fp_openloop(), regen_goldens)
 
 
-def test_golden_federation():
-    assert fp_federation() == GOLDEN_FEDERATION
+def test_golden_traced_telemetry(regen_goldens):
+    _check("GOLDEN_TRACED", fp_traced(), regen_goldens)
+
+
+def test_golden_federation(regen_goldens):
+    _check("GOLDEN_FEDERATION", fp_federation(), regen_goldens)

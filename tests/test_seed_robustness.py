@@ -78,6 +78,39 @@ def test_hang_robustness_ordering_under_any_seed(seed):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_three_level_scale_smoke_n1024_under_any_seed(seed):
+    """The 10k-barrier scaling claim isn't seed luck: at N=1024 a
+    three-level fabric covers every back-end and holds every tier's
+    worst poll round inside the 1 ms period — under unrelated seeds.
+
+    This is the smoke tier of the scaling story; the full N=4096 point
+    lives in ``benchmarks/test_perf_core.py`` (archived in
+    ``results/BENCH_core.json``).
+    """
+    from repro.federation import deploy_federation
+
+    cfg = SimConfig(num_backends=1024, master_seed=seed)
+    cfg.federation.enabled = True
+    cfg.federation.levels = 3
+    cfg.federation.leaf_interval = ms(1)
+    cfg.federation.root_interval = ms(1)
+    sim = build_cluster(cfg)
+    fedn = deploy_federation(sim)
+    sim.run(ms(5))
+    try:
+        assert len(fedn.root.latest) == 1024, len(fedn.root.latest)
+        assert fedn.root.read_failures == 0
+        worst = max(
+            max(max(leaf.rounds) for leaf in fedn.leaves),
+            max(max(region.rounds) for region in fedn.regions),
+            max(fedn.root.rounds),
+        )
+        assert worst <= ms(1), worst
+    finally:
+        fedn.stop()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_rubis_scheme_ordering_under_any_seed(seed):
     """rdma-sync ≥ socket-async on throughput at saturation, any seed."""
     tputs = {}
