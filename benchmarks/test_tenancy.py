@@ -1,0 +1,146 @@
+"""Benchmark: noisy-neighbor attacks vs monitoring, and the defense.
+
+Runs the full :mod:`repro.experiments.tenant_matrix` — six monitoring
+schemes x {no attacker, qp-exhaust, cache-thrash, bandwidth-hog} x
+{defense off, on} — and asserts the headline claims:
+
+* **degradation** — with the defense off, every one-sided RDMA scheme
+  measurably degrades under every attack (p95 probe staleness or
+  latency for the read-based schemes; for the interval-dominated push
+  scheme, the ICM refill misses the monitoring plane itself pays), and
+  *every* scheme degrades under the bandwidth hog (the shared port
+  congests for everyone);
+* **recovery** — with the defense on, the offender is detected within a
+  few defense windows, quarantined, and the final-window p95 staleness
+  recovers into a guard band of the pre-attack baseline — while the
+  defense-off arm stays degraded to the end of the run;
+* **no false positives** — the clean arm never draws a sanction, and
+  the defense-off arms never act at all.
+
+Emits ``results/BENCH_tenancy.json`` — the machine-readable baseline.
+"""
+
+from conftest import run_once, write_bench
+
+from repro.analysis.report import format_series
+from repro.experiments import tenant_matrix
+from repro.monitoring.registry import ALL_SCHEME_NAMES
+
+#: schemes whose probes use the RDMA path on the attacked NIC
+ONE_SIDED = ("rdma-async", "rdma-sync", "e-rdma-sync", "rdma-write-push")
+ATTACKS = ("qp-exhaust", "cache-thrash", "bandwidth-hog")
+
+#: minimum attacked/pre ratio that counts as "degraded"
+DEGRADE_MIN = 1.05
+#: bandwidth hog must at least double p95 staleness (or starve probes)
+HOG_DEGRADE_MIN = 2.0
+#: defense-on final window recovers to within this multiple of baseline
+RECOVERY_BAND = 1.1
+#: ... recovering at least this fraction of the staleness *excess* the
+#: undefended attacked window shows over its baseline
+RECOVERY_FRACTION = 0.5
+#: detection within this many defense windows
+DETECT_WINDOWS = 3
+#: ICM-signal band: attack arms pay this many times the clean arm's
+#: monitoring-plane cache misses
+ICM_SIGNAL_MIN = 2.0
+
+
+def _starved(row) -> bool:
+    return row["final_samples"] < row["pre_samples"] // 2
+
+
+def _stale_hit(row) -> bool:
+    return (row["attacked_staleness_p95_ms"]
+            > DEGRADE_MIN * row["pre_staleness_p95_ms"]
+            or row["attacked_samples"] < row["pre_samples"] // 2)
+
+
+def _lat_hit(row) -> bool:
+    return (row["attacked_latency_p95_us"]
+            > DEGRADE_MIN * row["pre_latency_p95_us"])
+
+
+def test_tenant_matrix(benchmark, record, results_dir):
+    result = run_once(benchmark, lambda: tenant_matrix.run())
+    record("tenant_matrix", format_series(
+        "attack", result.xs, result.series,
+        title="Tenancy — p95 monitoring staleness under noisy neighbors",
+    ) + "\n\n" + result.notes)
+
+    write_bench(results_dir, "tenancy", {
+        "experiment": result.name,
+        "params": result.params,
+        "xs": result.xs,
+        "series": result.series,
+        "cells": result.tables,
+    })
+
+    from repro.config import SimConfig
+
+    tn = SimConfig().tenancy
+    window_ms = tn.defense_interval / 1e6
+    cells = result.tables
+
+    for scheme in ALL_SCHEME_NAMES:
+        # The clean arm is genuinely clean: polls flow, the final window
+        # sits in a tight band around the baseline (phase-jittered
+        # schemes aren't exactly flat), and the defense never fires.
+        none_off = cells[f"{scheme}:none:off"]
+        for arm in ("off", "on"):
+            base = cells[f"{scheme}:none:{arm}"]
+            pre = base["pre_staleness_p95_ms"]
+            assert base["pre_samples"] > 0, base
+            assert 0.9 * pre <= base["final_staleness_p95_ms"] <= 1.1 * pre, base
+            assert base["detect_ms"] == -1.0 and base["quarantines"] == 0, base
+
+        for attack in ATTACKS:
+            off = cells[f"{scheme}:{attack}:off"]
+            on = cells[f"{scheme}:{attack}:on"]
+
+            # Defense off means hands off: telemetry only, no sanctions.
+            assert off["detect_ms"] == -1.0 and off["quarantines"] == 0, off
+
+            # (a) measurable degradation. One-sided schemes are hurt by
+            # every attack — in probe staleness/latency when the probe
+            # rides the abused resource, else in the ICM misses the
+            # monitoring plane pays; the bandwidth hog hurts everyone.
+            if scheme in ONE_SIDED:
+                icm_signal = off["system_icm_misses"] > ICM_SIGNAL_MIN * max(
+                    1, none_off["system_icm_misses"])
+                assert _stale_hit(off) or _lat_hit(off) or icm_signal, \
+                    (scheme, attack, off, none_off["system_icm_misses"])
+            if attack == "bandwidth-hog":
+                assert (off["attacked_staleness_p95_ms"]
+                        > HOG_DEGRADE_MIN * off["pre_staleness_p95_ms"]
+                        or off["attacked_samples"] < off["pre_samples"] // 2), \
+                    (scheme, off)
+
+            # (b) the defense detects within a few windows, escalates to
+            # quarantine, and the victim recovers: the final window is
+            # back inside the guard band of this cell's own baseline.
+            # Defense off stays degraded to the end on whichever metric
+            # the attack moved.
+            assert 0 <= on["detect_ms"] <= DETECT_WINDOWS * window_ms, \
+                (scheme, attack, on)
+            assert on["quarantines"] >= 1, (scheme, attack, on)
+            assert on["final_samples"] > 0, (scheme, attack, on)
+            assert on["final_staleness_p95_ms"] <= \
+                RECOVERY_BAND * on["pre_staleness_p95_ms"], (scheme, attack, on)
+            assert on["final_latency_p95_us"] <= \
+                RECOVERY_BAND * on["pre_latency_p95_us"], (scheme, attack, on)
+            if _stale_hit(off):
+                excess = (off["attacked_staleness_p95_ms"]
+                          - off["pre_staleness_p95_ms"])
+                if excess > 0:
+                    on_excess = (on["final_staleness_p95_ms"]
+                                 - on["pre_staleness_p95_ms"])
+                    assert on_excess <= (1 - RECOVERY_FRACTION) * excess, \
+                        (scheme, attack, on, off)
+                assert (off["final_staleness_p95_ms"]
+                        > DEGRADE_MIN * off["pre_staleness_p95_ms"]
+                        or _starved(off)), (scheme, attack, off)
+            if _lat_hit(off):
+                assert (off["final_latency_p95_us"]
+                        > DEGRADE_MIN * off["pre_latency_p95_us"]
+                        or _starved(off)), (scheme, attack, off)

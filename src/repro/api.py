@@ -196,6 +196,24 @@ class ClusterBuilder:
             setattr(cc, name, value)
         return self
 
+    def tenancy(self, **knobs) -> "ClusterBuilder":
+        """Enable the multi-tenant NIC resource model (see repro.tenancy).
+
+        Keywords are ``cfg.tenancy`` knobs (``qp_table_size=...``,
+        ``icm_entries=...``, ``defense=True``, ``offend_mbps=...``, ...);
+        a mistyped name raises immediately with a did-you-mean hint,
+        courtesy of the audited config schema. ``enabled`` is implied —
+        calling this method at all installs the plane, giving every NIC
+        a bounded QP table and a shared ICM context cache, and policing
+        tenant verbs at post time. The built cluster's
+        ``sim.tenancy`` handle carries the registry and defense loop.
+        """
+        tn = self._cfg.tenancy
+        tn.enabled = True
+        for name, value in knobs.items():
+            setattr(tn, name, value)
+        return self
+
     def observability(self, **knobs) -> "ClusterBuilder":
         """Enable the OpenMetrics observability surface (see repro.obs).
 
@@ -292,6 +310,9 @@ class ClusterBuilder:
         if telemetry is not None and sim.congestion is not None:
             telemetry.attach_congestion(sim.congestion)
 
+        if telemetry is not None and sim.tenancy is not None:
+            telemetry.attach_tenancy(sim.tenancy)
+
         faults = None
         if self._fault_schedule is not None:
             faults = FaultPlane(sim, self._fault_schedule).install()
@@ -314,6 +335,10 @@ class ClusterBuilder:
                                            heartbeat=heartbeat)
             if telemetry is not None:
                 telemetry.attach_federation(federation)
+            if sim.tenancy is not None:
+                # Quarantining a tenant re-splits shard assignments so
+                # routing routes around the noisy neighborhood.
+                sim.tenancy.federation = federation
 
         if federation is not None:
             balancer = TwoLevelBalancer(

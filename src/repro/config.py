@@ -357,6 +357,60 @@ class CongestionConfig:
     ai_timer: int = 55 * US
     #: floor on a flow's rate factor — a paced flow never fully stalls
     min_rate: float = 0.01
+    #: monitoring/control QPs ride PFC service level 1: their flows keep
+    #: draining while the port's priority-0 traffic is paused, so tenant
+    #: floods (and tenancy throttling) can never stall probe responses.
+    #: Off by default — priority-0 flow keys stay byte-identical.
+    monitor_priority: bool = False
+
+
+@audited
+@dataclass
+class TenancyConfig:
+    """Multi-tenant NIC resource model (see :mod:`repro.tenancy`).
+
+    Default-off: with ``enabled=False`` no plane is constructed, every
+    NIC's ``tenancy`` hook stays ``None`` (one attribute check on the
+    verbs hot path) and every historical run is byte-identical
+    (property-tested, like the faults/federation/congestion planes).
+    When on, every QP and MR is attributed to a tenant, the NIC's
+    bounded QP table and shared ICM/context cache are modeled, verb
+    posts are policed against per-tenant quotas and rates, and an
+    optional closed defense loop throttles/quarantines offenders.
+    docs/TENANCY.md has the model's derivation and attack taxonomy.
+    """
+
+    #: master switch for the whole tenancy plane
+    enabled: bool = False
+    #: bounded per-NIC QP table — creating a QP past it raises
+    qp_table_size: int = 256
+    #: per-NIC ICM/context cache entries (QP + MR state), LRU, shared
+    #: across every tenant — one tenant's churn evicts another's state
+    icm_entries: int = 64
+    #: PCIe refill penalty paid by a verb whose QP/MR context missed
+    #: the ICM cache, ns (charged on the NIC that took the miss)
+    icm_miss_penalty: int = 2 * US
+    #: per-tenant active-QP quota (0 = unlimited)
+    default_qp_quota: int = 0
+    #: per-tenant posted-bytes policing rate, bytes/s (0 = unpoliced);
+    #: the system tenant (monitoring/infrastructure) is never policed
+    default_rate_bps: int = 0
+    #: closed defense loop: detect offenders per window, throttle, then
+    #: quarantine after repeated strikes, release after clean windows
+    defense: bool = False
+    #: defense/telemetry window length, ns
+    defense_interval: int = 5 * MS
+    #: offender thresholds, per window (attempted rates: denied traffic
+    #: counts, so a quarantined attacker keeps registering as offending)
+    offend_mbps: float = 500.0
+    offend_qp_creates: int = 64
+    offend_icm_misses: int = 128
+    #: throttle an offender to ``observed_rate * throttle_factor``
+    throttle_factor: float = 0.1
+    #: consecutive offending windows before quarantine
+    quarantine_after: int = 3
+    #: consecutive clean windows before throttles/quarantine lift
+    release_after: int = 2
 
 
 @audited
@@ -472,6 +526,7 @@ class SimConfig:
     obs: ObsConfig = field(default_factory=ObsConfig)
     federation: FederationConfig = field(default_factory=FederationConfig)
     congestion: CongestionConfig = field(default_factory=CongestionConfig)
+    tenancy: TenancyConfig = field(default_factory=TenancyConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
@@ -548,6 +603,24 @@ class SimConfig:
             raise ValueError("ai_factor must be in (0, 1]")
         if not 0.0 < cc.min_rate <= 1.0:
             raise ValueError("min_rate must be in (0, 1]")
+        tn = self.tenancy
+        if tn.qp_table_size < 1:
+            raise ValueError("tenancy.qp_table_size must be >= 1")
+        if tn.icm_entries < 1:
+            raise ValueError("tenancy.icm_entries must be >= 1")
+        if tn.icm_miss_penalty < 0:
+            raise ValueError("tenancy.icm_miss_penalty must be >= 0")
+        if tn.default_qp_quota < 0 or tn.default_rate_bps < 0:
+            raise ValueError("tenancy quotas must be >= 0 (0 = unlimited)")
+        if tn.defense_interval <= 0:
+            raise ValueError("tenancy.defense_interval must be positive")
+        if tn.offend_mbps <= 0 or tn.offend_qp_creates < 1 \
+                or tn.offend_icm_misses < 1:
+            raise ValueError("tenancy offender thresholds must be positive")
+        if not 0.0 < tn.throttle_factor <= 1.0:
+            raise ValueError("tenancy.throttle_factor must be in (0, 1]")
+        if tn.quarantine_after < 1 or tn.release_after < 1:
+            raise ValueError("tenancy strike/release windows must be >= 1")
         obs = self.obs
         if not re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z", obs.namespace):
             raise ValueError(f"obs.namespace {obs.namespace!r} is not a "
@@ -582,5 +655,6 @@ __all__ = [
     "ServerConfig",
     "SimConfig",
     "SyscallConfig",
+    "TenancyConfig",
     "TracingConfig",
 ]

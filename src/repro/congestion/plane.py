@@ -55,7 +55,8 @@ class _TxQueue:
     port — the NIC-scheduler behaviour DCQCN assumes.
     """
 
-    __slots__ = ("flows", "order", "cursor", "active", "sleeping", "gen")
+    __slots__ = ("flows", "order", "cursor", "active", "sleeping", "gen",
+                 "prio_flows")
 
     def __init__(self) -> None:
         #: dst name -> deque of posted packets
@@ -69,6 +70,9 @@ class _TxQueue:
         self.sleeping = False
         #: bumped to invalidate a sleeping chain's wakeup
         self.gen = 0
+        #: flow keys riding a nonzero PFC service level — they keep
+        #: draining while the port's priority-0 traffic is paused
+        self.prio_flows: set = set()
 
     def append(self, dst_name: str, pkt: tuple) -> None:
         q = self.flows.get(dst_name)
@@ -146,6 +150,7 @@ class CongestionPlane:
         on_arrival: Callable[[], None],
         bw_factor: float,
         lat_factor: float,
+        prio: int = 0,
     ) -> int:
         """Congestion-aware unicast delivery (the fabric's hot hand-off).
 
@@ -154,8 +159,11 @@ class CongestionPlane:
         actual transmit time (:meth:`_service`), and the egress queue is
         observed when the packet reaches the switch (:meth:`_at_switch`)
         — both *after* post time, which is what lets a pause issued
-        mid-backlog actually hold the backlog. Returns the post time;
-        delivery is resolved through ``on_arrival``.
+        mid-backlog actually hold the backlog. ``prio`` is the PFC
+        service level: nonzero packets form their own flow (own DCQCN
+        state) that keeps draining while the port's priority-0 traffic
+        is paused. Returns the post time; delivery is resolved through
+        ``on_arrival``.
         """
         net = self.cfg.net
         bw = net.link_bytes_per_ns * bw_factor
@@ -169,7 +177,13 @@ class CongestionPlane:
         txq = self._txq.get(src.name)
         if txq is None:
             txq = self._txq[src.name] = _TxQueue()
-        txq.append(dst.name, (src, dst, nbytes, bw, ser_rx, hop, switch_lat,
+        # Priority-0 flow keys stay the bare destination name so runs
+        # without monitor_priority are byte-identical to the historical
+        # model.
+        flow_key = dst.name if prio == 0 else f"{dst.name}\x00sl{prio}"
+        if prio != 0:
+            txq.prio_flows.add(flow_key)
+        txq.append(flow_key, (src, dst, nbytes, bw, ser_rx, hop, switch_lat,
                               on_arrival))
         if not txq.active:
             txq.active = True
@@ -209,7 +223,8 @@ class CongestionPlane:
         env = self.env
         now = env.now
         paused_until = self._pause_until.get(src_name, 0)
-        if paused_until > now:
+        paused = paused_until > now
+        if paused and not txq.prio_flows:
             # Port is PFC-paused: re-check when the pause lifts (it may
             # have been extended by then — the loop re-evaluates).
             self._sleep(src_name, txq, paused_until - now)
@@ -224,6 +239,12 @@ class CongestionPlane:
             dst_name = txq.order[idx]
             q = txq.flows[dst_name]
             if not q:
+                continue
+            if paused and dst_name not in txq.prio_flows:
+                # PFC holds priority-0 flows only; the monitoring class
+                # (service level 1) keeps arbitrating.
+                if wake_at is None or paused_until < wake_at:
+                    wake_at = paused_until
                 continue
             if cc.dcqcn:
                 flow = self._flow(src_name, dst_name, now)

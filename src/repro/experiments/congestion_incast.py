@@ -58,7 +58,8 @@ TENANT_BYTES: int = 8192
 TENANT_INTERVAL: int = 50 * MICROSECOND
 
 
-def _arm_config(n: int, arm: str, interval: int) -> SimConfig:
+def _arm_config(n: int, arm: str, interval: int,
+                monitor_priority: bool = False) -> SimConfig:
     pfc, dcqcn = ARMS[arm]
     cfg = SimConfig(num_backends=n)
     cfg.federation.enabled = True
@@ -67,6 +68,7 @@ def _arm_config(n: int, arm: str, interval: int) -> SimConfig:
     cfg.congestion.enabled = True
     cfg.congestion.pfc = pfc
     cfg.congestion.dcqcn = dcqcn
+    cfg.congestion.monitor_priority = monitor_priority
     return cfg
 
 
@@ -76,6 +78,7 @@ def run_incast(
     interval: int = DEFAULT_INTERVAL,
     duration: int = 50 * MILLISECOND,
     flows_per_source: int = 1,
+    monitor_priority: bool = False,
 ) -> Dict[str, float]:
     """One incast point: N back-ends blasting the federation root's port.
 
@@ -87,8 +90,13 @@ def run_incast(
     for the uncontrolled arm: once the backlog stalls the reads, rounds
     stop completing, so staleness samples dry up while the view age
     keeps climbing — view age is the honest divergence measure.
+
+    ``monitor_priority`` puts monitoring QPs in a PFC priority class
+    (``cfg.congestion.monitor_priority``): pause frames aimed at tenant
+    traffic no longer stall probe flows, so the ``pfc`` arm's
+    head-of-line victimization of innocent monitoring disappears.
     """
-    cfg = _arm_config(n, arm, interval)
+    cfg = _arm_config(n, arm, interval, monitor_priority=monitor_priority)
     sim = build_cluster(cfg)
     fed = deploy_federation(sim)
     spawn_incast_tenants(

@@ -44,6 +44,7 @@ from repro.experiments import (
     fig9_finegrained,
     scalability,
     table1_rubis,
+    tenant_matrix,
 )
 from repro.monitoring.registry import SCHEME_NAMES
 from repro.sim.units import MILLISECOND, SECOND
@@ -113,6 +114,12 @@ RUNNERS = {
     "perf_core": lambda full: (lambda r: _render_series(
         r, "backends", "Simulator wall-clock (current core)") + "\n" + r.notes)(
         perf_core.run(sizes=perf_core.DEFAULT_SIZES if full else (64, 128))),
+    "tenant_matrix": lambda full: (lambda r: _render_series(
+        r, "attack", "Tenancy — monitoring staleness under noisy neighbors")
+        + "\n" + r.notes)(
+        tenant_matrix.run(
+            schemes=None if full else ("rdma-sync", "socket-sync"),
+            duration=(240 if full else 120) * MILLISECOND)),
     "obs": lambda full: (lambda r: _render_series(
         r, "seed", "Observability — exposition determinism and coverage")
         + "\n" + r.notes)(

@@ -27,7 +27,7 @@ from repro.hw.node import Node
 from repro.monitoring.loadinfo import LoadInfo
 from repro.monitoring.registry import scheme_class
 from repro.telemetry.digest import StreamingDigest
-from repro.transport.verbs import WqeBatch, connect_qp
+from repro.transport.verbs import WqeBatch, connect_monitor_qp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
@@ -69,7 +69,7 @@ class FederatedMonitor:
         self.name = name
         sources = regions if regions else leaves
         self._sources = sources
-        self._qps = [connect_qp(sim.frontend, src.node)[0] for src in sources]
+        self._qps = [connect_monitor_qp(sim.frontend, src.node)[0] for src in sources]
         #: region index → pre-merged digest states (3-level mode only)
         self._region_digest_states: Dict[int, Dict[str, tuple]] = {}
         #: the merged global view — FrontendMonitor-cache compatible

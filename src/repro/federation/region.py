@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.federation.leaf import LeafMonitor
 from repro.federation.snapshot import merge_digest_states
 from repro.telemetry.digest import StreamingDigest
-from repro.transport.verbs import AccessFlags, ProtectionDomain, WqeBatch, connect_qp
+from repro.transport.verbs import AccessFlags, ProtectionDomain, WqeBatch, connect_monitor_qp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
@@ -104,7 +104,7 @@ class RegionAggregator:
         if interval <= 0:
             raise ValueError("region interval must be positive")
         self.interval = interval
-        self._qps = [connect_qp(node, leaf.node)[0] for leaf in leaves]
+        self._qps = [connect_monitor_qp(node, leaf.node)[0] for leaf in leaves]
         #: freshest packed shard snapshot per leaf (keyed by shard index)
         self.shard_packed: Dict[int, tuple] = {}
         self.epoch = 0

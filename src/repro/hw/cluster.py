@@ -42,6 +42,9 @@ class ClusterSim:
     #: congestion plane, installed when cfg.congestion.enabled (see
     #: repro.congestion); None keeps the fabric byte-identical to history
     congestion: object | None = None
+    #: tenancy plane, installed when cfg.tenancy.enabled (see
+    #: repro.tenancy); None keeps verb posting byte-identical to history
+    tenancy: object | None = None
 
     @property
     def nodes(self) -> List[Node]:
@@ -121,6 +124,13 @@ def build_cluster(cfg: SimConfig | None = None) -> ClusterSim:
         congestion = CongestionPlane(
             env, cfg, rng.stream("congestion"), spans=spans).install(fabric)
 
+    tenancy = None
+    if cfg.tenancy.enabled:
+        from repro.tenancy.plane import TenancyPlane
+
+        tenancy = TenancyPlane(env, cfg, spans=spans).install(
+            fabric, [n.nic for n in [frontend, *backends, clients]])
+
     return ClusterSim(
         env=env,
         cfg=cfg,
@@ -132,4 +142,5 @@ def build_cluster(cfg: SimConfig | None = None) -> ClusterSim:
         clients=clients,
         spans=spans,
         congestion=congestion,
+        tenancy=tenancy,
     )

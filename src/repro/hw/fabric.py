@@ -53,6 +53,9 @@ class Fabric:
         #: installed it takes over unicast delivery after fault verdicts
         #: (None = the hook costs one attribute check)
         self.congestion = None
+        #: optional :class:`~repro.tenancy.plane.TenancyPlane`; NICs
+        #: attached after installation inherit it (leaf/region nodes)
+        self.tenancy = None
 
     def attach(self, nic: "Nic") -> None:
         """Register a NIC on the switch."""
@@ -61,6 +64,7 @@ class Fabric:
         self._tx[nic.name] = SwitchPort()
         self._rx[nic.name] = SwitchPort()
         nic.fabric = self
+        nic.tenancy = self.tenancy
 
     def transmit(
         self,
@@ -69,12 +73,16 @@ class Fabric:
         nbytes: int,
         on_arrival: Callable[[], None],
         bw_factor: float = 1.0,
+        prio: int = 0,
     ) -> int:
         """Move ``nbytes`` from ``src`` to ``dst``; returns arrival time.
 
         ``on_arrival`` runs at the destination NIC when the last byte
         lands. ``bw_factor`` discounts effective bandwidth (IPoIB runs at
-        a fraction of the link rate).
+        a fraction of the link rate). ``prio`` is the PFC service level:
+        nonzero packets bypass priority-0 pauses under the congestion
+        plane (the base fabric has no pauses, so it only threads the
+        value through).
         """
         if src.name not in self._tx or dst.name not in self._rx:
             raise ValueError("both NICs must be attached to the fabric")
@@ -94,7 +102,7 @@ class Fabric:
                 bw_factor *= verdict.bw_factor
         if self.congestion is not None:
             return self.congestion.transmit(
-                src, dst, nbytes, on_arrival, bw_factor, lat_factor)
+                src, dst, nbytes, on_arrival, bw_factor, lat_factor, prio)
         net = self.cfg.net
         bw = net.link_bytes_per_ns * bw_factor
         q = nbytes / bw

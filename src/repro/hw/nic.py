@@ -18,7 +18,8 @@ does slow down — but target CPU load never matters.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
 
 from repro.kernel.interrupts import IrqVector
 from repro.sim.events import EventPriority
@@ -28,6 +29,56 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.node import Node
 
 
+class IcmCache:
+    """LRU model of the HCA's on-card context (ICM) cache.
+
+    Real HCAs keep QP/CQ/MR state in host memory (the InfiniHost's ICM)
+    and cache the working set on the adapter; a verb whose context is
+    not cached stalls on a PCIe refill. Capacity is shared across every
+    tenant using the NIC, so one tenant churning through QPs or walking
+    a large MR set evicts another tenant's hot entries — the
+    noisy-neighbor mechanism the tenancy plane models. Keys are opaque
+    tuples (``("qp", node, qpn)`` / ``("mr", node, rkey)``); each entry
+    remembers the owning tenant so evictions can be attributed.
+    """
+
+    __slots__ = ("entries", "_lru", "hits", "misses", "evictions")
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("ICM cache needs at least one entry")
+        self.entries = entries
+        self._lru: "OrderedDict[tuple, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def access(self, key: tuple, owner: int) -> Tuple[bool, Optional[Tuple[tuple, int]]]:
+        """Touch ``key`` for tenant ``owner``.
+
+        Returns ``(missed, evicted)`` where ``evicted`` is the
+        ``(key, owner)`` pair displaced to make room, or ``None``.
+        """
+        lru = self._lru
+        if key in lru:
+            lru.move_to_end(key)
+            self.hits += 1
+            return False, None
+        self.misses += 1
+        evicted = None
+        if len(lru) >= self.entries:
+            evicted = lru.popitem(last=False)
+            self.evictions += 1
+        lru[key] = owner
+        return True, evicted
+
+    def invalidate(self, key: tuple) -> None:
+        self._lru.pop(key, None)
+
+
 class Nic:
     """One host channel adapter."""
 
@@ -35,6 +86,9 @@ class Nic:
         self.name = name
         self.node: Optional["Node"] = None
         self.fabric: Optional["Fabric"] = None
+        #: tenancy plane handle (set by :meth:`Fabric.attach` when the
+        #: plane is installed); ``None`` keeps every verb on the fast path
+        self.tenancy = None
         #: DMA engine occupancy (absolute time the engine frees up)
         self._dma_free = 0
         #: DMA slowdown injected by the fault plane (1.0 = healthy); only

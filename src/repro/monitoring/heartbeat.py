@@ -26,7 +26,7 @@ from repro.transport.verbs import (
     MemoryRegionHandle,
     ProtectionDomain,
     QueuePair,
-    connect_qp,
+    connect_monitor_qp,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,7 +85,7 @@ class HeartbeatMonitor:
             pd = ProtectionDomain.for_node(be)
             self._mrs.append(pd.register(be.memory.get("kern.load"),
                                          AccessFlags.REMOTE_READ))
-            qp, _ = connect_qp(sim.frontend, be)
+            qp, _ = connect_monitor_qp(sim.frontend, be)
             self._qps.append(qp)
             self._last_ticks[be.index - 1] = None
             self._frozen_count[be.index - 1] = 0

@@ -19,7 +19,7 @@ from repro.transport.verbs import (
     MemoryRegionHandle,
     ProtectionDomain,
     QueuePair,
-    connect_qp,
+    connect_monitor_qp,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,7 +48,7 @@ class RdmaAsyncScheme(MonitoringScheme):
             region = be.memory.alloc(f"mon-buf:{self.name}", nbytes, value=None)
             pd = ProtectionDomain.for_node(be)
             self._mrs.append(pd.register(region, AccessFlags.REMOTE_READ))
-            qp_fe, _qp_be = connect_qp(self.frontend, be)
+            qp_fe, _qp_be = connect_monitor_qp(self.frontend, be)
             self._qps.append(qp_fe)
             self._posts.append(make_read_post(qp_fe, self._mrs[-1]))
             be.spawn(f"mon-calc:{be.name}", self._calc_body(be, region), nice=0)

@@ -28,7 +28,7 @@ from repro.transport.verbs import (
     ProtectionDomain,
     QueuePair,
     WqeBatch,
-    connect_qp,
+    connect_monitor_qp,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,7 +84,7 @@ class RdmaSyncScheme(MonitoringScheme):
             be.memory.get("kern.load"), AccessFlags.REMOTE_READ)
         self._irq_mrs[i] = imr = pd.register(
             be.memory.get("kern.irq_stat"), AccessFlags.REMOTE_READ)
-        qp_fe, _ = connect_qp(self.frontend, be)
+        qp_fe, _ = connect_monitor_qp(self.frontend, be)
         self._qps[i] = qp_fe
         self._calcs[i] = LoadCalculator(be.name)
         self._load_posts[i] = make_read_post(qp_fe, lmr)

@@ -28,7 +28,7 @@ from repro.transport.verbs import (
     MemoryRegionHandle,
     ProtectionDomain,
     QueuePair,
-    connect_qp,
+    connect_monitor_qp,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,7 +57,7 @@ class RdmaWritePushScheme(MonitoringScheme):
             handle = fe_pd.register(
                 region, AccessFlags.REMOTE_WRITE | AccessFlags.LOCAL_READ)
             self._regions.append(region)
-            _qp_fe, qp_be = connect_qp(self.frontend, be)
+            _qp_fe, qp_be = connect_monitor_qp(self.frontend, be)
             be.spawn(f"mon-push:{be.name}",
                      self._pusher_body(i, be, qp_be, handle, nbytes), nice=0)
 

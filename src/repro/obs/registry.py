@@ -35,14 +35,16 @@ from repro.obs.openmetrics import (
 #: quantiles every summary family exposes (matches the digest surface)
 DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
 
-#: telemetry ring-key grammar: ``b<i>.`` / ``s<j>.`` / ``sw<p>.`` prefixes
-_KEY_RE = re.compile(r"(sw|s|b)(\d+)\.(.+)\Z")
+#: telemetry ring-key grammar: ``b<i>.`` / ``s<j>.`` / ``sw<p>.`` /
+#: ``t<k>.`` prefixes (``sw`` must precede ``s`` in the alternation)
+_KEY_RE = re.compile(r"(sw|s|b|t)(\d+)\.(.+)\Z")
 
 #: ring-key prefix → (subsystem, entity label)
 _KEY_GROUPS = {
     "b": ("backend", "backend"),
     "s": ("shard", "shard"),
     "sw": ("switch", "port"),
+    "t": ("tenant", "tenant"),
 }
 
 _SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -179,6 +181,9 @@ class MetricsRegistry:
         congestion = getattr(cluster.sim, "congestion", None)
         if congestion is not None:
             reg.register(lambda: collect_congestion(reg, cluster.sim))
+        tenancy = getattr(cluster.sim, "tenancy", None)
+        if tenancy is not None:
+            reg.register(lambda: collect_tenancy(reg, cluster.sim))
         if cluster.faults is not None:
             reg.register(lambda: collect_faults(reg, cluster.faults))
         if cluster.heartbeat is not None:
@@ -297,6 +302,11 @@ _SERIES_HELP = {
     "ecn_rate": "cumulative ECN mark rate at the egress port",
     "pause_ns": "PFC pause issued by the egress port, nanoseconds",
     "rate": "DCQCN rate factor after a CNP cut",
+    "posted_mbps": "tenant attempted post rate over the window, MB/s",
+    "qp_creates": "tenant QP creation attempts in the window",
+    "icm_misses": "tenant ICM context-cache misses in the window",
+    "denied": "tenant verbs denied while quarantined, per window",
+    "offending": "1 while the window crossed an offend_* threshold",
 }
 
 
@@ -461,6 +471,60 @@ def collect_congestion(reg: MetricsRegistry, sim) -> List[MetricFamily]:
                 family.add(value, node=node.name)
         out.append(family)
     return out
+
+
+def collect_tenancy(reg: MetricsRegistry, sim) -> List[MetricFamily]:
+    """Per-tenant resource accounting and per-NIC context-cache state."""
+    plane = sim.tenancy
+    qps = reg.family("tenant_qps_active", "gauge",
+                     "Queue pairs currently held by the tenant.")
+    posted = reg.family("tenant_posted_bytes", "counter",
+                        "Bytes posted by the tenant's one-sided verbs.")
+    denied = reg.family("tenant_denied_ops", "counter",
+                        "Verb posts denied while the tenant was quarantined.")
+    qp_denied = reg.family("tenant_qp_denied", "counter",
+                           "QP creations rejected by admission.")
+    # "tenancy_" (not "tenant_") so the exact counter can never collide
+    # with the telemetry rollup summary built from the t<k>.icm_misses
+    # ring series — same rule as the federation_shard_* gauges.
+    misses = reg.family("tenancy_icm_misses", "counter",
+                        "ICM context-cache misses charged to the tenant.")
+    evictions = reg.family(
+        "tenant_icm_evictions_inflicted", "counter",
+        "Other tenants' hot ICM entries this tenant evicted.")
+    quarantined = reg.family("tenant_quarantined", "gauge",
+                             "1 while the defense loop quarantines the tenant.")
+    throttle = reg.family("tenant_police_bps", "gauge",
+                          "Defense-imposed byte-rate cap (0 = unthrottled).")
+    for tenant in plane.registry:
+        labels = {"tenant": tenant.tid, "name": tenant.name}
+        qps.add(tenant.qps_active, **labels)
+        posted.add(tenant.posted_bytes, **labels)
+        denied.add(tenant.denied_ops, **labels)
+        qp_denied.add(tenant.qp_denied, **labels)
+        misses.add(tenant.icm_misses, **labels)
+        evictions.add(tenant.icm_evictions_inflicted, **labels)
+        quarantined.add(1 if tenant.quarantined else 0, **labels)
+        throttle.add(tenant.police_bps, **labels)
+    actions = reg.family("tenancy_actions", "counter",
+                         "Defense sanctions by kind (throttle/quarantine/release).")
+    counts: Dict[str, int] = {}
+    for action in plane.actions:
+        counts[action["kind"]] = counts.get(action["kind"], 0) + 1
+    for kind in sorted(counts):
+        actions.add(counts[kind], kind=kind)
+    nic_hits = reg.family("nic_icm_hits", "counter",
+                          "ICM context-cache hits at the NIC.")
+    nic_misses = reg.family("nic_icm_misses", "counter",
+                            "ICM context-cache misses at the NIC.")
+    nic_qps = reg.family("nic_qp_table_entries", "gauge",
+                         "Occupied entries in the NIC's bounded QP table.")
+    for name, state in sorted(plane.stats()["nics"].items()):
+        nic_hits.add(state["icm_hits"], node=name)
+        nic_misses.add(state["icm_misses"], node=name)
+        nic_qps.add(state["qp_count"], node=name)
+    return [qps, posted, denied, qp_denied, misses, evictions, quarantined,
+            throttle, actions, nic_hits, nic_misses, nic_qps]
 
 
 def collect_faults(reg: MetricsRegistry, plane) -> List[MetricFamily]:

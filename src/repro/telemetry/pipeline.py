@@ -180,6 +180,53 @@ class TelemetryPipeline:
         plane.on_event = observer
         return self
 
+    def attach_tenancy(self, plane) -> "TelemetryPipeline":
+        """Per-tenant time series + offender alerts from a tenancy plane.
+
+        Chains onto the plane's ``on_event`` hook (keeps any existing
+        one). Each defense window feeds per-tenant attempted-rate rings
+        keyed ``t<k>.<metric>`` and evaluates a ``tenant-offender``
+        threshold rule. Tenant alerts are keyed ``backend =
+        -(1000 + k + 1)``: negative ids keep them disjoint from
+        per-back-end alerts (and the -1…-999 band shard rollups use),
+        and shedding policies never act on them.
+        """
+        if not any(r.name == "tenant-offender" for r in self.engine.rules):
+            self.engine.add_rule(ThresholdRule(
+                "tenant-offender", metric="offending", fire_above=0.5,
+                severity=Severity.WARNING, sheds=False))
+        previous = plane.on_event
+
+        def observer(event: dict) -> None:
+            if previous is not None:
+                previous(event)
+            self.observe_tenancy(event)
+
+        plane.on_event = observer
+        return self
+
+    def observe_tenancy(self, event: dict) -> None:
+        """Ingest one tenancy-plane event (per-tenant window / action)."""
+        if event.get("kind") != "tenant":
+            return  # sanction actions carry no samples
+        t = event["t"]
+        tid = event["tenant"]
+        sample = {
+            "posted_mbps": float(event["posted_mbps"]),
+            "qp_creates": float(event["qp_creates"]),
+            "icm_misses": float(event["icm_misses"]),
+            "denied": float(event["denied"]),
+            "offending": float(event["offending"]),
+        }
+        for metric, value in sample.items():
+            key = f"t{tid}.{metric}"
+            self.store.add(key, t, value)
+            digest = self._digests.get(key)
+            if digest is None:
+                digest = self._digests[key] = StreamingDigest(self.compression)
+            digest.update(value)
+        self.engine.observe(-(1000 + tid + 1), t, sample)
+
     def observe_congestion(self, plane, event: dict) -> None:
         """Ingest one congestion-plane event (enqueue / pause / cnp)."""
         kind = event["kind"]

@@ -1,0 +1,24 @@
+"""Multi-tenant NIC resource model and monitoring-driven defense.
+
+The plane (`TenancyPlane`) gives the cluster's RDMA fabric the shared
+NIC resources real multi-tenant deployments fight over:
+
+* a **bounded QP table** per NIC — tenants that churn queue pairs can
+  exhaust it (``cfg.tenancy.qp_table_size``);
+* an **ICM context cache** (:class:`repro.hw.nic.IcmCache`) — verbs
+  whose QP/MR state misses pay a PCIe refill penalty, and capacity is
+  shared so one tenant's working set evicts another's;
+* **per-tenant quotas and rate policing** enforced at verb-post time in
+  :mod:`repro.transport.verbs`;
+* a **closed defense loop** — per-tenant telemetry detects the
+  offender, the plane throttles then quarantines its QPs, and the
+  federation rebalances affected shards.
+
+Everything is off by default (``cfg.tenancy.enabled = False``) and the
+disabled plane is byte-identical to its absence (property-tested).
+"""
+
+from repro.tenancy.plane import TenancyPlane
+from repro.tenancy.registry import Tenant, TenantRegistry
+
+__all__ = ["Tenant", "TenantRegistry", "TenancyPlane"]

@@ -1,0 +1,113 @@
+"""Tenant identity: who owns which QP, MR, node, and byte.
+
+The registry is pure bookkeeping — no simulated time, no RNG draws —
+so it can never perturb determinism. Attribution is decided at object
+*creation* time: each node is bound to at most one owning tenant
+(``bind_node``) and every QP or MR created from that node is tagged
+with its owner; untagged resources belong to the built-in **system**
+tenant (tid 0), which is never policed, throttled, or quarantined —
+monitoring probes, RUBiS traffic and federation control flows all ride
+it unless an experiment says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass
+class Tenant:
+    """One tenant plus its live accounting and policing state."""
+
+    tid: int
+    name: str
+    #: max concurrently-live QPs this tenant may hold (0 = unlimited)
+    qp_quota: int = 0
+    #: sustained post rate in bytes/second (0 = unpoliced)
+    rate_bps: int = 0
+
+    # -- live resource accounting ------------------------------------
+    qps_active: int = 0
+    qp_creates: int = 0
+    qp_destroys: int = 0
+    qp_denied: int = 0
+    posted_ops: int = 0
+    posted_bytes: int = 0
+    denied_ops: int = 0
+    denied_bytes: int = 0
+    icm_misses: int = 0
+    #: entries this tenant evicted that belonged to *other* tenants
+    icm_evictions_inflicted: int = 0
+
+    # -- policing state (token spacing on the post path) -------------
+    #: absolute time the next post may enter the NIC
+    allowed_at: int = 0
+    #: defense-imposed rate cap (0 = none; overrides rate_bps when set)
+    police_bps: int = 0
+
+    # -- defense state -----------------------------------------------
+    quarantined: bool = False
+    strikes: int = 0
+    clean: int = 0
+
+    @property
+    def is_system(self) -> bool:
+        return self.tid == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tenant {self.tid}:{self.name} qps={self.qps_active}>"
+
+
+class TenantRegistry:
+    """Maps tenant ids to :class:`Tenant` and resources to owners."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[int, Tenant] = {}
+        self._by_name: Dict[str, Tenant] = {}
+        self._node_owners: Dict[str, Tenant] = {}
+        self._mr_owners: Dict[Tuple[str, int], Tenant] = {}
+        self.system = self.create("system")
+        assert self.system.tid == 0
+
+    # ------------------------------------------------------------------
+    def create(self, name: str, qp_quota: int = 0, rate_bps: int = 0) -> Tenant:
+        if name in self._by_name:
+            raise ValueError(f"tenant {name!r} already exists")
+        tenant = Tenant(tid=len(self._tenants), name=name,
+                        qp_quota=qp_quota, rate_bps=rate_bps)
+        self._tenants[tenant.tid] = tenant
+        self._by_name[name] = tenant
+        return tenant
+
+    def get(self, tid: int) -> Tenant:
+        return self._tenants[tid]
+
+    def by_name(self, name: str) -> Tenant:
+        return self._by_name[name]
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(sorted(self._tenants.values(), key=lambda t: t.tid))
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    # ------------------------------------------------------------------
+    # attribution
+    # ------------------------------------------------------------------
+    def bind_node(self, node_name: str, tenant: Tenant) -> None:
+        """Every QP/MR subsequently created from ``node_name`` is owned
+        by ``tenant`` (unless explicitly re-tagged)."""
+        self._node_owners[node_name] = tenant
+
+    def tenant_for_node(self, node_name: str) -> Tenant:
+        return self._node_owners.get(node_name, self.system)
+
+    def tag_qp(self, qp, tenant: Tenant) -> None:
+        qp.tenant = tenant
+
+    def tag_mr(self, node_name: str, rkey: int, tenant: Tenant) -> None:
+        self._mr_owners[(node_name, rkey)] = tenant
+
+    def tenant_for_mr(self, node_name: str, rkey: int) -> Optional[Tenant]:
+        return self._mr_owners.get((node_name, rkey))

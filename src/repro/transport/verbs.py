@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
 from repro.hw.memory import MemRegion
-from repro.sim.events import Event
+from repro.sim.events import Event, EventPriority
 from repro.sim.resources import Store
 from repro.tracing.span import STATUS_ERROR, STATUS_OK, tracer_for
 
@@ -41,6 +41,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class VerbsError(Exception):
     """Structural misuse of the verbs API (not a remote NAK)."""
+
+
+class TenancyError(VerbsError):
+    """Tenancy-plane admission rejected the operation (QP table full,
+    tenant quota exceeded, or the owning tenant is quarantined)."""
 
 
 class AccessFlags(enum.IntFlag):
@@ -63,6 +68,8 @@ class WcStatus(enum.Enum):
     #: receiver-not-ready NAK: transient, the initiator should back off
     #: and retry (injected by the fault plane's verb faults)
     RNR_RETRY = "rnr-retry"
+    #: the tenancy plane refused the post (owning tenant quarantined)
+    TENANT_DENIED = "tenant-denied"
 
 
 @dataclass(slots=True)
@@ -176,10 +183,38 @@ class QueuePair:
         self.peer: Optional["QueuePair"] = None
         #: remote protection domain, resolved once (stable per node)
         self._remote_pd = ProtectionDomain.for_node(remote)
+        #: per-node QP number (stable per same-seed run; the NIC's ICM
+        #: cache keys QP context by it)
+        qpn = getattr(local, "_next_qpn", 1)
+        local._next_qpn = qpn + 1
+        self.qpn = qpn
+        #: PFC service level for this QP's packets: 0 = bulk, 1 =
+        #: monitoring/control class that bypasses priority-0 pauses
+        self.service_level = 0
+        #: owning tenant (set by the tenancy plane; None when it's off)
+        self.tenant = None
+        self._destroyed = False
         #: statistics
         self.reads = 0
         self.writes = 0
         self.sends = 0
+        # Tenancy admission: a full QP table, an exceeded quota or a
+        # quarantined owner rejects the QP outright (TenancyError).
+        tn = local.nic.tenancy
+        if tn is not None:
+            tn.on_qp_create(self)
+
+    def destroy(self) -> None:
+        """Tear the QP down, freeing its QP-table slot (idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        tn = self.local.nic.tenancy
+        if tn is not None:
+            tn.on_qp_destroy(self)
+        if self.peer is not None and self.peer.peer is self:
+            self.peer.peer = None
+        self.peer = None
 
     # ------------------------------------------------------------------
     # memory semantics
@@ -248,6 +283,8 @@ class QueuePair:
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
+        tn = local_nic.tenancy
+        sl = self.service_level
         if ctx is None:  # untraced steady-state: skip span plumbing
             seg_mark = seg_finish = None
         else:
@@ -271,23 +308,36 @@ class QueuePair:
                 nak = faults.on_verb(self.local, self.remote, "read")
                 if nak is not None:
                     fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
-                                    lambda: complete(WorkCompletion("read", nak, wr_id)))
+                                    lambda: complete(WorkCompletion("read", nak, wr_id)),
+                                    prio=sl)
                     return
             pd = self._remote_pd
             handle = pd.lookup(rkey)
             if handle is None:
                 fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
-                                lambda: complete(WorkCompletion("read", WcStatus.INVALID_RKEY, wr_id)))
+                                lambda: complete(WorkCompletion("read", WcStatus.INVALID_RKEY, wr_id)),
+                                prio=sl)
                 return
             if not handle.access & AccessFlags.REMOTE_READ:
                 fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
-                                lambda: complete(WorkCompletion("read", WcStatus.REMOTE_ACCESS_ERROR, wr_id)))
+                                lambda: complete(WorkCompletion("read", WcStatus.REMOTE_ACCESS_ERROR, wr_id)),
+                                prio=sl)
                 return
             if nbytes > handle.nbytes:
                 fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
-                                lambda: complete(WorkCompletion("read", WcStatus.LENGTH_ERROR, wr_id)))
+                                lambda: complete(WorkCompletion("read", WcStatus.LENGTH_ERROR, wr_id)),
+                                prio=sl)
                 return
             dma_cost = cfg.nic_dma_service + (nbytes * cfg.nic_dma_per_kb) // 1024
+            tn_r = remote_nic.tenancy
+            if tn_r is not None:
+                # Target-side context: the responder fetches the QP's
+                # connection state and the MR's translation entry; a
+                # cold entry stalls the DMA on the PCIe refill.
+                owner = self.tenant if self.tenant is not None else tn_r.registry.system
+                dma_cost += tn_r.icm_touch(
+                    remote_nic, ("qp", self.local.name, self.qpn), owner)
+                dma_cost += tn_r.icm_touch(remote_nic, ("mr", rkey), owner)
 
             def dma_done() -> None:
                 if seg_mark is not None:
@@ -297,17 +347,35 @@ class QueuePair:
                 value = handle.region.read()
                 wc = WorkCompletion("read", WcStatus.SUCCESS, wr_id, value=value, nbytes=nbytes)
                 fabric.transmit(remote_nic, local_nic, nbytes + cfg.rdma_overhead_bytes,
-                                lambda: local_nic.dma_service(cfg.cqe_cost, lambda: complete(wc)))
+                                lambda: local_nic.dma_service(cfg.cqe_cost, lambda: complete(wc)),
+                                prio=sl)
 
             remote_nic.dma_service(dma_cost, dma_done)
 
         def wqe_done() -> None:
             if seg_mark is not None:
                 seg_mark("post", self.local.name, "nic")
-            fabric.transmit(local_nic, remote_nic, cfg.rdma_overhead_bytes, at_target)
+            fabric.transmit(local_nic, remote_nic, cfg.rdma_overhead_bytes, at_target,
+                            prio=sl)
 
-        # Initiator NIC: fetch WQE, emit request packet.
-        local_nic.dma_service(cfg.nic_wqe_service, wqe_done)
+        def launch() -> None:
+            # Initiator NIC: fetch the QP context (ICM) and the WQE,
+            # emit the request packet.
+            pen = tn.icm_touch(local_nic, ("qp", self.local.name, self.qpn),
+                               self.tenant) if tn is not None else 0
+            local_nic.dma_service(cfg.nic_wqe_service + pen, wqe_done)
+
+        if tn is None:
+            local_nic.dma_service(cfg.nic_wqe_service, wqe_done)
+        else:
+            verdict = tn.police(self, nbytes)
+            if verdict < 0:
+                env.call_later(1, lambda: complete(
+                    WorkCompletion("read", WcStatus.TENANT_DENIED, wr_id)))
+            elif verdict == 0:
+                launch()
+            else:
+                env.call_later(verdict, launch, priority=EventPriority.HIGH)
         return done
 
     def _post_write(self, rkey: int, value: Any, nbytes: int, ctx=None):
@@ -320,6 +388,8 @@ class QueuePair:
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
+        tn = local_nic.tenancy
+        sl = self.service_level
         if ctx is None:  # untraced steady-state: skip span plumbing
             seg_mark = seg_finish = None
         else:
@@ -341,7 +411,8 @@ class QueuePair:
                 nak = faults.on_verb(self.local, self.remote, "write")
                 if nak is not None:
                     fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
-                                    lambda: complete(WorkCompletion("write", nak, wr_id)))
+                                    lambda: complete(WorkCompletion("write", nak, wr_id)),
+                                    prio=sl)
                     return
             pd = self._remote_pd
             handle = pd.lookup(rkey)
@@ -356,9 +427,16 @@ class QueuePair:
                 status = WcStatus.LENGTH_ERROR
             if status is not WcStatus.SUCCESS:
                 fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
-                                lambda: complete(WorkCompletion("write", status, wr_id)))
+                                lambda: complete(WorkCompletion("write", status, wr_id)),
+                                prio=sl)
                 return
             dma_cost = cfg.nic_dma_service + (nbytes * cfg.nic_dma_per_kb) // 1024
+            tn_r = remote_nic.tenancy
+            if tn_r is not None:
+                owner = self.tenant if self.tenant is not None else tn_r.registry.system
+                dma_cost += tn_r.icm_touch(
+                    remote_nic, ("qp", self.local.name, self.qpn), owner)
+                dma_cost += tn_r.icm_touch(remote_nic, ("mr", rkey), owner)
 
             def dma_done() -> None:
                 if seg_mark is not None:
@@ -367,16 +445,33 @@ class QueuePair:
                 handle.region.write(value)
                 wc = WorkCompletion("write", WcStatus.SUCCESS, wr_id, nbytes=nbytes)
                 fabric.transmit(remote_nic, local_nic, cfg.rdma_overhead_bytes,
-                                lambda: local_nic.dma_service(cfg.cqe_cost, lambda: complete(wc)))
+                                lambda: local_nic.dma_service(cfg.cqe_cost, lambda: complete(wc)),
+                                prio=sl)
 
             remote_nic.dma_service(dma_cost, dma_done)
 
         def wqe_done() -> None:
             if seg_mark is not None:
                 seg_mark("post", self.local.name, "nic")
-            fabric.transmit(local_nic, remote_nic, nbytes + cfg.rdma_overhead_bytes, at_target)
+            fabric.transmit(local_nic, remote_nic, nbytes + cfg.rdma_overhead_bytes, at_target,
+                            prio=sl)
 
-        local_nic.dma_service(cfg.nic_wqe_service, wqe_done)
+        def launch() -> None:
+            pen = tn.icm_touch(local_nic, ("qp", self.local.name, self.qpn),
+                               self.tenant) if tn is not None else 0
+            local_nic.dma_service(cfg.nic_wqe_service + pen, wqe_done)
+
+        if tn is None:
+            local_nic.dma_service(cfg.nic_wqe_service, wqe_done)
+        else:
+            verdict = tn.police(self, nbytes)
+            if verdict < 0:
+                env.call_later(1, lambda: complete(
+                    WorkCompletion("write", WcStatus.TENANT_DENIED, wr_id)))
+            elif verdict == 0:
+                launch()
+            else:
+                env.call_later(verdict, launch, priority=EventPriority.HIGH)
         return done
 
     # ------------------------------------------------------------------
@@ -411,6 +506,8 @@ class QueuePair:
         local_nic, remote_nic = self.local.nic, self.remote.nic
         fabric = local_nic.fabric
         assert fabric is not None
+        tn = local_nic.tenancy
+        sl = self.service_level
 
         def complete(wc: WorkCompletion) -> None:
             wc.completed_at = env.now
@@ -419,7 +516,8 @@ class QueuePair:
         def respond(wc: WorkCompletion) -> None:
             fabric.transmit(remote_nic, local_nic, 8 + cfg.rdma_overhead_bytes,
                             lambda: local_nic.dma_service(cfg.cqe_cost,
-                                                          lambda: complete(wc)))
+                                                          lambda: complete(wc)),
+                            prio=sl)
 
         def at_target() -> None:
             faults = getattr(fabric, "faults", None)
@@ -436,6 +534,13 @@ class QueuePair:
             if not handle.access & AccessFlags.REMOTE_ATOMIC:
                 respond(WorkCompletion(op, WcStatus.REMOTE_ACCESS_ERROR, wr_id))
                 return
+            atomic_cost = cfg.nic_dma_service
+            tn_r = remote_nic.tenancy
+            if tn_r is not None:
+                owner = self.tenant if self.tenant is not None else tn_r.registry.system
+                atomic_cost += tn_r.icm_touch(
+                    remote_nic, ("qp", self.local.name, self.qpn), owner)
+                atomic_cost += tn_r.icm_touch(remote_nic, ("mr", rkey), owner)
 
             def dma_done() -> None:
                 assert handle is not None
@@ -451,13 +556,28 @@ class QueuePair:
                 respond(WorkCompletion(op, WcStatus.SUCCESS, wr_id,
                                        value=previous, nbytes=8))
 
-            remote_nic.dma_service(cfg.nic_dma_service, dma_done)
+            remote_nic.dma_service(atomic_cost, dma_done)
 
-        local_nic.dma_service(
-            cfg.nic_wqe_service,
-            lambda: fabric.transmit(local_nic, remote_nic,
-                                    16 + cfg.rdma_overhead_bytes, at_target),
-        )
+        def wqe_done() -> None:
+            fabric.transmit(local_nic, remote_nic,
+                            16 + cfg.rdma_overhead_bytes, at_target, prio=sl)
+
+        def launch() -> None:
+            pen = tn.icm_touch(local_nic, ("qp", self.local.name, self.qpn),
+                               self.tenant) if tn is not None else 0
+            local_nic.dma_service(cfg.nic_wqe_service + pen, wqe_done)
+
+        if tn is None:
+            local_nic.dma_service(cfg.nic_wqe_service, wqe_done)
+        else:
+            verdict = tn.police(self, 8)
+            if verdict < 0:
+                env.call_later(1, lambda: complete(
+                    WorkCompletion(op, WcStatus.TENANT_DENIED, wr_id)))
+            elif verdict == 0:
+                launch()
+            else:
+                env.call_later(verdict, launch, priority=EventPriority.HIGH)
         return done
 
     # ------------------------------------------------------------------
@@ -468,6 +588,12 @@ class QueuePair:
 
         The *peer's CPU* takes a completion interrupt — this is why the
         §6 multicast alternative is "not completely one-sided".
+
+        Channel semantics are deliberately outside tenancy rate
+        policing: the noisy-neighbor attack surface the tenancy plane
+        models is the *one-sided* fast path (no target CPU to push
+        back); two-sided traffic is already throttled by the target
+        host's own scheduling.
         """
         if self.peer is None:
             raise VerbsError("QP is not connected")
@@ -591,4 +717,20 @@ def connect_qp(a: "Node", b: "Node") -> tuple:
     qa = QueuePair(a, b)
     qb = QueuePair(b, a)
     qa.peer, qb.peer = qb, qa
+    return qa, qb
+
+
+def connect_monitor_qp(a: "Node", b: "Node") -> tuple:
+    """Connect a QP carrying monitoring/control traffic.
+
+    Identical to :func:`connect_qp` unless
+    ``cfg.congestion.monitor_priority`` is set, in which case both ends
+    ride PFC service level 1: probe requests and responses keep
+    draining while a port's bulk (priority-0) traffic is paused, so
+    tenant floods and tenancy throttling can never stall monitoring.
+    """
+    qa, qb = connect_qp(a, b)
+    if a.cfg.congestion.monitor_priority:
+        qa.service_level = 1
+        qb.service_level = 1
     return qa, qb

@@ -5,6 +5,12 @@ from repro.workloads.zipf import ZipfWorkload, zipf_weights
 from repro.workloads.background import spawn_background_load
 from repro.workloads.floatapp import FloatApp
 from repro.workloads.openloop import OpenLoopWorkload
+from repro.workloads.tenants import (
+    spawn_cache_thrash_walker,
+    spawn_incast_tenants,
+    spawn_qp_churn_flood,
+    spawn_read_blaster,
+)
 from repro.workloads.traces import TraceEntry, TraceRecorder, TraceReplayer
 
 __all__ = [
@@ -18,5 +24,9 @@ __all__ = [
     "TraceReplayer",
     "ZipfWorkload",
     "spawn_background_load",
+    "spawn_cache_thrash_walker",
+    "spawn_incast_tenants",
+    "spawn_qp_churn_flood",
+    "spawn_read_blaster",
     "zipf_weights",
 ]

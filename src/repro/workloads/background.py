@@ -8,18 +8,18 @@ messages to an echo thread on the loaded server — generating the NIC
 interrupts and softirq processing that two-sided monitoring must queue
 behind.
 
-:func:`spawn_incast_tenants` is the congestion experiments' heavy
-tenant: *open-loop* one-sided RDMA writes from many sources converging
-on one port — the classic incast pattern that fills the victim's egress
-queue regardless of how slowly the victim drains it.
+Tenant-shaped RDMA load (the incast tenant and the noisy-neighbor
+attacks) lives in :mod:`repro.workloads.tenants`;
+``spawn_incast_tenants`` is re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List
 
 from repro.sim.units import MICROSECOND, MILLISECOND
 from repro.transport.sockets import socket_pair
+from repro.workloads.tenants import spawn_incast_tenants  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
@@ -83,61 +83,4 @@ def spawn_background_load(
 
         tasks.append(node.spawn(f"bg-comm:{node.name}:{i}", echo_body))
         peer.spawn(f"bg-pump:{peer.name}:{node.name}:{i}", pump_body)
-    return tasks
-
-
-def spawn_incast_tenants(
-    sim: "ClusterSim",
-    target: "Node",
-    sources: "Sequence[Node]",
-    flows_per_source: int = 1,
-    message_bytes: int = 8192,
-    interval: int = 50 * MICROSECOND,
-    label: str = "incast",
-) -> List["Task"]:
-    """Blast ``target`` with open-loop one-sided writes from ``sources``.
-
-    Each flow posts a ``message_bytes`` RDMA write every ``interval`` ns
-    (jittered per-flow) *without waiting for completions* — an open loop,
-    so offered load is ``len(sources) * flows_per_source *
-    message_bytes / interval`` regardless of congestion. Once that
-    exceeds the target's link rate its egress queue grows without bound
-    unless PFC or DCQCN pushes back: exactly the incast the congestion
-    experiments measure. Returns the sender tasks.
-    """
-    # Deferred: keep the verbs import off this module's socket-only path.
-    from repro.transport.verbs import AccessFlags, ProtectionDomain, connect_qp
-
-    if flows_per_source <= 0:
-        raise ValueError("flows_per_source must be positive")
-    region_name = f"{label}:sink"
-    if region_name not in target.memory:
-        target.memory.alloc(region_name, message_bytes)
-    mr = ProtectionDomain.for_node(target).register(
-        target.memory.get(region_name), AccessFlags.REMOTE_WRITE)
-    doorbell = sim.cfg.net.doorbell_cost
-    tasks: List["Task"] = []
-    for src in sources:
-        for f in range(flows_per_source):
-            qp, _ = connect_qp(src, target)
-
-            def blast_body(k, qp=qp, salt=f, src_name=src.name):
-                rng = sim.rng.stream(f"{label}:{src_name}:{salt}")
-                yield k.sleep(int(rng.integers(0, max(1, interval))))
-                start = k.now
-                sent = 0
-                while True:
-                    # Open loop in *time*, not in wakeups: post however
-                    # many intervals have elapsed (catch-up), so a
-                    # CPU-starved sender still offers the configured
-                    # load — one doorbell covers the whole batch.
-                    due = (k.now - start) // interval + 1
-                    while sent < due:
-                        # Fire and forget: nobody waits on completions.
-                        qp._post_write(mr.rkey, "tenant", message_bytes)
-                        sent += 1
-                    yield k.compute(doorbell, mode="user")
-                    yield k.sleep(max(1, start + sent * interval - k.now))
-
-            tasks.append(src.spawn(f"{label}:{src.name}:{f}", blast_body))
     return tasks

@@ -1,0 +1,119 @@
+"""NIC resource model: ICM cache LRU mechanics and the bounded QP table."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.hw.nic import IcmCache
+from repro.transport.verbs import TenancyError, connect_qp
+
+
+def _cluster(**knobs):
+    cfg = SimConfig(num_backends=2, master_seed=7)
+    cfg.tenancy.enabled = True
+    for key, value in knobs.items():
+        setattr(cfg.tenancy, key, value)
+    return build_cluster(cfg)
+
+
+# ---------------------------------------------------------------- IcmCache
+def test_icm_cache_needs_capacity():
+    with pytest.raises(ValueError, match="at least one"):
+        IcmCache(0)
+
+
+def test_icm_hit_miss_and_lru_eviction():
+    cache = IcmCache(2)
+    ka, kb, kc = ("qp", "n", 1), ("qp", "n", 2), ("mr", 3)
+    assert cache.access(ka, owner=1) == (True, None)   # cold miss
+    assert cache.access(ka, owner=1) == (False, None)  # hot hit
+    assert cache.access(kb, owner=2) == (True, None)
+    # Re-touch ka so kb becomes the LRU entry; a third key evicts it.
+    cache.access(ka, owner=1)
+    missed, evicted = cache.access(kc, owner=2)
+    assert missed
+    assert evicted == (kb, 2)  # kb is LRU after ka's re-touch
+    assert len(cache) == 2
+    assert cache.hits == 2 and cache.misses == 3 and cache.evictions == 1
+
+
+def test_icm_eviction_reports_displaced_owner():
+    cache = IcmCache(1)
+    cache.access(("qp", "n", 1), owner=5)
+    missed, evicted = cache.access(("qp", "n", 2), owner=6)
+    assert missed and evicted == (("qp", "n", 1), 5)
+
+
+def test_icm_invalidate_frees_the_slot():
+    cache = IcmCache(1)
+    key = ("qp", "n", 1)
+    cache.access(key, owner=1)
+    cache.invalidate(key)
+    assert len(cache) == 0
+    cache.invalidate(key)  # idempotent
+    assert cache.access(key, owner=1) == (True, None)
+
+
+# ---------------------------------------------------------- bounded QP table
+def test_qp_table_fills_and_rejects():
+    sim = _cluster(qp_table_size=4)
+    src, dst = sim.clients, sim.backends[0]
+    pairs = [connect_qp(src, dst) for _ in range(4)]
+    with pytest.raises(TenancyError, match="QP table full"):
+        connect_qp(src, dst)
+    # The denial was charged to the owner (system here — nothing bound).
+    assert sim.tenancy.registry.system.qp_denied >= 1
+    # Destroying a pair frees slots on both NICs; creation works again.
+    qa, qb = pairs.pop()
+    qa.destroy()
+    qb.destroy()
+    connect_qp(src, dst)
+
+
+def test_qp_quota_binds_only_the_owning_tenant():
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    tenant = sim.tenancy.create_tenant("greedy", node=src, qp_quota=2)
+    connect_qp(src, dst)
+    connect_qp(src, dst)
+    assert tenant.qps_active == 2
+    with pytest.raises(TenancyError, match="quota"):
+        connect_qp(src, dst)
+    assert tenant.qp_denied == 1
+    # Other nodes are unaffected: their QPs belong to the system tenant.
+    connect_qp(sim.frontend, dst)
+
+
+def test_destroy_is_idempotent_and_frees_quota():
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    tenant = sim.tenancy.create_tenant("t", node=src, qp_quota=1)
+    qa, qb = connect_qp(src, dst)
+    with pytest.raises(TenancyError):
+        connect_qp(src, dst)
+    qa.destroy()
+    qa.destroy()  # second destroy is a no-op, not a double-free
+    qb.destroy()
+    assert tenant.qps_active == 0 and tenant.qp_destroys == 1
+    connect_qp(src, dst)
+    assert tenant.qps_active == 1
+
+
+def test_quarantined_tenant_cannot_create_qps():
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    tenant = sim.tenancy.create_tenant("evil", node=src)
+    tenant.quarantined = True
+    with pytest.raises(TenancyError, match="quarantined"):
+        connect_qp(src, dst)
+    assert tenant.qp_denied == 1
+
+
+def test_plane_stats_track_nic_state():
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    connect_qp(src, dst)
+    stats = sim.tenancy.stats()
+    assert stats["nics"][src.nic.name]["qp_count"] == 1
+    assert stats["nics"][dst.nic.name]["qp_count"] == 1
+    assert stats["tenants"][0]["name"] == "system"

@@ -1,0 +1,165 @@
+"""Verb-post policing: denial, token spacing, refill penalties, immunity."""
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.sim.units import ms
+from repro.transport.verbs import (
+    AccessFlags,
+    ProtectionDomain,
+    WcStatus,
+    connect_qp,
+)
+
+
+def _cluster(**knobs):
+    cfg = SimConfig(num_backends=2, master_seed=7)
+    cfg.tenancy.enabled = True
+    for key, value in knobs.items():
+        setattr(cfg.tenancy, key, value)
+    return build_cluster(cfg)
+
+
+def _advance(sim, dt):
+    """ClusterSim.run takes an absolute horizon; step forward by dt."""
+    sim.run(sim.env.now + dt)
+
+
+def _mr(target, name, nbytes=4096):
+    if name not in target.memory:
+        target.memory.alloc(name, nbytes)
+    return ProtectionDomain.for_node(target).register(
+        target.memory.get(name), AccessFlags.REMOTE_READ)
+
+
+def _completions(*events):
+    """Collect (time, WorkCompletion) as each event fires."""
+    out = []
+    for ev in events:
+        ev.callbacks.append(lambda e: out.append((e.env.now, e.value)))
+    return out
+
+
+def test_quarantined_post_denied_without_touching_the_wire():
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    tenant = sim.tenancy.create_tenant("evil", node=src)
+    mr = _mr(dst, "sink")
+    qp, _ = connect_qp(src, dst)
+    tenant.quarantined = True
+
+    target_misses = dst.nic.tenancy.stats()["nics"][dst.nic.name]["icm_misses"]
+    done = _completions(qp._post_read(mr.rkey, 4096))
+    _advance(sim, ms(1))
+
+    assert len(done) == 1
+    t, wc = done[0]
+    assert wc.status is WcStatus.TENANT_DENIED
+    assert tenant.denied_ops == 1 and tenant.denied_bytes == 4096
+    assert tenant.posted_ops == 0 and tenant.posted_bytes == 0
+    # The target NIC never saw the verb: no new context-cache traffic.
+    assert sim.tenancy.stats()["nics"][dst.nic.name]["icm_misses"] \
+        == target_misses
+
+
+def test_rate_policing_spaces_posts_by_token_arithmetic():
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    # 1 MB/s: a 1000-byte verb earns 1 ms of spacing.
+    tenant = sim.tenancy.create_tenant("slow", node=src, rate_bps=1_000_000)
+    mr = _mr(dst, "sink")
+    qp, _ = connect_qp(src, dst)
+
+    done = _completions(qp._post_read(mr.rkey, 1000),
+                        qp._post_read(mr.rkey, 1000),
+                        qp._post_read(mr.rkey, 1000))
+    _advance(sim, ms(10))
+
+    assert [wc.status for _, wc in done] == [WcStatus.SUCCESS] * 3
+    t1, t2, t3 = (t for t, _ in done)
+    # Posts launch at 0, 1ms, 2ms; wire time is identical, so the
+    # completions carry the spacing.
+    assert t2 - t1 >= int(0.9 * ms(1))
+    assert t3 - t2 >= int(0.9 * ms(1))
+    assert tenant.posted_ops == 3
+
+
+def test_unpoliced_tenant_posts_back_to_back():
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    sim.tenancy.create_tenant("free", node=src)  # rate_bps=0
+    mr = _mr(dst, "sink")
+    qp, _ = connect_qp(src, dst)
+    done = _completions(qp._post_read(mr.rkey, 1000),
+                        qp._post_read(mr.rkey, 1000))
+    _advance(sim, ms(10))
+    t1, t2 = (t for t, _ in done)
+    assert t2 - t1 < ms(1) // 2
+
+
+def test_system_tenant_is_never_policed():
+    """Even with hostile state scribbled onto it, tid 0 is immune —
+    monitoring and infrastructure flows cannot be denied or delayed."""
+    sim = _cluster()
+    src, dst = sim.clients, sim.backends[0]
+    mr = _mr(dst, "sink")
+    qp, _ = connect_qp(src, dst)  # unbound node -> system tenant
+    system = sim.tenancy.registry.system
+    assert qp.tenant is system
+    system.quarantined = True
+    system.police_bps = 1  # absurd cap; must be ignored
+    done = _completions(qp._post_read(mr.rkey, 4096),
+                        qp._post_read(mr.rkey, 4096))
+    _advance(sim, ms(5))
+    assert [wc.status for _, wc in done] == [WcStatus.SUCCESS] * 2
+    t1, t2 = (t for t, _ in done)
+    assert t2 - t1 < ms(1)
+    assert system.denied_ops == 0 and system.posted_ops == 2
+
+
+def test_cold_context_pays_icm_refill_penalty():
+    sim = _cluster(icm_entries=8)
+    penalty = sim.cfg.tenancy.icm_miss_penalty
+    src, dst = sim.clients, sim.backends[0]
+    mr = _mr(dst, "sink")
+    qp, _ = connect_qp(src, dst)
+
+    t0 = sim.env.now
+    first = _completions(qp._post_read(mr.rkey, 64))
+    _advance(sim, ms(2))
+    t1 = sim.env.now
+    second = _completions(qp._post_read(mr.rkey, 64))
+    _advance(sim, ms(2))
+
+    lat1 = first[0][0] - t0
+    lat2 = second[0][0] - t1
+    # Cold run: initiator QP context + target QP and MR contexts all
+    # miss (3 refills); warm run hits everywhere.
+    assert lat1 - lat2 >= 2 * penalty
+    stats = sim.tenancy.stats()["nics"]
+    assert stats[src.nic.name]["icm_misses"] == 1
+    assert stats[dst.nic.name]["icm_misses"] == 2
+    assert stats[src.nic.name]["icm_hits"] == 1
+    assert stats[dst.nic.name]["icm_hits"] == 2
+
+
+def test_thrashing_tenant_inflicts_evictions_on_others():
+    sim = _cluster(icm_entries=4)
+    src, dst = sim.clients, sim.backends[0]
+    victim_src = sim.frontend
+    thrasher = sim.tenancy.create_tenant("thrash", node=src)
+    vqp, _ = connect_qp(victim_src, dst)
+    mr = _mr(dst, "sink")
+    vmr = _mr(dst, "victim")
+    # Warm the victim's contexts, then walk a larger working set.
+    vqp._post_read(vmr.rkey, 64)
+    _advance(sim, ms(1))
+    qp, _ = connect_qp(src, dst)
+    mrs = [_mr(dst, f"w{i}", 64) for i in range(8)]
+    for m in mrs:
+        qp._post_read(m.rkey, 64)
+    _advance(sim, ms(2))
+    assert thrasher.icm_evictions_inflicted > 0
+    before = sim.tenancy.registry.system.icm_misses
+    vqp._post_read(vmr.rkey, 64)  # victim now pays the refill again
+    _advance(sim, ms(1))
+    assert sim.tenancy.registry.system.icm_misses > before

@@ -1,0 +1,83 @@
+"""Tenant identity and attribution bookkeeping (pure, no sim time)."""
+
+import pytest
+
+from repro.tenancy.registry import Tenant, TenantRegistry
+
+
+def test_system_tenant_is_builtin_tid_zero():
+    reg = TenantRegistry()
+    assert reg.system.tid == 0
+    assert reg.system.is_system
+    assert reg.system.name == "system"
+    assert len(reg) == 1
+    assert reg.get(0) is reg.system
+    assert reg.by_name("system") is reg.system
+
+
+def test_create_assigns_sequential_ids_and_knobs():
+    reg = TenantRegistry()
+    a = reg.create("alpha", qp_quota=4, rate_bps=1_000_000)
+    b = reg.create("beta")
+    assert (a.tid, b.tid) == (1, 2)
+    assert not a.is_system
+    assert a.qp_quota == 4 and a.rate_bps == 1_000_000
+    assert b.qp_quota == 0 and b.rate_bps == 0
+    assert reg.get(1) is a and reg.by_name("beta") is b
+
+
+def test_duplicate_name_rejected():
+    reg = TenantRegistry()
+    reg.create("alpha")
+    with pytest.raises(ValueError, match="alpha"):
+        reg.create("alpha")
+    with pytest.raises(ValueError):
+        reg.create("system")
+
+
+def test_unknown_lookups_raise():
+    reg = TenantRegistry()
+    with pytest.raises(KeyError):
+        reg.by_name("ghost")
+    with pytest.raises(KeyError):
+        reg.get(99)
+
+
+def test_iteration_is_sorted_by_tid():
+    reg = TenantRegistry()
+    names = ["c", "a", "b"]
+    for name in names:
+        reg.create(name)
+    assert [t.tid for t in reg] == [0, 1, 2, 3]
+    assert [t.name for t in reg] == ["system", "c", "a", "b"]
+
+
+def test_node_binding_with_system_fallback():
+    reg = TenantRegistry()
+    a = reg.create("alpha")
+    reg.bind_node("backend0", a)
+    assert reg.tenant_for_node("backend0") is a
+    # Unbound nodes belong to the system tenant — never policed.
+    assert reg.tenant_for_node("backend1") is reg.system
+
+
+def test_qp_and_mr_tagging():
+    reg = TenantRegistry()
+    a = reg.create("alpha")
+
+    class _Qp:
+        tenant = None
+
+    qp = _Qp()
+    reg.tag_qp(qp, a)
+    assert qp.tenant is a
+    reg.tag_mr("backend0", 7, a)
+    assert reg.tenant_for_mr("backend0", 7) is a
+    assert reg.tenant_for_mr("backend0", 8) is None
+    assert reg.tenant_for_mr("backend1", 7) is None
+
+
+def test_fresh_tenant_accounting_starts_clean():
+    t = Tenant(tid=3, name="x")
+    assert t.qps_active == 0 and t.posted_bytes == 0 and t.denied_ops == 0
+    assert not t.quarantined and t.strikes == 0 and t.police_bps == 0

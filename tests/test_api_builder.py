@@ -133,6 +133,9 @@ def test_chain_method_typos_get_suggestions(method, typo, suggestion):
 
 @pytest.mark.parametrize("method,typo,suggestion", [
     ("congestion", {"ecn_kmn": 1024}, "ecn_kmin"),
+    ("tenancy", {"icm_entrees": 16}, "icm_entries"),
+    ("tenancy", {"qp_table_sze": 64}, "qp_table_size"),
+    ("tenancy", {"defence": True}, "defense"),
     ("observability", {"namespce": "x"}, "namespace"),
     ("observability", {"http_prt": 9090}, "http_port"),
     ("observability", {"snapshot_dr": "/tmp"}, "snapshot_dir"),

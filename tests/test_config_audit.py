@@ -40,7 +40,7 @@ def test_no_suggestion_for_garbage_names():
 def test_every_section_is_audited():
     cfg = SimConfig()
     for section in ("cpu", "irq", "syscall", "net", "server", "monitor",
-                    "tracing", "federation", "profile"):
+                    "tracing", "federation", "profile", "tenancy"):
         with pytest.raises(AttributeError):
             setattr(getattr(cfg, section), "not_a_field", 1)
     with pytest.raises(AttributeError):
@@ -89,3 +89,28 @@ def test_profile_validation():
 def test_profile_config_is_audited():
     with pytest.raises(TypeError, match="did you mean 'enabled'"):
         ProfileConfig(enabeld=True)
+
+
+def test_tenancy_config_defaults_off_and_audited():
+    from repro.config import TenancyConfig
+
+    cfg = SimConfig()
+    assert cfg.tenancy.enabled is False
+    cfg.validate()
+    with pytest.raises(AttributeError, match="did you mean 'icm_entries'"):
+        cfg.tenancy.icm_entrees = 16
+    with pytest.raises(TypeError, match="did you mean 'qp_table_size'"):
+        TenancyConfig(qp_table_sze=64)
+
+
+def test_tenancy_validation():
+    cfg = SimConfig()
+    cfg.tenancy.enabled = True
+    cfg.validate()
+    cfg.tenancy.icm_entries = 0
+    with pytest.raises(ValueError, match="tenancy"):
+        cfg.validate()
+    cfg.tenancy.icm_entries = 8
+    cfg.tenancy.qp_table_size = 0
+    with pytest.raises(ValueError, match="tenancy"):
+        cfg.validate()
