@@ -1,0 +1,87 @@
+"""Benchmark: flash-crowd replay vs monitoring-driven elastic scaling.
+
+Runs the full :mod:`repro.experiments.elastic_replay` matrix — scaler
+view in {fine-grained RDMA scheme, Ganglia} x scaler {on, off}, every
+cell replaying the identical synthetic flash-crowd trace against a
+cluster that starts with half its back-ends parked — and asserts the
+headline claims:
+
+* **reaction** — both elastic arms react to the spike, and the
+  fine-grained view reacts measurably sooner than the Ganglia view
+  (whose first scale-up waits out gmond collection plus gmetad
+  aggregation);
+* **payoff** — the fine-grained elastic arm's spike-window p95 beats
+  the Ganglia elastic arm's, and each elastic arm beats its own pinned
+  (scaler-off) baseline on tail latency and overload-window duration;
+* **stability** — no arm scales on the pre-spike baseline, and the
+  pinned arms never move at all.
+
+Emits ``results/BENCH_replay.json`` — the machine-readable baseline.
+"""
+
+from conftest import run_once, write_bench
+
+from repro.analysis.report import format_series
+from repro.experiments import elastic_replay
+
+#: fine-grained first scale-up lands within this many ms of spike onset
+FINE_LAG_MAX_MS = 600.0
+#: the Ganglia arm must trail the fine arm by at least one gmond cycle
+VIEW_LAG_GAP_MS = elastic_replay.GMOND_INTERVAL / 1e6
+#: elastic arms improve spike-window p95 over pinned by at least this factor
+ELASTIC_P95_GAIN = 1.2
+#: fine view beats the coarse view on spike-window p95 by at least this
+VIEW_P95_GAIN = 1.5
+
+
+def test_elastic_replay(benchmark, record, results_dir):
+    result = run_once(benchmark, lambda: elastic_replay.run())
+    record("elastic_replay", format_series(
+        "view", result.xs, result.series,
+        title="Elastic replay — flash-crowd reaction per monitoring view",
+    ) + "\n\n" + result.notes)
+
+    write_bench(results_dir, "replay", {
+        "experiment": result.name,
+        "params": result.params,
+        "xs": result.xs,
+        "series": result.series,
+        "cells": result.tables,
+    })
+
+    cells = result.tables
+    fine_on = cells["rdma-sync:on"]
+    fine_off = cells["rdma-sync:off"]
+    coarse_on = cells["ganglia:on"]
+    coarse_off = cells["ganglia:off"]
+
+    # Pinned arms are genuinely pinned; elastic arms react; nobody
+    # scales before the spike (reaction lag is measured from onset, so
+    # a pre-spike move would show up as a negative lag).
+    for row in (fine_off, coarse_off):
+        assert not row["reacted"], row
+        assert row["scale_ups"] == 0 and row["scale_downs"] == 0, row
+    for row in (fine_on, coarse_on):
+        assert row["reacted"], row
+        assert row["reaction_lag_ms"] > 0, row
+        assert row["active_final"] > row["scale_downs"] + 2, row
+
+    # The headline gap: millisecond-fresh monitoring reacts sooner than
+    # second-scale collection + aggregation, by at least one gmond cycle.
+    assert fine_on["reaction_lag_ms"] <= FINE_LAG_MAX_MS, fine_on
+    assert (fine_on["reaction_lag_ms"] + VIEW_LAG_GAP_MS
+            <= coarse_on["reaction_lag_ms"]), (fine_on, coarse_on)
+
+    # The reaction pays: each elastic arm beats its own pinned baseline
+    # on spike-window tail latency and on the overload window its own
+    # view records, and the fine view beats the coarse one outright.
+    for on, off in ((fine_on, fine_off), (coarse_on, coarse_off)):
+        assert on["spike_p95_ms"] * ELASTIC_P95_GAIN <= off["spike_p95_ms"], \
+            (on, off)
+        assert on["overload_ms"] < off["overload_ms"], (on, off)
+    assert fine_on["spike_p95_ms"] * VIEW_P95_GAIN <= coarse_on["spike_p95_ms"], \
+        (fine_on, coarse_on)
+
+    # Same offered load everywhere: the replayed trace is identical.
+    entries = {row["trace_entries"] for row in cells.values()}
+    assert len(entries) == 1, cells

@@ -88,6 +88,7 @@ class ClusterBuilder:
         self._heartbeat_interval = 50_000_000
         self._heartbeat_timeout = 10_000_000
         self._heartbeat_hung_after = 2
+        self._workloads: list = []
         self._built = False
 
     # -- knobs ----------------------------------------------------------
@@ -235,6 +236,45 @@ class ClusterBuilder:
             setattr(obs, name, value)
         return self
 
+    def with_elastic_scaler(self, **knobs) -> "ClusterBuilder":
+        """Enable monitoring-driven elastic autoscaling (see server.reconfig).
+
+        Keywords are ``cfg.scaler`` knobs (``high_water=...``,
+        ``low_water=...``, ``initial_active=...``, ``up_after=...``,
+        ``cooldown=...``, ...); a mistyped name raises immediately with
+        a did-you-mean hint, courtesy of the audited config schema.
+        ``enabled`` is implied — calling this method at all installs an
+        :class:`~repro.server.reconfig.ElasticScaler` driven by
+        whichever monitoring view the dispatcher consults (the
+        federated root when federation is on, the flat front-end poller
+        otherwise). The built cluster's ``scaler`` handle carries the
+        scale-event log and load samples.
+        """
+        sc = self._cfg.scaler
+        sc.enabled = True
+        for name, value in knobs.items():
+            setattr(sc, name, value)
+        return self
+
+    def workload(self, name: str, **kwargs) -> "ClusterBuilder":
+        """Queue a registered workload to start as part of ``build()``.
+
+        ``name`` is a :mod:`repro.workloads` registry entry
+        (``"rubis"``, ``"openloop"``, ``"replay"``, ``"background"``,
+        ``"incast"``, ...); keywords are that workload's parameters —
+        both are validated *here*, at chain time, with did-you-mean
+        hints, so a typo fails where it was written rather than deep in
+        ``build()``. Node-valued parameters accept back-end indices.
+        The instantiated workloads land in the built cluster's
+        ``workloads`` list, in chain order.
+        """
+        from repro.workloads import _audit_workload_kwargs, get_workload_spec
+
+        spec = get_workload_spec(name)
+        _audit_workload_kwargs(spec, kwargs)
+        self._workloads.append((spec, kwargs))
+        return self
+
     def with_federation(self, *, num_shards: int = 0,
                         leaf_interval: int = 0,
                         root_interval: int = 0,
@@ -340,6 +380,28 @@ class ClusterBuilder:
                 # routing routes around the noisy neighborhood.
                 sim.tenancy.federation = federation
 
+        scaler = None
+        if cfg.scaler.enabled:
+            from repro.server.reconfig import ElasticScaler  # deferred: opt-in
+            sc = cfg.scaler
+            scaler = ElasticScaler(
+                sim,
+                view=(federation.root if federation is not None else monitor),
+                interval=(sc.interval or cfg.monitor.interval),
+                high_water=sc.high_water,
+                low_water=sc.low_water,
+                initial_active=sc.initial_active,
+                min_active=sc.min_active,
+                max_active=sc.max_active,
+                up_after=sc.up_after,
+                down_after=sc.down_after,
+                cooldown=sc.cooldown,
+                federation=federation,
+                health=heartbeat,
+            )
+            if telemetry is not None:
+                telemetry.attach_scaler(scaler)
+
         if federation is not None:
             balancer = TwoLevelBalancer(
                 federation.topology,
@@ -369,10 +431,22 @@ class ClusterBuilder:
             sim.frontend, servers, balancer,
             monitor=(federation.root if federation is not None else monitor),
             admission=admission,
-            health=heartbeat,
+            health=(scaler if scaler is not None else heartbeat),
             telemetry=(telemetry if self._alert_shedding else None),
         )
         dispatcher.start()
+        workloads = []
+        if self._workloads:
+            from repro.workloads import create_workload
+
+            for spec, kwargs in self._workloads:
+                obj = create_workload(
+                    spec.name, sim,
+                    dispatcher=(dispatcher if spec.needs_dispatcher else None),
+                    **kwargs)
+                if spec.needs_start:
+                    obj.start()
+                workloads.append(obj)
         cluster = RubisCluster(
             sim=sim,
             servers=servers,
@@ -385,6 +459,8 @@ class ClusterBuilder:
             faults=faults,
             heartbeat=heartbeat,
             federation=federation,
+            scaler=scaler,
+            workloads=workloads,
         )
         if cfg.obs.enabled:
             from repro.obs import Observability  # deferred: heavy-ish, opt-in

@@ -463,6 +463,67 @@ class TracingConfig:
 
 @audited
 @dataclass
+class ReplayConfig:
+    """Trace replay defaults (see :mod:`repro.workloads.traces`).
+
+    Default-inert: nothing reads these knobs unless a
+    :class:`~repro.workloads.traces.TraceReplayer` is constructed
+    through the workload registry (``builder.workload("replay", ...)``),
+    so every historical run stays byte-identical (property-tested, like
+    the other planes). The knobs are the replayer's constructor defaults
+    — explicit keyword arguments always win.
+    """
+
+    #: replay clock factor: < 1 compresses time (stress), > 1 stretches
+    time_scale: float = 1.0
+    #: arrival amplification: 2.0 doubles every arrival, 0.5 thins the
+    #: trace to half — fractional parts are resolved on the dedicated
+    #: ``replay:load-scale`` RNG stream
+    load_scale: float = 1.0
+    #: client tasks the trace is round-robined across
+    injectors: int = 16
+    #: per-injector patience when draining straggler responses, ns
+    drain_timeout: int = 200 * MS
+
+
+@audited
+@dataclass
+class ScalerConfig:
+    """Elastic autoscaling (see :class:`repro.server.reconfig.ElasticScaler`).
+
+    Default-off: with ``enabled=False`` no scaler is constructed, the
+    dispatcher's health chain is untouched and every historical run
+    stays byte-identical (property-tested). When on, a reserve of
+    parked back-ends is held out of dispatch and the scaler
+    releases/parks them as the monitored mean load crosses the
+    watermarks, triggering a federation ``rebalance`` on every
+    membership change when the fabric is deployed.
+    """
+
+    #: master switch for the elastic scaler
+    enabled: bool = False
+    #: evaluation period, ns; 0 = cfg.monitor.interval
+    interval: int = 0
+    #: scale up when mean active load exceeds this ...
+    high_water: float = 0.75
+    #: ... and down when it falls below this
+    low_water: float = 0.35
+    #: back-ends serving at t=0; 0 = all (no reserve)
+    initial_active: int = 0
+    #: floor on the active set
+    min_active: int = 1
+    #: ceiling on the active set; 0 = num_backends
+    max_active: int = 0
+    #: consecutive over-watermark evaluations before scaling up
+    up_after: int = 1
+    #: consecutive under-watermark evaluations before scaling down
+    down_after: int = 3
+    #: minimum gap between membership changes, ns
+    cooldown: int = 0
+
+
+@audited
+@dataclass
 class ProfileConfig:
     """Opt-in cProfile instrumentation (see :mod:`repro.profiling`).
 
@@ -527,6 +588,8 @@ class SimConfig:
     federation: FederationConfig = field(default_factory=FederationConfig)
     congestion: CongestionConfig = field(default_factory=CongestionConfig)
     tenancy: TenancyConfig = field(default_factory=TenancyConfig)
+    replay: ReplayConfig = field(default_factory=ReplayConfig)
+    scaler: ScalerConfig = field(default_factory=ScalerConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
 
     def replace(self, **kwargs) -> "SimConfig":
@@ -621,6 +684,30 @@ class SimConfig:
             raise ValueError("tenancy.throttle_factor must be in (0, 1]")
         if tn.quarantine_after < 1 or tn.release_after < 1:
             raise ValueError("tenancy strike/release windows must be >= 1")
+        rp = self.replay
+        if rp.time_scale <= 0 or rp.load_scale <= 0:
+            raise ValueError("replay time_scale and load_scale must be positive")
+        if rp.injectors < 1:
+            raise ValueError("replay.injectors must be >= 1")
+        if rp.drain_timeout <= 0:
+            raise ValueError("replay.drain_timeout must be positive")
+        sc = self.scaler
+        if sc.interval < 0:
+            raise ValueError("scaler.interval must be >= 0 (0 = monitor interval)")
+        if not 0 <= sc.low_water < sc.high_water:
+            raise ValueError("need 0 <= scaler.low_water < scaler.high_water")
+        if sc.initial_active < 0 or sc.max_active < 0:
+            raise ValueError("scaler active bounds must be >= 0 (0 = all)")
+        if sc.min_active < 1:
+            raise ValueError("scaler.min_active must be >= 1")
+        if sc.max_active and sc.max_active < sc.min_active:
+            raise ValueError("scaler.max_active must be >= min_active (or 0)")
+        if sc.initial_active > self.num_backends:
+            raise ValueError("scaler.initial_active must not exceed num_backends")
+        if sc.up_after < 1 or sc.down_after < 1:
+            raise ValueError("scaler up_after/down_after must be >= 1")
+        if sc.cooldown < 0:
+            raise ValueError("scaler.cooldown must be >= 0")
         obs = self.obs
         if not re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z", obs.namespace):
             raise ValueError(f"obs.namespace {obs.namespace!r} is not a "
@@ -652,6 +739,8 @@ __all__ = [
     "NetConfig",
     "ObsConfig",
     "ProfileConfig",
+    "ReplayConfig",
+    "ScalerConfig",
     "ServerConfig",
     "SimConfig",
     "SyscallConfig",

@@ -19,6 +19,7 @@ from repro.experiments import (
     ablations,
     capacity,
     design_space,
+    elastic_replay,
     fault_matrix,
     fig3_latency,
     fig4_granularity,
@@ -46,6 +47,7 @@ __all__ = [
     "scalability",
     "ablations",
     "design_space",
+    "elastic_replay",
     "fault_matrix",
     "capacity",
     "table1_rubis",

@@ -59,6 +59,10 @@ class RubisCluster:
     faults: Optional[FaultPlane] = None
     heartbeat: Optional[HeartbeatMonitor] = None
     federation: Optional[Federation] = None
+    #: :class:`~repro.server.reconfig.ElasticScaler` when autoscaling is on
+    scaler: Optional[object] = None
+    #: workloads queued via ``ClusterBuilder.workload``, in chain order
+    workloads: List[object] = field(default_factory=list)
     #: :class:`~repro.obs.surface.Observability` when the surface is on
     obs: Optional[object] = None
 

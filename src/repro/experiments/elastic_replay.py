@@ -1,0 +1,230 @@
+"""Flash-crowd replay vs monitoring-driven elastic scaling.
+
+The paper's core claim is that fine-grained monitoring is *actionable*:
+a balancer (or here, an autoscaler) consuming millisecond-fresh load
+can react to load shifts that second-scale aggregation only sees after
+the damage is done. This experiment makes that concrete with the most
+hostile realistic load shift — a flash crowd — and the most consequential
+reaction — adding capacity.
+
+Every cell replays the **identical** synthetic flash-crowd trace
+(:func:`~repro.workloads.synth.synthesize_flash_crowd`, fixed seed)
+against a cluster that starts with half its back-ends parked. The
+matrix crosses:
+
+* **view** — what drives the :class:`~repro.server.reconfig.ElasticScaler`:
+  ``rdma-sync`` (the deployed fine-grained scheme's front-end cache,
+  millisecond-fresh) or ``ganglia`` (a
+  :class:`~repro.ganglia.view.GangliaLoadView` over a real gmond/gmetad
+  deployment — second-scale collection and aggregation);
+* **scaler** — ``on`` (may scale) or ``off`` (pool pinned at the
+  initial size: the no-elasticity baseline under the same routing).
+
+Both arms run the same monitoring scheme for *balancing*; only the
+scaler's view differs, so the measured gap is purely monitoring
+freshness. Measured per cell: **reaction lag** (first scale-up after
+spike onset), **overload window** (time the active pool spent above the
+high-water mark), and p95 response time over the spike window.
+
+Expected shape (asserted in ``benchmarks/test_replay.py``): the
+fine-grained arm reacts in fewer periods than the Ganglia arm, and
+scaling on beats scaling off on spike-window tail latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import percentile
+from repro.api import ClusterBuilder
+from repro.config import SimConfig
+from repro.ganglia import Gmetad, Gmond, GangliaLoadView
+from repro.sim.units import MILLISECOND, SECOND
+from repro.workloads.synth import synthesize_flash_crowd
+
+VIEWS: Sequence[str] = ("rdma-sync", "ganglia")
+
+DEFAULT_DURATION: int = 3 * SECOND
+DEFAULT_BASE_RPS: float = 300.0
+DEFAULT_SPIKE_FACTOR: float = 8.0
+DEFAULT_NUM_BACKENDS: int = 4
+DEFAULT_INITIAL_ACTIVE: int = 2
+
+#: scaler thresholds — reachable by both the fine view (tick-EMA runq +
+#: jiffy cpu) and the coarse one (instantaneous cpu_busy, dead loadavg)
+HIGH_WATER: float = 0.45
+LOW_WATER: float = 0.08
+SCALER_INTERVAL: int = 50 * MILLISECOND
+#: gmond collection / gmetad aggregation cadence (scaled-down 1s/5s)
+GMOND_INTERVAL: int = 200 * MILLISECOND
+GMETAD_INTERVAL: int = 500 * MILLISECOND
+
+
+def _scaler_knobs(elastic: bool, num_backends: int, initial_active: int) -> dict:
+    """Scaler parameters for one arm; ``elastic=False`` pins the pool."""
+    knobs = dict(
+        interval=SCALER_INTERVAL,
+        high_water=HIGH_WATER,
+        low_water=LOW_WATER,
+        initial_active=initial_active,
+        up_after=2,
+        down_after=20,
+        cooldown=100 * MILLISECOND,
+    )
+    if elastic:
+        knobs.update(min_active=1, max_active=num_backends)
+    else:
+        # Same routing filter, same sampling — but the pool never moves,
+        # so this arm is the "no elasticity" baseline, not "no scaler".
+        knobs.update(min_active=initial_active, max_active=initial_active)
+    return knobs
+
+
+def run_cell(
+    view: str,
+    elastic: bool,
+    duration: int = DEFAULT_DURATION,
+    base_rps: float = DEFAULT_BASE_RPS,
+    spike_factor: float = DEFAULT_SPIKE_FACTOR,
+    num_backends: int = DEFAULT_NUM_BACKENDS,
+    initial_active: int = DEFAULT_INITIAL_ACTIVE,
+    scheme_name: str = "rdma-sync",
+) -> Dict[str, object]:
+    """One matrix cell: replay the flash crowd under one scaler arm.
+
+    The spike ramps at ``duration // 4`` (the synthesiser's default), so
+    the first quarter is the steady baseline the scaler must *not*
+    react to, and everything after onset is the reaction test.
+    """
+    if view not in VIEWS:
+        raise ValueError(f"unknown view {view!r}; choose from {VIEWS}")
+    knobs = _scaler_knobs(elastic, num_backends, initial_active)
+
+    cfg = SimConfig(num_backends=num_backends)
+    builder = ClusterBuilder(cfg).scheme(scheme_name)
+    if view == "rdma-sync":
+        builder.with_elastic_scaler(**knobs)
+    cluster = builder.build()
+    sim = cluster.sim
+
+    # The identical trace in every cell: standalone fixed-seed synthesis
+    # (not the sim's streams), so arms differ only in the scaler's view.
+    trace = synthesize_flash_crowd(duration, base_rps,
+                                   spike_factor=spike_factor)
+    spike_start = duration // 4
+    ramp = duration // 10
+
+    scaler = cluster.scaler
+    if view == "ganglia":
+        # A real gmond/gmetad deployment feeds the coarse view; the
+        # scaler is hand-wired because its view is not the cluster's
+        # monitor. The dispatcher re-reads ``health`` each loop, so the
+        # post-build swap is safe.
+        from repro.server.reconfig import ElasticScaler
+        from repro.transport.multicast import MulticastGroup
+
+        channel = MulticastGroup("ganglia")
+        gmonds = [Gmond(node, channel, interval=GMOND_INTERVAL)
+                  for node in sim.backends]
+        gmetad = Gmetad(sim.frontend, gmonds, interval=GMETAD_INTERVAL)
+        coarse = GangliaLoadView(gmetad.store, sim.backends)
+        scaler = ElasticScaler(sim, view=coarse, **knobs)
+        cluster.dispatcher.health = scaler
+
+    replayer = cluster.workloads and cluster.workloads[0]
+    if not replayer:
+        from repro.workloads import create_workload
+
+        replayer = create_workload("replay", sim, cluster.dispatcher,
+                                   trace=trace)
+        replayer.start()
+    cluster.run(until=duration)
+
+    stats = cluster.dispatcher.stats
+    spike_latencies = [r.response_time for r in stats.completed
+                       if r.completed_at >= spike_start]
+    ups = [e for e in scaler.events if e.direction == "up"]
+    never = (duration - spike_start) / 1e6  # cap: "never reacted"
+    reaction_lag_ms = ((ups[0].time - spike_start) / 1e6 if ups else never)
+    overload_ms = sum(SCALER_INTERVAL for (_, mean, _) in scaler.samples
+                      if mean > HIGH_WATER) / 1e6
+    return {
+        "view": view,
+        "elastic": elastic,
+        "trace_entries": len(trace),
+        "spike_start_ms": spike_start / 1e6,
+        "ramp_ms": ramp / 1e6,
+        "reaction_lag_ms": reaction_lag_ms,
+        "reacted": bool(ups),
+        "overload_ms": overload_ms,
+        "scale_ups": len(ups),
+        "scale_downs": sum(1 for e in scaler.events if e.direction == "down"),
+        "active_final": len(scaler.active),
+        "evaluations": scaler.evaluations,
+        "completed": len(stats.completed),
+        "spike_p95_ms": (percentile(spike_latencies, 95) / 1e6
+                         if spike_latencies else 0.0),
+        "spike_mean_ms": (sum(spike_latencies) / len(spike_latencies) / 1e6
+                          if spike_latencies else 0.0),
+    }
+
+
+def run(
+    views: Sequence[str] = VIEWS,
+    duration: int = DEFAULT_DURATION,
+    base_rps: float = DEFAULT_BASE_RPS,
+    spike_factor: float = DEFAULT_SPIKE_FACTOR,
+    num_backends: int = DEFAULT_NUM_BACKENDS,
+    initial_active: int = DEFAULT_INITIAL_ACTIVE,
+    scheme_name: str = "rdma-sync",
+    elastic_arms: Sequence[bool] = (True, False),
+):
+    """The full matrix: views x scaler on/off over one flash-crowd trace.
+
+    ``tables`` is keyed ``"{view}:{on|off}"``; ``series`` carries
+    reaction lag, overload window and spike-window p95 aligned with
+    ``xs = views`` (one pair of series per scaler arm).
+    """
+    from repro.experiments.common import ExperimentResult
+
+    result = ExperimentResult(
+        name="elastic_replay",
+        params={"duration": duration, "base_rps": base_rps,
+                "spike_factor": spike_factor,
+                "num_backends": num_backends,
+                "initial_active": initial_active,
+                "scheme": scheme_name},
+        xs=list(views),
+    )
+    series: Dict[str, List[float]] = {}
+    for elastic in elastic_arms:
+        tag = "on" if elastic else "off"
+        series[f"{tag}_reaction_lag_ms"] = []
+        series[f"{tag}_overload_ms"] = []
+        series[f"{tag}_spike_p95_ms"] = []
+    for view in views:
+        for elastic in elastic_arms:
+            row = run_cell(view, elastic, duration=duration,
+                           base_rps=base_rps, spike_factor=spike_factor,
+                           num_backends=num_backends,
+                           initial_active=initial_active,
+                           scheme_name=scheme_name)
+            tag = "on" if elastic else "off"
+            result.tables[f"{view}:{tag}"] = row
+            series[f"{tag}_reaction_lag_ms"].append(row["reaction_lag_ms"])
+            series[f"{tag}_overload_ms"].append(row["overload_ms"])
+            series[f"{tag}_spike_p95_ms"].append(row["spike_p95_ms"])
+    result.series = series
+    result.notes = (
+        "Identical flash-crowd trace per cell; half the pool starts "
+        "parked. The fine-grained view reacts to the spike within a "
+        "couple of scaler periods (millisecond-fresh load), while the "
+        "Ganglia view waits out gmond collection plus gmetad "
+        "aggregation before its first scale-up — and with the scaler "
+        "pinned (off), the spike-window tail latency shows what that "
+        "reaction was worth. Overload windows are measured through each "
+        "arm's own view (compare on vs off within a view, not across "
+        "views — the coarse view under-reports the overload it cannot "
+        "see, which is precisely its failure mode)."
+    )
+    return result

@@ -32,6 +32,7 @@ from typing import Optional
 from repro.analysis.report import format_series, format_table
 from repro.experiments import (
     congestion_incast,
+    elastic_replay,
     federation_scale,
     fig3_latency,
     obs_surface,
@@ -120,6 +121,10 @@ RUNNERS = {
         tenant_matrix.run(
             schemes=None if full else ("rdma-sync", "socket-sync"),
             duration=(240 if full else 120) * MILLISECOND)),
+    "replay": lambda full: (lambda r: _render_series(
+        r, "view", "Elastic replay — flash-crowd reaction per monitoring view")
+        + "\n" + r.notes)(
+        elastic_replay.run(duration=(4 if full else 3) * SECOND)),
     "obs": lambda full: (lambda r: _render_series(
         r, "seed", "Observability — exposition determinism and coverage")
         + "\n" + r.notes)(

@@ -15,5 +15,7 @@ from repro.ganglia.gmond import Gmond
 from repro.ganglia.gmetad import Gmetad
 from repro.ganglia.gmetric import Gmetric
 from repro.ganglia.metrics import MetricRecord, MetricStore
+from repro.ganglia.view import CoarseLoadInfo, GangliaLoadView
 
-__all__ = ["Gmetad", "Gmetric", "Gmond", "MetricRecord", "MetricStore"]
+__all__ = ["CoarseLoadInfo", "Gmetad", "Gmetric", "Gmond", "GangliaLoadView",
+           "MetricRecord", "MetricStore"]

@@ -1,0 +1,68 @@
+"""A load view over Ganglia metrics, duck-typed like a monitor cache.
+
+The elastic scaler (and anything else consuming a monitoring view)
+wants a ``latest`` mapping of back-end index → an object carrying
+``runq_load``/``cpu_util``. :class:`GangliaLoadView` derives that from
+a gmond/gmetad :class:`~repro.ganglia.metrics.MetricStore`, so the
+coarse Ganglia arm can drive the *same* reconfiguration machinery the
+fine-grained RDMA schemes drive — the comparison the elastic-replay
+experiment measures is then purely about monitoring freshness.
+
+The derivation mirrors what the metrics actually are: ``load_one``
+(the 1-minute loadavg) stands in for the run-queue signal, and
+``cpu_busy`` (CPUs observed busy) over the node's CPU count for
+utilisation. Both are far coarser than the fine-grained schemes' tick
+EMA and jiffy deltas — which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Sequence
+
+from repro.ganglia.metrics import MetricStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.node import Node
+
+
+@dataclass(frozen=True)
+class CoarseLoadInfo:
+    """A Ganglia-derived stand-in for a monitoring LoadInfo."""
+
+    backend: str
+    collected_at: int
+    runq_load: float
+    cpu_util: float
+    nr_running: int
+
+
+class GangliaLoadView:
+    """``latest``-style view of a Ganglia metric store."""
+
+    def __init__(self, store: MetricStore, backends: Sequence["Node"]) -> None:
+        self.store = store
+        self._index_of = {node.name: i for i, node in enumerate(backends)}
+        self._num_cpus = {node.name: node.num_cpus for node in backends}
+
+    @property
+    def latest(self) -> Dict[int, CoarseLoadInfo]:
+        """Back-end index → coarse load info, for hosts the store knows."""
+        out: Dict[int, CoarseLoadInfo] = {}
+        for host in self.store.hosts():
+            index = self._index_of.get(host)
+            if index is None:
+                continue  # not a back-end (frontend/client announcements)
+            load_one = self.store.value(host, "load_one")
+            cpu_busy = self.store.value(host, "cpu_busy")
+            if load_one is None or cpu_busy is None:
+                continue
+            record = self.store.latest[(host, "load_one")]
+            out[index] = CoarseLoadInfo(
+                backend=host,
+                collected_at=record.time,
+                runq_load=float(load_one),
+                cpu_util=min(1.0, float(cpu_busy) / max(1, self._num_cpus[host])),
+                nr_running=int(self.store.value(host, "proc_run") or 0),
+            )
+        return out

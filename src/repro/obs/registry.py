@@ -188,6 +188,9 @@ class MetricsRegistry:
             reg.register(lambda: collect_faults(reg, cluster.faults))
         if cluster.heartbeat is not None:
             reg.register(lambda: collect_heartbeat(reg, cluster.heartbeat))
+        scaler = getattr(cluster, "scaler", None)
+        if scaler is not None:
+            reg.register(lambda: collect_scaler(reg, scaler))
         return reg
 
 
@@ -552,3 +555,26 @@ def collect_heartbeat(reg: MetricsRegistry, heartbeat) -> List[MetricFamily]:
     for backend in sorted(set(heartbeat.healthy_backends()) | quarantined):
         flags.add(1 if backend in quarantined else 0, backend=backend)
     return [probes, flags]
+
+
+def collect_scaler(reg: MetricsRegistry, scaler) -> List[MetricFamily]:
+    """Elastic-scaler pool state, decision counts and last pool load."""
+    active = reg.family("scaler_active_backends", "gauge",
+                        "Back-ends currently in the serving pool.")
+    active.add(len(scaler.active))
+    parked = reg.family("scaler_parked_backends", "gauge",
+                        "Back-ends currently parked (scaled down).")
+    parked.add(len(scaler.parked))
+    evals = reg.family("scaler_evaluations", "counter",
+                       "Scaling evaluations performed.")
+    evals.add(scaler.evaluations)
+    moves = reg.family("scaler_moves", "counter",
+                       "Scale moves taken, by direction.")
+    for direction in ("up", "down"):
+        moves.add(sum(1 for e in scaler.events if e.direction == direction),
+                  direction=direction)
+    load = reg.family("scaler_mean_load", "gauge",
+                      "Mean load score over the active pool, last evaluation.")
+    if scaler.samples:
+        load.add(scaler.samples[-1][1])
+    return [active, parked, evals, moves, load]

@@ -60,6 +60,11 @@ class RequestStats:
     completed: List[Request] = field(default_factory=list)
     rejected_count: int = 0
     timeout_count: int = 0
+    #: called with every recorded request — rejected and timed-out ones
+    #: included (a :class:`~repro.workloads.traces.TraceRecorder` hooks
+    #: in here to capture the full arrival stream); one attribute check
+    #: when unset, so unobserved runs are untouched
+    observer: Optional[Any] = None
 
     def record(self, request: Request) -> None:
         if request.rejected:
@@ -69,6 +74,8 @@ class RequestStats:
             self.timeout_count += 1
         else:
             self.completed.append(request)
+        if self.observer is not None:
+            self.observer(request)
 
     # ------------------------------------------------------------------
     def count(self) -> int:

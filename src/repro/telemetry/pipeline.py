@@ -205,6 +205,42 @@ class TelemetryPipeline:
         plane.on_event = observer
         return self
 
+    def attach_scaler(self, scaler) -> "TelemetryPipeline":
+        """Scaler telemetry: pool-load and active-count time series.
+
+        Chains onto the scaler's ``observer`` hook (keeps any existing
+        one). Every evaluation feeds ``scaler.mean_load`` and
+        ``scaler.active`` rings/digests; scale moves additionally bump
+        ``scaler.moves`` so the decision points are visible next to the
+        load signal that triggered them.
+        """
+        previous = scaler.observer
+
+        def observer(event: dict) -> None:
+            if previous is not None:
+                previous(event)
+            self.observe_scaler(event)
+
+        scaler.observer = observer
+        return self
+
+    def observe_scaler(self, event: dict) -> None:
+        """Ingest one elastic-scaler event (evaluation or scale move)."""
+        t = event["t"]
+        if event.get("kind") == "scale":
+            self.store.add("scaler.moves", t, 1.0)
+            return
+        sample = {
+            "scaler.mean_load": float(event["mean_load"]),
+            "scaler.active": float(event["active"]),
+        }
+        for key, value in sample.items():
+            self.store.add(key, t, value)
+            digest = self._digests.get(key)
+            if digest is None:
+                digest = self._digests[key] = StreamingDigest(self.compression)
+            digest.update(value)
+
     def observe_tenancy(self, event: dict) -> None:
         """Ingest one tenancy-plane event (per-tenant window / action)."""
         if event.get("kind") != "tenant":

@@ -45,7 +45,30 @@ def spawn_background_load(
     many back-to-back messages per round — piling interrupts up on the
     NIC-affinity CPU (used by the Fig 6 experiment). Returns the tasks
     created on ``node``.
+
+    Shim over the workload registry (``create_workload("background",
+    ...)``); fingerprint-identical to the pre-registry helper.
     """
+    from repro.workloads import create_workload
+
+    return create_workload(
+        "background", sim, node=node, threads=threads,
+        comm_fraction=comm_fraction, compute_chunk=compute_chunk,
+        message_interval=message_interval, message_bytes=message_bytes,
+        burst=burst)
+
+
+def _spawn_background_load(
+    sim: "ClusterSim",
+    node: "Node",
+    threads: int,
+    comm_fraction: float = 0.5,
+    compute_chunk: int = 1 * MILLISECOND,
+    message_interval: int = 5 * MILLISECOND,
+    message_bytes: int = 1024,
+    burst: int = 1,
+) -> List["Task"]:
+    """The implementation behind the ``"background"`` registry entry."""
     if threads < 0:
         raise ValueError("thread count must be non-negative")
     tasks: List["Task"] = []

@@ -1,0 +1,164 @@
+"""Synthetic non-stationary traces: diurnal cycles and flash crowds.
+
+Real clusters do not see stationary Poisson load — they see daily
+cycles and, occasionally, a flash crowd (the Slashdot effect): offered
+load multiplying within seconds. The elastic-scaling experiments need
+both regimes as *reproducible* inputs, so these generators synthesise
+them directly as :class:`~repro.workloads.traces.TraceEntry` streams —
+non-homogeneous Poisson arrivals (by thinning) of RUBiS-mix requests
+whose rate follows the chosen profile.
+
+Every draw comes from one **dedicated RNG stream** (``synth:<name>``
+off ``sim.rng`` when a simulation is supplied, otherwise a
+self-contained seeded generator), so synthesising a trace can never
+perturb any other component's stream and the same parameters always
+produce the same trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.rubis import RUBIS_QUERIES, QueryClass
+from repro.workloads.traces import TraceEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterSim
+
+#: default seed for standalone (sim-less) synthesis
+DEFAULT_SYNTH_SEED = 0x5E55_10AD
+
+
+def diurnal_rate(t: int, duration: int, base_rps: float, peak_rps: float,
+                 period: Optional[int] = None) -> float:
+    """Arrival rate (rps) at offset ``t``: a raised-cosine daily cycle.
+
+    The rate starts at ``base_rps`` (the trough), peaks at ``peak_rps``
+    half a period in, and returns to the trough — one full cycle per
+    ``period`` ns (default: one cycle over the whole trace).
+    """
+    period = period or duration
+    phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * (t % period) / period))
+    return base_rps + (peak_rps - base_rps) * phase
+
+
+def flash_crowd_rate(t: int, base_rps: float, spike_factor: float,
+                     spike_start: int, ramp: int, hold: int) -> float:
+    """Arrival rate (rps) at offset ``t``: baseline with one flash crowd.
+
+    Load ramps linearly from ``base_rps`` to ``base_rps * spike_factor``
+    over ``ramp`` ns starting at ``spike_start``, holds the peak for
+    ``hold`` ns, then ramps back down symmetrically.
+    """
+    peak = base_rps * spike_factor
+    up_end = spike_start + ramp
+    hold_end = up_end + hold
+    down_end = hold_end + ramp
+    if t < spike_start or t >= down_end:
+        return base_rps
+    if t < up_end:
+        return base_rps + (peak - base_rps) * (t - spike_start) / max(1, ramp)
+    if t < hold_end:
+        return peak
+    return peak - (peak - base_rps) * (t - hold_end) / max(1, ramp)
+
+
+def _resolve_rng(sim: Optional["ClusterSim"], rng, seed: int, name: str):
+    """The dedicated stream: sim-owned when available, standalone else."""
+    if rng is not None:
+        return rng
+    if sim is not None:
+        return sim.rng.stream(f"synth:{name}")
+    return np.random.default_rng(seed)
+
+
+def _synthesize(rate_fn, duration: int, max_rps: float, workload: str,
+                queries: Sequence[QueryClass], demand_cv: float,
+                deadline: int, rng) -> List[TraceEntry]:
+    """Non-homogeneous Poisson arrivals by thinning at ``max_rps``."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if max_rps <= 0:
+        raise ValueError("arrival rates must be positive")
+    weights = np.array([q.weight for q in queries], dtype=np.float64)
+    weights = weights / weights.sum()
+    mean_gap = 1e9 / max_rps  # ns between candidate arrivals
+    entries: List[TraceEntry] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mean_gap))
+        if t >= duration:
+            break
+        if float(rng.random()) * max_rps > rate_fn(int(t)):
+            continue  # thinned: the instantaneous rate is below the envelope
+        q = queries[int(rng.choice(len(queries), p=weights))]
+        scale = float(rng.lognormal(mean=0.0, sigma=demand_cv))
+        entries.append(TraceEntry(
+            offset_ns=int(t),
+            workload=workload,
+            query=q.name,
+            web_cpu=int(q.web_cpu * scale),
+            db_cpu=int(q.db_cpu * scale),
+            doc_id=None,
+            response_bytes=q.response_bytes,
+            deadline=deadline,
+        ))
+    return entries
+
+
+def synthesize_diurnal(
+    duration: int,
+    base_rps: float,
+    peak_rps: float,
+    period: Optional[int] = None,
+    queries: Sequence[QueryClass] = tuple(RUBIS_QUERIES),
+    demand_cv: float = 0.35,
+    deadline: int = 0,
+    sim: Optional["ClusterSim"] = None,
+    rng=None,
+    seed: int = DEFAULT_SYNTH_SEED,
+) -> List[TraceEntry]:
+    """A diurnal-cycle trace: trough→peak→trough raised-cosine load."""
+    if peak_rps < base_rps:
+        raise ValueError("peak_rps must be >= base_rps")
+    rng = _resolve_rng(sim, rng, seed, "diurnal")
+    return _synthesize(
+        lambda t: diurnal_rate(t, duration, base_rps, peak_rps, period),
+        duration, peak_rps, "synth-diurnal", queries, demand_cv, deadline, rng)
+
+
+def synthesize_flash_crowd(
+    duration: int,
+    base_rps: float,
+    spike_factor: float = 4.0,
+    spike_start: Optional[int] = None,
+    ramp: Optional[int] = None,
+    hold: Optional[int] = None,
+    queries: Sequence[QueryClass] = tuple(RUBIS_QUERIES),
+    demand_cv: float = 0.35,
+    deadline: int = 0,
+    sim: Optional["ClusterSim"] = None,
+    rng=None,
+    seed: int = DEFAULT_SYNTH_SEED,
+) -> List[TraceEntry]:
+    """A flash-crowd trace: baseline, then a ramp–hold–ramp load spike.
+
+    Defaults put the spike onset a quarter into the trace, ramping over
+    a tenth of the trace and holding the peak for another quarter.
+    """
+    if spike_factor < 1.0:
+        raise ValueError("spike_factor must be >= 1")
+    spike_start = duration // 4 if spike_start is None else spike_start
+    ramp = duration // 10 if ramp is None else ramp
+    hold = duration // 4 if hold is None else hold
+    if spike_start < 0 or ramp < 0 or hold < 0:
+        raise ValueError("spike timing parameters must be >= 0")
+    rng = _resolve_rng(sim, rng, seed, "flash-crowd")
+    return _synthesize(
+        lambda t: flash_crowd_rate(t, base_rps, spike_factor,
+                                   spike_start, ramp, hold),
+        duration, base_rps * spike_factor, "synth-flash", queries,
+        demand_cv, deadline, rng)

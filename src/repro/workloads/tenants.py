@@ -65,6 +65,24 @@ def spawn_incast_tenants(
     interval: int = 50 * MICROSECOND,
     label: str = "incast",
 ) -> List["Task"]:
+    """Shim over ``create_workload("incast", ...)``; see that entry."""
+    from repro.workloads import create_workload
+
+    return create_workload(
+        "incast", sim, target=target, sources=sources,
+        flows_per_source=flows_per_source, message_bytes=message_bytes,
+        interval=interval, label=label)
+
+
+def _spawn_incast_tenants(
+    sim: "ClusterSim",
+    target: "Node",
+    sources: "Sequence[Node]",
+    flows_per_source: int = 1,
+    message_bytes: int = 8192,
+    interval: int = 50 * MICROSECOND,
+    label: str = "incast",
+) -> List["Task"]:
     """Blast ``target`` with open-loop one-sided writes from ``sources``.
 
     Each flow posts a ``message_bytes`` RDMA write every ``interval`` ns
@@ -114,6 +132,27 @@ def spawn_incast_tenants(
 
 
 def spawn_qp_churn_flood(
+    sim: "ClusterSim",
+    src: "Node",
+    target: "Node",
+    interval: int = 50 * MICROSECOND,
+    burst: int = 8,
+    hold_max: int = 64,
+    message_bytes: int = 64,
+    start_after: int = 0,
+    stop_after: int = 0,
+    label: str = "qp-flood",
+) -> "Task":
+    """Shim over ``create_workload("qp-churn", ...)``; see that entry."""
+    from repro.workloads import create_workload
+
+    return create_workload(
+        "qp-churn", sim, src=src, target=target, interval=interval,
+        burst=burst, hold_max=hold_max, message_bytes=message_bytes,
+        start_after=start_after, stop_after=stop_after, label=label)
+
+
+def _spawn_qp_churn_flood(
     sim: "ClusterSim",
     src: "Node",
     target: "Node",
@@ -191,6 +230,26 @@ def spawn_read_blaster(
     stop_after: int = 0,
     label: str = "read-blast",
 ) -> List["Task"]:
+    """Shim over ``create_workload("read-blaster", ...)``; see that entry."""
+    from repro.workloads import create_workload
+
+    return create_workload(
+        "read-blaster", sim, src=src, target=target,
+        message_bytes=message_bytes, interval=interval, flows=flows,
+        start_after=start_after, stop_after=stop_after, label=label)
+
+
+def _spawn_read_blaster(
+    sim: "ClusterSim",
+    src: "Node",
+    target: "Node",
+    message_bytes: int = 65536,
+    interval: int = 50 * MICROSECOND,
+    flows: int = 2,
+    start_after: int = 0,
+    stop_after: int = 0,
+    label: str = "read-blast",
+) -> List["Task"]:
     """Bandwidth-hog attack: open-loop large one-sided reads.
 
     Each flow posts a ``message_bytes`` RDMA read every ``interval``
@@ -238,6 +297,26 @@ def spawn_read_blaster(
 
 
 def spawn_cache_thrash_walker(
+    sim: "ClusterSim",
+    src: "Node",
+    target: "Node",
+    regions: int = 128,
+    message_bytes: int = 64,
+    interval: int = 20 * MICROSECOND,
+    start_after: int = 0,
+    stop_after: int = 0,
+    label: str = "icm-thrash",
+) -> "Task":
+    """Shim over ``create_workload("cache-thrash", ...)``; see that entry."""
+    from repro.workloads import create_workload
+
+    return create_workload(
+        "cache-thrash", sim, src=src, target=target, regions=regions,
+        message_bytes=message_bytes, interval=interval,
+        start_after=start_after, stop_after=stop_after, label=label)
+
+
+def _spawn_cache_thrash_walker(
     sim: "ClusterSim",
     src: "Node",
     target: "Node",

@@ -2,25 +2,54 @@
 
 Capacity studies and regression comparisons want *identical* request
 streams across runs. A :class:`TraceRecorder` snapshots the request
-stream of any run (arrival times, query classes, exact demands) into a
-plain list of dicts (JSON-serialisable); :class:`TraceReplayer` fires a
-recorded trace open-loop at the original timing (or time-scaled), so two
-schemes can be compared on byte-identical input.
+stream of any run — either after the fact from the dispatcher's
+statistics, or live via :meth:`TraceRecorder.attach` (which chains onto
+the :class:`~repro.server.request.RequestStats` observer hook, so
+rejected and timed-out arrivals are captured too). Traces persist in a
+**versioned JSON-Lines format**: line 1 is a schema header, every
+further line one entry, both serialised deterministically so that
+record → dump → load → dump is byte-identical (tested).
+
+:class:`TraceReplayer` fires a recorded trace open-loop at the original
+timing, optionally **time-scaled** (``time_scale`` < 1 compresses the
+clock — stress) and **load-scaled** (``load_scale`` = 2 doubles every
+arrival; fractional parts are resolved on the dedicated
+``replay:load-scale`` RNG stream, so no other component's draws are
+perturbed). Two schemes can thus be compared on byte-identical input,
+or on a deterministic ×k amplification of a production trace.
+
+Synthetic non-stationary traces (diurnal cycles, flash crowds) come
+from :mod:`repro.workloads.synth`.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.server.request import Request
 from repro.sim.resources import Store
-from repro.sim.units import MICROSECOND
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterSim
     from repro.server.dispatcher import Dispatcher
+
+#: the trace-file schema this build writes and the versions it reads
+TRACE_SCHEMA_VERSION = 1
+SUPPORTED_SCHEMA_VERSIONS = (1,)
+
+#: header `kind` tag — guards against feeding arbitrary JSONL to loads()
+_TRACE_KIND = "repro-request-trace"
+
+
+class TraceFormatError(ValueError):
+    """A trace file/string that violates the schema, with its line number."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        self.line = line
+        super().__init__(
+            f"trace line {line}: {message}" if line is not None else message)
 
 
 @dataclass(frozen=True)
@@ -46,7 +75,23 @@ class TraceEntry:
 
     @classmethod
     def from_dict(cls, d: dict) -> "TraceEntry":
+        fields = cls.__dataclass_fields__
+        unknown = set(d) - set(fields)
+        if unknown:
+            raise TraceFormatError(
+                f"unknown entry key(s): {', '.join(sorted(unknown))}")
+        missing = set(fields) - set(d)
+        if missing:
+            raise TraceFormatError(
+                f"missing entry key(s): {', '.join(sorted(missing))}")
         return cls(**d)
+
+
+def _sort_key(entry: TraceEntry) -> tuple:
+    """Deterministic total order — arrival time first, then content."""
+    return (entry.offset_ns, entry.workload, entry.query, entry.web_cpu,
+            entry.db_cpu, entry.doc_id if entry.doc_id is not None else -1,
+            entry.response_bytes, entry.deadline)
 
 
 class TraceRecorder:
@@ -74,10 +119,42 @@ class TraceRecorder:
         for request in stats.completed:
             self.record(request)
 
+    def attach(self, dispatcher: "Dispatcher") -> "TraceRecorder":
+        """Record live from the dispatcher's statistics hook.
+
+        Chains onto ``dispatcher.stats.observer`` (keeping any existing
+        one), so every arrival — completed, rejected, or timed-out — is
+        captured the moment the dispatcher accounts for it. Unlike
+        :meth:`record_stats`, this sees the *full* arrival stream, not
+        just within-deadline completions.
+        """
+        previous: Optional[Callable] = dispatcher.stats.observer
+
+        def observer(request: Request) -> None:
+            if previous is not None:
+                previous(request)
+            self.record(request)
+
+        dispatcher.stats.observer = observer
+        return self
+
     # -- persistence ---------------------------------------------------------
     def dumps(self) -> str:
-        ordered = sorted(self.entries, key=lambda e: e.offset_ns)
-        return json.dumps([e.to_dict() for e in ordered])
+        """Serialise to the versioned JSONL format, deterministically.
+
+        Entries are emitted in their canonical sort order with sorted
+        keys and canonical separators, so the same logical trace always
+        produces the same bytes (record → dump → load → dump is
+        byte-identical; tested).
+        """
+        ordered = sorted(self.entries, key=_sort_key)
+        header = {"kind": _TRACE_KIND,
+                  "schema_version": TRACE_SCHEMA_VERSION,
+                  "entries": len(ordered)}
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        lines += [json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+                  for e in ordered]
+        return "\n".join(lines) + "\n"
 
     def dump(self, path) -> None:
         with open(path, "w") as fh:
@@ -85,7 +162,49 @@ class TraceRecorder:
 
     @staticmethod
     def loads(text: str) -> List[TraceEntry]:
-        return [TraceEntry.from_dict(d) for d in json.loads(text)]
+        """Parse a versioned trace; schema violations carry line numbers."""
+        lines = text.splitlines()
+        if not lines or not lines[0].strip():
+            raise TraceFormatError("empty trace (missing schema header)", line=1)
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"malformed header JSON: {exc}", line=1)
+        if isinstance(header, list):
+            raise TraceFormatError(
+                "bare JSON list (the pre-versioned format); re-record the "
+                "trace or wrap it with a schema_version header", line=1)
+        if not isinstance(header, dict) or header.get("kind") != _TRACE_KIND:
+            raise TraceFormatError(
+                f"not a {_TRACE_KIND} header: {lines[0][:80]!r}", line=1)
+        version = header.get("schema_version")
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise TraceFormatError(
+                f"unsupported schema_version {version!r} (supported: "
+                f"{', '.join(map(str, SUPPORTED_SCHEMA_VERSIONS))})", line=1)
+        entries: List[TraceEntry] = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                d = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"malformed entry JSON: {exc}",
+                                       line=lineno)
+            if not isinstance(d, dict):
+                raise TraceFormatError(
+                    f"entry must be a JSON object, got {type(d).__name__}",
+                    line=lineno)
+            try:
+                entries.append(TraceEntry.from_dict(d))
+            except TraceFormatError as exc:
+                raise TraceFormatError(str(exc), line=lineno)
+        declared = header.get("entries")
+        if declared is not None and declared != len(entries):
+            raise TraceFormatError(
+                f"header declares {declared} entries, found {len(entries)}",
+                line=1)
+        return entries
 
     @staticmethod
     def load(path) -> List[TraceEntry]:
@@ -101,31 +220,78 @@ class TraceReplayer:
         sim: "ClusterSim",
         dispatcher: "Dispatcher",
         trace: List[TraceEntry],
-        time_scale: float = 1.0,
-        injectors: int = 16,
+        time_scale: Optional[float] = None,
+        load_scale: Optional[float] = None,
+        injectors: Optional[int] = None,
+        drain_timeout: Optional[int] = None,
     ) -> None:
-        """``time_scale`` < 1 replays faster (stress), > 1 slower."""
+        """``time_scale`` < 1 replays faster (stress), > 1 slower.
+
+        ``load_scale`` amplifies the arrival stream: every entry is
+        replayed ``floor(load_scale)`` times, plus once more with the
+        fractional probability, duplicates jittered by up to 50 µs —
+        all decided on the dedicated ``replay:load-scale`` RNG stream
+        at :meth:`start`, so replays stay deterministic and no other
+        stream is perturbed. ``load_scale`` < 1 thins the trace.
+
+        Unset knobs fall back to ``sim.cfg.replay`` defaults.
+        """
+        rp = sim.cfg.replay
+        time_scale = rp.time_scale if time_scale is None else time_scale
+        load_scale = rp.load_scale if load_scale is None else load_scale
+        injectors = rp.injectors if injectors is None else injectors
+        drain_timeout = rp.drain_timeout if drain_timeout is None else drain_timeout
         if not trace:
             raise ValueError("cannot replay an empty trace")
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if load_scale <= 0:
+            raise ValueError("load_scale must be positive")
         if injectors < 1:
             raise ValueError("need at least one injector")
+        if drain_timeout <= 0:
+            raise ValueError("drain_timeout must be positive")
         self.sim = sim
         self.dispatcher = dispatcher
-        self.trace = sorted(trace, key=lambda e: e.offset_ns)
+        self.trace = sorted(trace, key=_sort_key)
         self.time_scale = time_scale
+        self.load_scale = load_scale
         self.injectors = injectors
+        self.drain_timeout = drain_timeout
         self.issued = 0
         self.completed_inline = 0
         self._next_rid = [5_000_000]
 
+    # ------------------------------------------------------------------
+    def _scaled_trace(self) -> List[TraceEntry]:
+        """The load-scaled arrival stream (identity at load_scale=1)."""
+        if self.load_scale == 1.0:
+            return self.trace
+        import dataclasses
+
+        rng = self.sim.rng.stream("replay:load-scale")
+        whole = int(self.load_scale)
+        frac = self.load_scale - whole
+        out: List[TraceEntry] = []
+        for entry in self.trace:
+            copies = whole + (1 if frac > 0 and rng.random() < frac else 0)
+            for c in range(copies):
+                if c == 0:
+                    out.append(entry)
+                else:
+                    jitter = int(rng.integers(1, 50_000))
+                    out.append(dataclasses.replace(
+                        entry, offset_ns=entry.offset_ns + jitter))
+        out.sort(key=_sort_key)
+        return out
+
     def start(self) -> None:
         assert self.sim.clients is not None
-        # Round-robin the trace across injector tasks; each fires its
-        # share at the scheduled offsets.
+        # Round-robin the (load-scaled) trace across injector tasks;
+        # each fires its share at the scheduled offsets.
+        stream = self._scaled_trace()
         shards: List[List[TraceEntry]] = [[] for _ in range(self.injectors)]
-        for i, entry in enumerate(self.trace):
+        for i, entry in enumerate(stream):
             shards[i % self.injectors].append(entry)
         for i, shard in enumerate(shards):
             if shard:
@@ -176,7 +342,7 @@ class TraceReplayer:
             # Shard exhausted: drain the stragglers (bounded patience).
             while got < len(shard):
                 get_ev = reply_store.get()
-                deadline = k.env.timeout(200 * 1_000_000)
+                deadline = k.env.timeout(self.drain_timeout)
                 fired = yield k.wait(AnyOf(k.env, [get_ev, deadline]))
                 if get_ev not in fired:
                     get_ev.cancel()

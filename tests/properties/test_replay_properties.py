@@ -1,0 +1,113 @@
+"""Properties the replay/scaler planes guarantee.
+
+1. **Bit-identical when off**: with ``cfg.scaler.enabled`` False (the
+   default), moving every other ``cfg.scaler.*`` and ``cfg.replay.*``
+   knob off its default changes *nothing* — request stats, routing,
+   monitoring records and the processed-event count match a
+   default-config run exactly. Neither plane draws an RNG stream or
+   schedules an event until actually used.
+2. **Deterministic when on**: two same-seed elastic runs agree on every
+   scale event, sample and request outcome; same for trace replays.
+3. **Synthesis is stream-isolated**: generating a trace off a sim
+   never perturbs an unrelated named stream.
+"""
+
+import pytest
+
+from repro.api import ClusterBuilder
+from repro.config import SimConfig
+from repro.sim.units import ms, seconds
+from repro.workloads.rubis import RubisWorkload
+
+SEEDS = (1234, 0x5EED)
+
+
+def _fingerprint(app):
+    stats = app.dispatcher.stats
+    return (
+        stats.count(),
+        stats.mean_response(),
+        stats.max_response(),
+        tuple(sorted(stats.per_backend_counts().items())),
+        app.monitor.polls,
+        app.sim.env.processed_events,
+        tuple((r.backend, r.issued_at, r.completed_at, r.latency)
+              for r in app.scheme.records),
+    )
+
+
+def _run_app(seed, *, touch_knobs=False, elastic=False):
+    cfg = SimConfig(num_backends=4, master_seed=seed)
+    if touch_knobs:
+        # Every non-enabling knob moved off its default.
+        cfg.replay.time_scale = 0.5
+        cfg.replay.load_scale = 2.0
+        cfg.replay.injectors = 4
+        cfg.replay.drain_timeout = ms(77)
+        cfg.scaler.interval = ms(13)
+        cfg.scaler.high_water = 0.6
+        cfg.scaler.low_water = 0.1
+        cfg.scaler.initial_active = 2
+        cfg.scaler.min_active = 2
+        cfg.scaler.max_active = 3
+        cfg.scaler.up_after = 2
+        cfg.scaler.down_after = 5
+        cfg.scaler.cooldown = ms(200)
+    builder = ClusterBuilder(cfg).scheme("rdma-sync", interval=ms(50))
+    if elastic:
+        builder.with_elastic_scaler()
+    app = builder.build()
+    wl = RubisWorkload(app.sim, app.dispatcher, num_clients=8, think_time=ms(5))
+    wl.start()
+    app.run(seconds(2))
+    return app
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_default_off_knobs_are_bit_identical(seed):
+    plain = _run_app(seed)
+    knobbed = _run_app(seed, touch_knobs=True)
+    assert knobbed.scaler is None
+    assert _fingerprint(plain) == _fingerprint(knobbed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_elastic_runs_are_deterministic(seed):
+    runs = [_run_app(seed, touch_knobs=True, elastic=True) for _ in range(2)]
+    assert _fingerprint(runs[0]) == _fingerprint(runs[1])
+    events = [tuple((e.time, e.direction, e.backend, e.active_after)
+                    for e in app.scaler.events) for app in runs]
+    assert events[0] == events[1]
+    samples = [tuple(app.scaler.samples) for app in runs]
+    assert samples[0] == samples[1]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_replay_is_deterministic(seed):
+    from repro.workloads import create_workload
+    from repro.workloads.synth import synthesize_flash_crowd
+
+    trace = synthesize_flash_crowd(seconds(1), 150.0)
+    prints = []
+    for _ in range(2):
+        cfg = SimConfig(num_backends=2, master_seed=seed)
+        app = ClusterBuilder(cfg).scheme("rdma-sync").build()
+        replayer = create_workload("replay", app.sim, app.dispatcher,
+                                   trace=trace, load_scale=1.5)
+        replayer.start()
+        app.run(seconds(2))
+        prints.append((replayer.issued, _fingerprint(app)))
+    assert prints[0] == prints[1]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_synthesis_never_perturbs_other_streams(seed):
+    from repro.hw.cluster import build_cluster
+    from repro.workloads.synth import synthesize_diurnal
+
+    sims = [build_cluster(SimConfig(num_backends=2, master_seed=seed))
+            for _ in range(2)]
+    synthesize_diurnal(seconds(1), 50, 300, sim=sims[0])
+    draws = [sim.rng.stream("probe:other").integers(0, 1 << 30, 16).tolist()
+             for sim in sims]
+    assert draws[0] == draws[1]

@@ -1,0 +1,101 @@
+"""Tests for the synthetic non-stationary trace generators."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hw.cluster import build_cluster
+from repro.sim.units import seconds
+from repro.workloads.synth import (
+    diurnal_rate,
+    flash_crowd_rate,
+    synthesize_diurnal,
+    synthesize_flash_crowd,
+)
+from repro.workloads.traces import TraceRecorder
+
+
+def _arrivals_in(trace, lo, hi):
+    return sum(1 for e in trace if lo <= e.offset_ns < hi)
+
+
+def test_rate_profiles_have_the_right_shape():
+    duration = seconds(4)
+    # Diurnal: trough at the ends, peak in the middle.
+    assert diurnal_rate(0, duration, 100, 500) == pytest.approx(100)
+    assert diurnal_rate(duration // 2, duration, 100, 500) == pytest.approx(500)
+    # Flash crowd: flat, ramp, hold, ramp, flat.
+    kw = dict(base_rps=100, spike_factor=4.0, spike_start=seconds(1),
+              ramp=seconds(1), hold=seconds(1))
+    assert flash_crowd_rate(0, **kw) == 100
+    assert flash_crowd_rate(seconds(2), **kw) == 400
+    assert flash_crowd_rate(int(seconds(1.5)), **kw) == pytest.approx(250)
+    assert flash_crowd_rate(seconds(4), **kw) == 100
+
+
+def test_diurnal_trace_concentrates_at_the_peak():
+    duration = seconds(4)
+    trace = synthesize_diurnal(duration, base_rps=50, peak_rps=400)
+    trough = _arrivals_in(trace, 0, duration // 4)
+    peak = _arrivals_in(trace, duration * 3 // 8, duration * 5 // 8)
+    assert peak > 2 * trough
+    assert all(0 <= e.offset_ns < duration for e in trace)
+    assert all(e.workload == "synth-diurnal" for e in trace)
+
+
+def test_flash_crowd_trace_spikes():
+    duration = seconds(4)
+    trace = synthesize_flash_crowd(duration, base_rps=100, spike_factor=5.0)
+    # Defaults: onset at 1/4, ramp 1/10, hold 1/4.
+    pre = _arrivals_in(trace, 0, duration // 4)
+    hold_lo = duration // 4 + duration // 10
+    hold = _arrivals_in(trace, hold_lo, hold_lo + duration // 4)
+    assert hold > 3 * pre
+    assert all(e.workload == "synth-flash" for e in trace)
+
+
+def test_same_seed_same_trace():
+    a = synthesize_flash_crowd(seconds(2), 200.0, seed=42)
+    b = synthesize_flash_crowd(seconds(2), 200.0, seed=42)
+    c = synthesize_flash_crowd(seconds(2), 200.0, seed=43)
+    assert a == b
+    assert a != c
+
+
+def test_sim_synthesis_uses_a_dedicated_stream():
+    """Synthesising off a sim draws only the synth:* stream."""
+    sims = [build_cluster(SimConfig(num_backends=2, master_seed=7))
+            for _ in range(2)]
+    # One sim synthesises, the other doesn't; an independent named
+    # stream must then still produce identical draws on both.
+    synthesize_flash_crowd(seconds(1), 100.0, sim=sims[0])
+    probes = [sim.rng.stream("probe:independence").integers(0, 1 << 30, 8)
+              for sim in sims]
+    assert probes[0].tolist() == probes[1].tolist()
+    # And the synthesis itself is reproducible across same-seed sims.
+    again = build_cluster(SimConfig(num_backends=2, master_seed=7))
+    t1 = synthesize_flash_crowd(seconds(1), 100.0, sim=again)
+    t0 = synthesize_flash_crowd(seconds(1), 100.0,
+                                sim=build_cluster(SimConfig(num_backends=2,
+                                                            master_seed=7)))
+    assert t0 == t1
+
+
+def test_synth_traces_survive_the_trace_schema():
+    trace = synthesize_diurnal(seconds(1), 50, 200)
+    recorder = TraceRecorder()
+    recorder.entries = list(trace)
+    assert TraceRecorder.loads(recorder.dumps()) == sorted(
+        trace, key=lambda e: (e.offset_ns, e.workload, e.query, e.web_cpu,
+                              e.db_cpu, e.doc_id or -1, e.response_bytes,
+                              e.deadline))
+
+
+def test_synth_validation():
+    with pytest.raises(ValueError):
+        synthesize_diurnal(0, 10, 20)
+    with pytest.raises(ValueError):
+        synthesize_diurnal(seconds(1), 100, 50)  # peak below base
+    with pytest.raises(ValueError):
+        synthesize_flash_crowd(seconds(1), 100, spike_factor=0.5)
+    with pytest.raises(ValueError):
+        synthesize_flash_crowd(seconds(1), 100, spike_start=-1)
